@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: dedicated sample sets per compression mode. More sets give
+ * a cleaner capacity signal but tax more of the cache with non-winner
+ * modes; the paper uses 4 of 32 sets per mode.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    const std::uint32_t set_counts[] = {1, 2, 4, 8};
+    const char *names[] = {"KM", "BC", "PRK", "STC"};
+
+    std::cout << "=== Ablation: dedicated sets per mode (LATTE-CC "
+                 "speedup vs baseline) ===\n";
+    printHeader({"1", "2", "4", "8"});
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        const auto base = runWorkload(*workload, PolicyKind::Baseline);
+
+        std::vector<double> row;
+        for (const std::uint32_t sets : set_counts) {
+            DriverOptions options;
+            options.cfg.latte.dedicatedSetsPerMode = sets;
+            const auto result =
+                runWorkload(*workload, PolicyKind::LatteCc, options);
+            row.push_back(speedupOver(base, result));
+        }
+        printRow(name, row);
+    }
+
+    std::cout << "\nExpected: flat-ish around the paper's 4 sets; very "
+                 "few sets starve the estimator, many sets tax "
+                 "hit-heavy workloads (STC).\n";
+    return 0;
+}

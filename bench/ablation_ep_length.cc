@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: LATTE-CC's experimental-phase length. The paper fixes
+ * EP = 256 L1 accesses (Section IV-C3); this sweep shows the trade-off —
+ * short EPs react faster but sample noisier counters, long EPs lag
+ * phase changes. Reported: C-Sens phase-changing workloads (KM, SS, VM)
+ * plus a stable one (BC).
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    const std::uint32_t ep_lengths[] = {64, 128, 256, 512, 1024};
+    const char *names[] = {"KM", "SS", "VM", "BC"};
+
+    std::cout << "=== Ablation: EP length (LATTE-CC speedup vs "
+                 "baseline) ===\n";
+    printHeader({"64", "128", "256", "512", "1024"});
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        const auto base = runWorkload(*workload, PolicyKind::Baseline);
+
+        std::vector<double> row;
+        for (const std::uint32_t ep : ep_lengths) {
+            DriverOptions options;
+            options.cfg.latte.epAccesses = ep;
+            const auto result =
+                runWorkload(*workload, PolicyKind::LatteCc, options);
+            row.push_back(speedupOver(base, result));
+        }
+        printRow(name, row);
+    }
+
+    std::cout << "\nDesign point: 256 accesses (the paper's choice) "
+                 "should sit at or near the best column.\n";
+    return 0;
+}

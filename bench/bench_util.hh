@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: cached workload
+ * runs, geometric means and table formatting.
+ */
+
+#ifndef LATTE_BENCH_BENCH_UTIL_HH
+#define LATTE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+#include "workloads/zoo.hh"
+
+namespace latte::bench
+{
+
+/** Run (workload, policy) once per binary invocation; cache the result. */
+class RunCache
+{
+  public:
+    explicit RunCache(DriverOptions options = {})
+        : options_(std::move(options))
+    {}
+
+    const WorkloadRunResult &
+    get(const Workload &workload, PolicyKind kind)
+    {
+        const std::string key =
+            workload.abbr + "/" + policyName(kind);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            it = cache_.emplace(key,
+                                runWorkload(workload, kind, options_))
+                     .first;
+        }
+        return it->second;
+    }
+
+    const DriverOptions &options() const { return options_; }
+
+  private:
+    DriverOptions options_;
+    std::map<std::string, WorkloadRunResult> cache_;
+};
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Print one row of right-aligned numeric cells. */
+inline void
+printRow(const std::string &label, const std::vector<double> &cells,
+         int width = 10, int precision = 3)
+{
+    std::cout << std::left << std::setw(6) << label << std::right
+              << std::fixed << std::setprecision(precision);
+    for (const double cell : cells)
+        std::cout << std::setw(width) << cell;
+    std::cout << "\n" << std::flush;
+}
+
+/** Print a header row. */
+inline void
+printHeader(const std::vector<std::string> &columns, int width = 10)
+{
+    std::cout << std::left << std::setw(6) << "wl" << std::right;
+    for (const auto &column : columns)
+        std::cout << std::setw(width) << column;
+    std::cout << "\n";
+}
+
+} // namespace latte::bench
+
+#endif // LATTE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1: performance sensitivity to added L1 hit latency. The paper
+ * shows PRK insensitive up to 14 extra cycles, CLR/MIS tolerating ~9,
+ * and BC/FW degrading quickly. We sweep the base L1 hit latency and
+ * report IPC normalised to the 1-cycle configuration.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    const char *names[] = {"PRK", "CLR", "MIS", "BC", "FW"};
+    const Cycles extra_latencies[] = {0, 2, 5, 9, 14};
+
+    std::cout << "=== Figure 1: IPC vs added L1 hit latency "
+                 "(normalised to +0) ===\n";
+    printHeader({"+0", "+2", "+5", "+9", "+14"});
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+
+        std::vector<double> row;
+        double base_ipc = 0;
+        for (const Cycles extra : extra_latencies) {
+            DriverOptions options;
+            options.cfg.l1HitLatency = 1 + extra;
+            const auto result =
+                runWorkload(*workload, PolicyKind::Baseline, options);
+            const double ipc =
+                static_cast<double>(result.instructions) /
+                static_cast<double>(result.cycles);
+            if (extra == 0)
+                base_ipc = ipc;
+            row.push_back(ipc / base_ipc);
+        }
+        printRow(name, row);
+    }
+
+    std::cout << "\nExpected shape (paper): PRK flat; CLR/MIS hold to "
+                 "~+9; BC/FW degrade steadily.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4: the cost side in isolation — decompression latency charged
+ * on every compressed hit while the capacity benefit is disabled
+ * (CacheTuning::capacityBenefit = false). The paper reports FW and BC
+ * suffering most (47% / 22% under SC) and PRK not at all.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    DriverOptions no_capacity;
+    no_capacity.tuning.capacityBenefit = false;
+    RunCache penalty(no_capacity);
+    RunCache base;
+
+    std::cout << "=== Figure 4: slowdown from decompression latency "
+                 "alone (no capacity benefit) ===\n";
+    printHeader({"BDI", "SC"});
+
+    std::vector<double> bdi_all, sc_all;
+    for (const auto &workload : workloadZoo()) {
+        const auto &baseline = base.get(workload, PolicyKind::Baseline);
+        const double bdi = speedupOver(
+            baseline, penalty.get(workload, PolicyKind::StaticBdi));
+        const double sc = speedupOver(
+            baseline, penalty.get(workload, PolicyKind::StaticSc));
+        bdi_all.push_back(bdi);
+        sc_all.push_back(sc);
+        printRow(workload.abbr, {bdi, sc});
+    }
+    printRow("gmean", {geomean(bdi_all), geomean(sc_all)});
+
+    std::cout << "\nExpected shape (paper): all bars <= 1.0; SC hurts "
+                 "much more than BDI; latency-tolerant workloads (PRK) "
+                 "lose nothing.\n";
+    return 0;
+}

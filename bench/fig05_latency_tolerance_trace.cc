@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 5: GPU latency tolerance over time for Similarity Score (SS).
+ * The paper shows distinct high / moderate / low tolerance regions
+ * within one execution. We print the per-EP tolerance estimate from
+ * SM 0 plus a bucketed summary.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    const Workload *workload = findWorkload("SS");
+    if (!workload)
+        return 1;
+
+    const auto result = runWorkload(*workload, PolicyKind::Baseline);
+
+    std::cout << "=== Figure 5: latency tolerance over time (SS, SM 0, "
+                 "one point per EP) ===\n";
+    std::cout << "# ep cycle tolerance\n";
+    std::size_t ep = 0;
+    for (const auto &point : result.trace) {
+        std::cout << ep++ << " " << point.cycle << " " << std::fixed
+                  << std::setprecision(2) << point.latencyTolerance
+                  << "\n";
+    }
+
+    // Bucket the run into high / moderate / low tolerance time.
+    std::uint64_t high = 0, moderate = 0, low = 0;
+    for (const auto &point : result.trace) {
+        if (point.latencyTolerance >= 14)
+            ++high;
+        else if (point.latencyTolerance >= 2)
+            ++moderate;
+        else
+            ++low;
+    }
+    const double total =
+        static_cast<double>(result.trace.size());
+    std::cout << "\nsummary: high(>=14cy) " << 100.0 * high / total
+              << "%  moderate(2..14) " << 100.0 * moderate / total
+              << "%  low(<2) " << 100.0 * low / total << "%\n";
+    std::cout << "Expected shape (paper): SS cycles through high, "
+                 "moderate and low tolerance phases.\n";
+    return 0;
+}

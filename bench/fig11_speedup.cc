@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11 — the headline result: speedup of Static-BDI, Static-SC,
+ * LATTE-CC and the Kernel-OPT oracle over the uncompressed baseline,
+ * for every workload, with per-category averages. Paper numbers for
+ * C-Sens: LATTE-CC +19.2% (up to +48.4%), Static-BDI +13.7%,
+ * Static-SC -8.2%, and LATTE-CC slightly above Kernel-OPT.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    RunCache cache;
+    const PolicyKind kinds[] = {
+        PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
+        PolicyKind::KernelOpt};
+
+    std::cout << "=== Figure 11: speedup over the uncompressed baseline "
+                 "===\n";
+    printHeader({"BDI", "SC", "LATTE", "K-OPT"});
+
+    for (const bool sensitive : {false, true}) {
+        std::map<PolicyKind, std::vector<double>> per_policy;
+        for (const auto *workload : workloadsByCategory(sensitive)) {
+            const auto &base =
+                cache.get(*workload, PolicyKind::Baseline);
+            std::vector<double> row;
+            for (const PolicyKind kind : kinds) {
+                const double speedup =
+                    speedupOver(base, cache.get(*workload, kind));
+                row.push_back(speedup);
+                per_policy[kind].push_back(speedup);
+            }
+            printRow(workload->abbr, row);
+        }
+        std::vector<double> means;
+        for (const PolicyKind kind : kinds)
+            means.push_back(geomean(per_policy[kind]));
+        printRow(sensitive ? "SENS" : "INSEN", means);
+        std::cout << "\n";
+    }
+
+    std::cout << "Expected shape (paper, C-Sens averages): LATTE-CC > "
+                 "Static-BDI > 1.0 > Static-SC; LATTE-CC >= Kernel-OPT. "
+                 "C-InSens: LATTE/BDI ~1.0, SC < 1.0.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 13: GPU energy normalised to the uncompressed baseline. Paper
+ * C-Sens averages: LATTE-CC 0.90, Static-BDI 0.95, Static-SC ~1.0;
+ * C-InSens: Static-SC +8.7% (up to +53% for HW).
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    RunCache cache;
+    const PolicyKind kinds[] = {
+        PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
+        PolicyKind::KernelOpt};
+
+    std::cout << "=== Figure 13: normalised GPU energy ===\n";
+    printHeader({"BDI", "SC", "LATTE", "K-OPT"});
+
+    for (const bool sensitive : {false, true}) {
+        std::map<PolicyKind, std::vector<double>> per_policy;
+        for (const auto *workload : workloadsByCategory(sensitive)) {
+            const auto &base =
+                cache.get(*workload, PolicyKind::Baseline);
+            const double base_mj = base.energy.totalMj();
+            std::vector<double> row;
+            for (const PolicyKind kind : kinds) {
+                const double ratio =
+                    cache.get(*workload, kind).energy.totalMj() /
+                    base_mj;
+                row.push_back(ratio);
+                per_policy[kind].push_back(ratio);
+            }
+            printRow(workload->abbr, row);
+        }
+        std::vector<double> means;
+        for (const PolicyKind kind : kinds)
+            means.push_back(geomean(per_policy[kind]));
+        printRow(sensitive ? "SENS" : "INSEN", means);
+        std::cout << "\n";
+    }
+
+    std::cout << "Expected shape (paper): LATTE-CC saves ~2x the energy "
+                 "of Static-BDI on C-Sens; Static-SC *increases* energy "
+                 "on C-InSens.\n";
+    return 0;
+}

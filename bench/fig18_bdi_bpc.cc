@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 18 (Section V-E): LATTE-CC with BPC substituted for SC as the
+ * high-capacity mode. The paper: the two variants perform similarly on
+ * average, and BDI-BPC wins on the BPC-affine workloads (PF, MIS, CLR,
+ * FW).
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    RunCache cache;
+
+    std::cout << "=== Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens) "
+                 "===\n";
+    printHeader({"LATTE", "BDI-BPC"});
+
+    std::vector<double> latte_all, bpc_all;
+    for (const auto *workload : workloadsByCategory(true)) {
+        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const double latte = speedupOver(
+            base, cache.get(*workload, PolicyKind::LatteCc));
+        const double bdi_bpc = speedupOver(
+            base, cache.get(*workload, PolicyKind::LatteCcBdiBpc));
+        latte_all.push_back(latte);
+        bpc_all.push_back(bdi_bpc);
+        printRow(workload->abbr, {latte, bdi_bpc});
+    }
+    printRow("gmean", {geomean(latte_all), geomean(bpc_all)});
+
+    std::cout << "\nExpected shape (paper): similar averages; BDI-BPC "
+                 "ahead on the BPC-affine set (PF, MIS, CLR, FW).\n";
+    return 0;
+}

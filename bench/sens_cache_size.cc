@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Section V-E sensitivity study: a 48 KB L1 (the alternative
+ * L1/shared-memory split on NVIDIA parts). The paper: LATTE-CC still
+ * gains ~6% on C-Sens (BDI ~3%) — smaller than at 16 KB, because the
+ * larger cache already captures much of the working set.
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    DriverOptions big;
+    big.cfg.l1SizeBytes = 48 * 1024;
+    big.cfg.sharedMemBytes = 16 * 1024;
+    RunCache cache(big);
+
+    std::cout << "=== Sensitivity: 48 KB L1 / 16 KB shared memory "
+                 "(C-Sens) ===\n";
+    printHeader({"BDI", "SC", "LATTE"});
+
+    std::vector<double> b, s, l;
+    for (const auto *workload : workloadsByCategory(true)) {
+        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const double bdi = speedupOver(
+            base, cache.get(*workload, PolicyKind::StaticBdi));
+        const double sc = speedupOver(
+            base, cache.get(*workload, PolicyKind::StaticSc));
+        const double latte = speedupOver(
+            base, cache.get(*workload, PolicyKind::LatteCc));
+        b.push_back(bdi);
+        s.push_back(sc);
+        l.push_back(latte);
+        printRow(workload->abbr, {bdi, sc, latte});
+    }
+    printRow("gmean", {geomean(b), geomean(s), geomean(l)});
+
+    std::cout << "\nExpected shape (paper): gains shrink vs the 16 KB "
+                 "configuration but LATTE-CC still leads BDI.\n";
+    return 0;
+}

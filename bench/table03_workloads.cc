@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table III: the workload catalog — suite, classification and measured
+ * classification criterion (speedup with a 4x L1; >= 1.2 is C-Sens).
+ */
+
+#include "bench_util.hh"
+
+using namespace latte;
+using namespace latte::bench;
+
+int
+main()
+{
+    RunCache base;
+    DriverOptions big_opts;
+    big_opts.cfg.l1SizeBytes = 64 * 1024;
+    RunCache big(big_opts);
+
+    std::cout << "=== Table III: benchmarks (4x-L1 speedup is the "
+                 "classification criterion, Sec IV-B) ===\n";
+    std::cout << std::left << std::setw(6) << "abbr" << std::setw(28)
+              << "application" << std::setw(12) << "suite"
+              << std::setw(10) << "category" << std::right
+              << std::setw(8) << "4xL1" << "\n";
+
+    bool all_consistent = true;
+    for (const auto &workload : workloadZoo()) {
+        const double speedup = speedupOver(
+            base.get(workload, PolicyKind::Baseline),
+            big.get(workload, PolicyKind::Baseline));
+        const bool measured_sensitive = speedup >= 1.2;
+        if (measured_sensitive != workload.cacheSensitive)
+            all_consistent = false;
+        std::cout << std::left << std::setw(6) << workload.abbr
+                  << std::setw(28) << workload.fullName << std::setw(12)
+                  << workload.suite << std::setw(10)
+                  << (workload.cacheSensitive ? "C-Sens" : "C-InSens")
+                  << std::right << std::fixed << std::setprecision(2)
+                  << std::setw(8) << speedup
+                  << (measured_sensitive != workload.cacheSensitive
+                          ? "  <-- category mismatch"
+                          : "")
+                  << "\n" << std::flush;
+    }
+    std::cout << (all_consistent
+                      ? "\nAll categories consistent with the measured "
+                        "criterion.\n"
+                      : "\nWARNING: some measured categories disagree "
+                        "with their Table III label.\n");
+    return 0;
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * latte_sim — the command-line front end a downstream user would drive:
+ * pick a workload and policy, override machine parameters, and get the
+ * run metrics (optionally with the full statistics dump and per-EP
+ * trace).
+ *
+ *   latte_sim --workload KM --policy latte
+ *   latte_sim --workload SS --policy static-sc --l1-kb 48 --stats
+ *   latte_sim --list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/driver.hh"
+#include "workloads/zoo.hh"
+
+using namespace latte;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: latte_sim [options]\n"
+        "  --list                 list workloads and exit\n"
+        "  --workload <ABBR>      workload to run (default KM)\n"
+        "  --policy <name>        baseline | static-bdi | static-sc |\n"
+        "                         static-bpc | adaptive-hit | "
+        "adaptive-cmp |\n"
+        "                         latte | latte-bdi-bpc | kernel-opt\n"
+        "  --l1-kb <n>            L1 data cache size in KiB "
+        "(default 16)\n"
+        "  --sms <n>              number of SMs (default 15)\n"
+        "  --hit-latency <n>      base L1 hit latency in cycles\n"
+        "  --ep <n>               LATTE-CC EP length in L1 accesses\n"
+        "  --scheduler <gto|lrr>  warp scheduler\n"
+        "  --max-instr <n>        per-kernel instruction budget\n"
+        "  --trace                print the per-EP policy trace\n"
+        "  --help                 this text\n";
+}
+
+bool
+parsePolicy(const std::string &name, PolicyKind &kind)
+{
+    const struct { const char *name; PolicyKind kind; } table[] = {
+        {"baseline", PolicyKind::Baseline},
+        {"static-bdi", PolicyKind::StaticBdi},
+        {"static-sc", PolicyKind::StaticSc},
+        {"static-bpc", PolicyKind::StaticBpc},
+        {"adaptive-hit", PolicyKind::AdaptiveHitCount},
+        {"adaptive-cmp", PolicyKind::AdaptiveCmp},
+        {"latte", PolicyKind::LatteCc},
+        {"latte-bdi-bpc", PolicyKind::LatteCcBdiBpc},
+        {"kernel-opt", PolicyKind::KernelOpt},
+    };
+    for (const auto &entry : table) {
+        if (name == entry.name) {
+            kind = entry.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_abbr = "KM";
+    PolicyKind kind = PolicyKind::LatteCc;
+    DriverOptions options;
+    bool trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &workload : workloadZoo()) {
+                std::cout << workload.abbr << "\t"
+                          << (workload.cacheSensitive ? "C-Sens  "
+                                                      : "C-InSens")
+                          << "\t" << workload.fullName << " ("
+                          << workload.suite << ")\n";
+            }
+            return 0;
+        } else if (arg == "--workload") {
+            workload_abbr = next();
+        } else if (arg == "--policy") {
+            const std::string name = next();
+            if (!parsePolicy(name, kind)) {
+                std::cerr << "unknown policy '" << name << "'\n";
+                return 1;
+            }
+        } else if (arg == "--l1-kb") {
+            options.cfg.l1SizeBytes =
+                std::stoul(next()) * 1024;
+        } else if (arg == "--sms") {
+            options.cfg.numSms = std::stoul(next());
+        } else if (arg == "--hit-latency") {
+            options.cfg.l1HitLatency = std::stoul(next());
+        } else if (arg == "--ep") {
+            options.cfg.latte.epAccesses = std::stoul(next());
+        } else if (arg == "--scheduler") {
+            const std::string sched = next();
+            options.cfg.schedPolicy =
+                sched == "lrr" ? GpuConfig::SchedPolicy::LRR
+                               : GpuConfig::SchedPolicy::GTO;
+        } else if (arg == "--max-instr") {
+            options.maxInstructionsPerKernel = std::stoull(next());
+        } else if (arg == "--trace") {
+            trace = true;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage();
+            return 1;
+        }
+    }
+
+    const Workload *workload = findWorkload(workload_abbr);
+    if (!workload) {
+        std::cerr << "unknown workload '" << workload_abbr
+                  << "' (try --list)\n";
+        return 1;
+    }
+
+    const WorkloadRunResult result =
+        runWorkload(*workload, kind, options);
+
+    std::cout << "workload      : " << workload->fullName << " ("
+              << workload->abbr << ")\n";
+    std::cout << "policy        : " << policyName(kind) << "\n";
+    std::cout << "cycles        : " << result.cycles << "\n";
+    std::cout << "instructions  : " << result.instructions << "\n";
+    std::cout << "IPC           : "
+              << static_cast<double>(result.instructions) /
+                     static_cast<double>(result.cycles)
+              << "\n";
+    std::cout << "L1 hits       : " << result.hits << "\n";
+    std::cout << "L1 misses     : " << result.misses << "\n";
+    std::cout << "L1 miss rate  : " << result.missRate() << "\n";
+    std::cout << "energy (mJ)   : " << result.energy.totalMj() << "\n";
+    std::cout << "  core        : " << result.energy.coreDynamicMj
+              << "\n";
+    std::cout << "  data move   : " << result.energy.dataMovementMj()
+              << "\n";
+    std::cout << "  compression : " << result.energy.compressionMj
+              << "\n";
+    std::cout << "  static      : " << result.energy.staticMj << "\n";
+    std::cout << "avg tolerance : " << result.avgTolerance()
+              << " cycles\n";
+
+    for (std::size_t k = 0; k < result.kernels.size(); ++k) {
+        std::cout << "kernel[" << k << "] " << result.kernels[k].name
+                  << ": " << result.kernels[k].cycles << " cycles";
+        if (k < result.kernelBestModes.size()) {
+            std::cout << " (oracle mode "
+                      << compressorName(result.kernelBestModes[k])
+                      << ")";
+        }
+        std::cout << "\n";
+    }
+
+    if (trace) {
+        std::cout << "# ep cycle tolerance mode capacityKB\n";
+        std::size_t ep = 0;
+        for (const auto &point : result.trace) {
+            std::cout << ep++ << " " << point.cycle << " "
+                      << point.latencyTolerance << " "
+                      << compressorName(point.mode) << " "
+                      << point.effectiveCapacityBytes / 1024.0 << "\n";
+        }
+    }
+    return 0;
+}

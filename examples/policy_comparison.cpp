@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Policy comparison: run one workload (default KM, or the abbreviation
+ * given on the command line) under every compression management policy
+ * and print a side-by-side table.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/driver.hh"
+#include "workloads/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace latte;
+
+    const std::string abbr = argc > 1 ? argv[1] : "KM";
+    const Workload *workload = findWorkload(abbr);
+    if (!workload) {
+        std::cerr << "unknown workload '" << abbr << "'; available:";
+        for (const auto &w : workloadZoo())
+            std::cerr << " " << w.abbr;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const PolicyKind kinds[] = {
+        PolicyKind::Baseline,       PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,       PolicyKind::AdaptiveHitCount,
+        PolicyKind::AdaptiveCmp,    PolicyKind::LatteCc,
+        PolicyKind::LatteCcBdiBpc,  PolicyKind::KernelOpt,
+    };
+
+    std::cout << "Workload: " << workload->fullName << " ("
+              << (workload->cacheSensitive ? "C-Sens" : "C-InSens")
+              << ")\n\n";
+    std::cout << std::left << std::setw(20) << "policy"
+              << std::right << std::setw(12) << "cycles"
+              << std::setw(10) << "speedup" << std::setw(11) << "missrate"
+              << std::setw(12) << "energy(mJ)" << std::setw(9) << "norm.E"
+              << "\n";
+
+    WorkloadRunResult base;
+    for (const PolicyKind kind : kinds) {
+        const WorkloadRunResult r = runWorkload(*workload, kind);
+        if (kind == PolicyKind::Baseline)
+            base = r;
+        std::cout << std::left << std::setw(20) << policyName(kind)
+                  << std::right << std::fixed << std::setprecision(3)
+                  << std::setw(12) << r.cycles
+                  << std::setw(10) << speedupOver(base, r)
+                  << std::setw(11) << r.missRate()
+                  << std::setw(12) << r.energy.totalMj()
+                  << std::setw(9)
+                  << r.energy.totalMj() / base.energy.totalMj()
+                  << "\n";
+    }
+    return 0;
+}

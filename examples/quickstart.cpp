@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build a GPU, run one cache-sensitive workload under the
+ * uncompressed baseline and under LATTE-CC, and print the headline
+ * metrics the paper reports (speedup, L1 miss reduction, energy).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/driver.hh"
+#include "workloads/zoo.hh"
+
+int
+main()
+{
+    using namespace latte;
+
+    const Workload *workload = findWorkload("SS");
+    if (!workload) {
+        std::cerr << "workload SS missing from the zoo\n";
+        return 1;
+    }
+
+    std::cout << "Running " << workload->fullName << " ("
+              << workload->abbr << ") ...\n";
+
+    const WorkloadRunResult base =
+        runWorkload(*workload, PolicyKind::Baseline);
+    const WorkloadRunResult latte =
+        runWorkload(*workload, PolicyKind::LatteCc);
+
+    const double speedup = speedupOver(base, latte);
+    const double miss_reduction =
+        1.0 - static_cast<double>(latte.misses) /
+                  static_cast<double>(base.misses);
+    const double energy_ratio =
+        latte.energy.totalMj() / base.energy.totalMj();
+
+    std::cout << std::fixed << std::setprecision(3);
+    std::cout << "baseline : " << base.cycles << " cycles, "
+              << base.instructions << " instructions, miss rate "
+              << base.missRate() << "\n";
+    std::cout << "LATTE-CC : " << latte.cycles << " cycles, miss rate "
+              << latte.missRate() << "\n";
+    std::cout << "speedup            : " << speedup << "x\n";
+    std::cout << "L1 miss reduction  : " << miss_reduction * 100
+              << " %\n";
+    std::cout << "normalised energy  : " << energy_ratio << "\n";
+    std::cout << "avg latency tolerance (EPs): "
+              << latte.avgTolerance() << " cycles\n";
+    return 0;
+}

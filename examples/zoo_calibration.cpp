@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Zoo calibration: for every workload print the paper's classification
+ * criterion (speedup with a 4x L1, Section IV-B) plus the headline
+ * behaviours each experiment depends on: miss rates, static BDI/SC
+ * speedups and the measured latency tolerance. Used to keep the
+ * synthetic workloads aligned with their Table III roles.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/driver.hh"
+#include "workloads/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace latte;
+
+    const std::string only = argc > 1 ? argv[1] : "";
+
+    std::cout << std::left << std::setw(5) << "wl" << std::setw(9)
+              << "want" << std::right << std::setw(10) << "cycles"
+              << std::setw(7) << "IPC" << std::setw(7) << "miss%"
+              << std::setw(7) << "4xL1" << std::setw(7) << "BDI"
+              << std::setw(7) << "SC" << std::setw(7) << "LATTE"
+              << std::setw(7) << "tol" << "\n";
+
+    for (const auto &workload : workloadZoo()) {
+        if (!only.empty() && workload.abbr != only)
+            continue;
+
+        DriverOptions base_opts;
+        const auto base =
+            runWorkload(workload, PolicyKind::Baseline, base_opts);
+
+        DriverOptions big_opts;
+        big_opts.cfg.l1SizeBytes = 64 * 1024;
+        const auto big =
+            runWorkload(workload, PolicyKind::Baseline, big_opts);
+
+        const auto bdi =
+            runWorkload(workload, PolicyKind::StaticBdi, base_opts);
+        const auto sc =
+            runWorkload(workload, PolicyKind::StaticSc, base_opts);
+        const auto latte =
+            runWorkload(workload, PolicyKind::LatteCc, base_opts);
+
+        std::cout << std::left << std::setw(5) << workload.abbr
+                  << std::setw(9)
+                  << (workload.cacheSensitive ? "C-Sens" : "C-InSens")
+                  << std::right << std::fixed << std::setprecision(2)
+                  << std::setw(10) << base.cycles
+                  << std::setw(7)
+                  << static_cast<double>(base.instructions) /
+                         static_cast<double>(base.cycles)
+                  << std::setw(7) << base.missRate() * 100
+                  << std::setw(7) << speedupOver(base, big)
+                  << std::setw(7) << speedupOver(base, bdi)
+                  << std::setw(7) << speedupOver(base, sc)
+                  << std::setw(7) << speedupOver(base, latte)
+                  << std::setw(7) << base.avgTolerance() << "\n"
+                  << std::flush;
+    }
+    return 0;
+}

@@ -1,0 +1,446 @@
+#include "compressed_cache.hh"
+
+#include <algorithm>
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace latte
+{
+
+CompressedCache::CompressedCache(const GpuConfig &cfg, SmId sm_id,
+                                 CompressionEngines *engines, L2Cache *l2,
+                                 MemoryImage *mem, StatGroup *parent,
+                                 CacheTuning tuning)
+    : StatGroup(strfmt("l1d{}", sm_id), parent),
+      loads(this, "loads", "read accesses"),
+      stores(this, "stores", "write accesses"),
+      hits(this, "hits", "read hits"),
+      misses(this, "misses", "primary read misses"),
+      mergedMisses(this, "merged_misses", "secondary misses merged"),
+      insertions(this, "insertions", "lines inserted"),
+      evictions(this, "evictions", "lines evicted"),
+      writeInvalidations(this, "write_invalidations",
+                         "lines invalidated by write hits"),
+      rejections(this, "rejections", "accesses refused (MSHRs full)"),
+      compressedInsertions(this, "compressed_insertions",
+                           "insertions stored in compressed form"),
+      bdiCompressions(this, "bdi_compressions",
+                      "insertions run through the BDI compressor"),
+      scCompressions(this, "sc_compressions",
+                     "insertions run through the SC compressor"),
+      bpcCompressions(this, "bpc_compressions",
+                      "insertions run through the BPC compressor"),
+      scGenerationInvalidations(this, "sc_generation_invalidations",
+                                "SC lines dropped at code rebuilds"),
+      insertionRatio(this, "insertion_ratio",
+                     "mean compression ratio of inserted lines"),
+      missLatency(this, "miss_latency",
+                  "observed miss service time (cycles)"),
+      mshrs(cfg.l1MshrEntries, this),
+      cfg_(cfg), tuning_(tuning), engines_(engines), l2_(l2), mem_(mem),
+      provider_(&defaultProvider_),
+      numSets_(cfg.l1NumSets()),
+      tagsPerSet_(cfg.l1Assoc * cfg.l1TagFactor),
+      subBlocksPerSet_(cfg.l1Assoc * (cfg.l1LineBytes / cfg.l1SubBlockBytes)),
+      tags_(static_cast<std::size_t>(numSets_) * tagsPerSet_),
+      bdiQueue_("decomp_bdi", this),
+      scQueue_("decomp_sc", this),
+      bpcQueue_("decomp_bpc", this),
+      fpcQueue_("decomp_fpc", this),
+      cpackQueue_("decomp_cpack", this)
+{
+    latte_assert(engines_ && l2_ && mem_);
+    latte_assert(numSets_ > 0);
+    latte_assert(cfg.l1LineBytes == kLineBytes);
+}
+
+void
+CompressedCache::setModeProvider(CompressionModeProvider *provider)
+{
+    provider_ = provider ? provider : &defaultProvider_;
+}
+
+std::uint32_t
+CompressedCache::setIndexOf(Addr addr) const
+{
+    // Modulo rather than mask: the 48 KB configuration of Section V-E
+    // has 96 sets.
+    return static_cast<std::uint32_t>(
+        (addr / cfg_.l1LineBytes) % numSets_);
+}
+
+Addr
+CompressedCache::tagOf(Addr line_addr) const
+{
+    return line_addr / cfg_.l1LineBytes / numSets_;
+}
+
+CompressedCache::TagEntry *
+CompressedCache::setBase(std::uint32_t set_index)
+{
+    return &tags_[static_cast<std::size_t>(set_index) * tagsPerSet_];
+}
+
+const CompressedCache::TagEntry *
+CompressedCache::setBase(std::uint32_t set_index) const
+{
+    return &tags_[static_cast<std::size_t>(set_index) * tagsPerSet_];
+}
+
+CompressedCache::TagEntry *
+CompressedCache::findLine(Addr line_addr)
+{
+    TagEntry *ways = setBase(setIndexOf(line_addr));
+    const Addr tag = tagOf(line_addr);
+    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return &ways[w];
+    }
+    return nullptr;
+}
+
+std::uint32_t
+CompressedCache::usedSubBlocksInSet(std::uint32_t set_index) const
+{
+    const TagEntry *ways = setBase(set_index);
+    std::uint32_t used = 0;
+    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+        if (ways[w].valid)
+            used += ways[w].subBlocks;
+    }
+    return used;
+}
+
+DecompressionQueue &
+CompressedCache::queueFor(CompressorId mode)
+{
+    switch (mode) {
+      case CompressorId::Bdi: return bdiQueue_;
+      case CompressorId::Sc: return scQueue_;
+      case CompressorId::Bpc: return bpcQueue_;
+      case CompressorId::Fpc: return fpcQueue_;
+      case CompressorId::CpackZ: return cpackQueue_;
+      case CompressorId::None: break;
+    }
+    latte_panic("no decompression queue for {}", compressorName(mode));
+}
+
+const DecompressionQueue &
+CompressedCache::queueFor(CompressorId mode) const
+{
+    return const_cast<CompressedCache *>(this)->queueFor(mode);
+}
+
+void
+CompressedCache::touchOnHit(TagEntry &entry)
+{
+    switch (cfg_.l1Repl) {
+      case GpuConfig::ReplPolicy::LRU:
+        entry.lruStamp = ++lruClock_;
+        break;
+      case GpuConfig::ReplPolicy::FIFO:
+        break; // insertion order only
+      case GpuConfig::ReplPolicy::SRRIP:
+        entry.rrpv = 0;
+        break;
+    }
+}
+
+void
+CompressedCache::touchOnFill(TagEntry &entry)
+{
+    entry.lruStamp = ++lruClock_;
+    // SRRIP inserts with a "long" (but not distant) prediction.
+    entry.rrpv = 2;
+}
+
+CompressedCache::TagEntry *
+CompressedCache::pickVictim(std::uint32_t set_index)
+{
+    TagEntry *ways = setBase(set_index);
+
+    if (cfg_.l1Repl == GpuConfig::ReplPolicy::SRRIP) {
+        // Find an RRPV-3 line, aging the set until one exists.
+        for (;;) {
+            for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+                if (ways[w].valid && ways[w].rrpv >= 3)
+                    return &ways[w];
+            }
+            for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+                if (ways[w].valid && ways[w].rrpv < 3)
+                    ++ways[w].rrpv;
+            }
+        }
+    }
+
+    // LRU and FIFO: smallest stamp (touch order vs fill order).
+    TagEntry *victim = nullptr;
+    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+        if (ways[w].valid &&
+            (!victim || ways[w].lruStamp < victim->lruStamp)) {
+            victim = &ways[w];
+        }
+    }
+    latte_assert(victim, "no victim but set is full");
+    return victim;
+}
+
+std::uint8_t
+CompressedCache::subBlocksFor(const CompressedLine &line) const
+{
+    const std::uint32_t full =
+        cfg_.l1LineBytes / cfg_.l1SubBlockBytes;
+    if (!tuning_.capacityBenefit || !line.compressed() ||
+        line.encoding == kRawEncoding) {
+        return static_cast<std::uint8_t>(full);
+    }
+    const auto blocks = static_cast<std::uint32_t>(
+        divCeil(std::max<std::uint32_t>(line.sizeBytes(), 1),
+                cfg_.l1SubBlockBytes));
+    return static_cast<std::uint8_t>(std::min(blocks, full));
+}
+
+L1AccessResult
+CompressedCache::access(Cycles now, Addr addr, bool is_write)
+{
+    processFills(now);
+
+    const Addr line_addr = MemoryImage::lineAddr(addr);
+    const std::uint32_t set = setIndexOf(line_addr);
+
+    if (is_write) {
+        ++stores;
+        TagEntry *entry = findLine(line_addr);
+        const bool was_hit = entry != nullptr;
+        if (entry) {
+            // Write-avoid: drop the copy instead of recompressing it.
+            entry->valid = false;
+            ++writeInvalidations;
+        }
+        l2_->access(now, line_addr, true);
+        provider_->observeAccess(now, set, was_hit, true,
+                                 was_hit ? entry->mode
+                                         : CompressorId::None);
+        return {was_hit, now + 1, false, false};
+    }
+
+    ++loads;
+    TagEntry *entry = findLine(line_addr);
+    if (entry) {
+        ++hits;
+        touchOnHit(*entry);
+        Cycles ready = now + cfg_.l1HitLatency;
+        if (entry->mode != CompressorId::None &&
+            entry->encoding != kRawEncoding &&
+            tuning_.chargeDecompression) {
+            Compressor *engine = engines_->get(entry->mode);
+            ready = queueFor(entry->mode)
+                        .enqueue(ready, engine->decompressLatency());
+        }
+        if (tuning_.verifyRoundTrip && entry->mode != CompressorId::None) {
+            CompressedLine line;
+            line.algo = entry->mode;
+            line.encoding = entry->encoding;
+            line.sizeBits = entry->sizeBits;
+            line.generation = entry->generation;
+            line.payload = entry->payload;
+            const auto bytes = engines_->get(entry->mode)->decompress(line);
+            const auto &truth = mem_->line(line_addr);
+            latte_assert(std::equal(bytes.begin(), bytes.end(),
+                                    truth.begin()),
+                         "round-trip mismatch at line {}", line_addr);
+        }
+        provider_->observeAccess(now, set, true, false, entry->mode);
+        return {true, ready, false, false};
+    }
+
+    // Miss path.
+    if (mshrs.outstanding(line_addr)) {
+        ++mergedMisses;
+        const Cycles ready = mshrs.merge(line_addr);
+        provider_->observeAccess(now, set, false, false,
+                                 CompressorId::None);
+        return {false, ready, true, false};
+    }
+
+    if (!mshrs.hasFree()) {
+        ++mshrs.stallsFull;
+        ++rejections;
+        return {false, now, false, true};
+    }
+
+    ++misses;
+    const L2Result res = l2_->access(now, line_addr, false);
+    missLatency.sample(static_cast<double>(res.readyCycle - now));
+    mshrs.allocate(line_addr, res.readyCycle);
+    pendingFills_.push_back({line_addr, res.readyCycle});
+    nextFillCycle_ = std::min(nextFillCycle_, res.readyCycle);
+    provider_->observeAccess(now, set, false, false, CompressorId::None);
+    return {false, res.readyCycle, false, false};
+}
+
+void
+CompressedCache::processFills(Cycles now)
+{
+    if (pendingFills_.empty() || now < nextFillCycle_)
+        return;
+    std::size_t keep = 0;
+    nextFillCycle_ = kNoCycle;
+    for (std::size_t i = 0; i < pendingFills_.size(); ++i) {
+        const PendingFill fill = pendingFills_[i];
+        if (fill.fillCycle <= now) {
+            insertLine(fill.fillCycle, fill.lineAddr);
+        } else {
+            nextFillCycle_ = std::min(nextFillCycle_, fill.fillCycle);
+            pendingFills_[keep++] = fill;
+        }
+    }
+    pendingFills_.resize(keep);
+    mshrs.retire(now);
+}
+
+void
+CompressedCache::insertLine(Cycles now, Addr line_addr)
+{
+    // If the line raced in already (e.g. duplicate fill), skip.
+    if (findLine(line_addr))
+        return;
+
+    const std::uint32_t set = setIndexOf(line_addr);
+    const auto &bytes = mem_->line(line_addr);
+
+    const CompressorId mode = provider_->modeForInsertion(set);
+    CompressedLine line;
+    if (mode == CompressorId::None) {
+        line = makeRawLine(CompressorId::None, bytes);
+        line.algo = CompressorId::None;
+    } else {
+        line = engines_->get(mode)->compress(bytes);
+        switch (mode) {
+          case CompressorId::Bdi: ++bdiCompressions; break;
+          case CompressorId::Sc: ++scCompressions; break;
+          case CompressorId::Bpc: ++bpcCompressions; break;
+          default: break;
+        }
+    }
+    const std::uint8_t need = subBlocksFor(line);
+
+    // Evict LRU lines until a tag and enough sub-blocks are free.
+    TagEntry *ways = setBase(set);
+    auto free_tag = [&]() -> TagEntry * {
+        for (std::uint32_t w = 0; w < tagsPerSet_; ++w)
+            if (!ways[w].valid)
+                return &ways[w];
+        return nullptr;
+    };
+    TagEntry *slot = free_tag();
+    while (!slot || usedSubBlocksInSet(set) + need > subBlocksPerSet_) {
+        TagEntry *victim = pickVictim(set);
+        victim->valid = false;
+        victim->payload.clear();
+        ++evictions;
+        if (!slot)
+            slot = victim;
+    }
+
+    slot->valid = true;
+    slot->tag = tagOf(line_addr);
+    touchOnFill(*slot);
+    slot->mode = line.algo;
+    slot->encoding = line.encoding;
+    slot->sizeBits = line.sizeBits;
+    slot->generation = line.generation;
+    slot->subBlocks = need;
+    if (tuning_.verifyRoundTrip)
+        slot->payload = line.payload;
+    else
+        slot->payload.clear();
+
+    ++insertions;
+    if (line.compressed() && line.encoding != kRawEncoding)
+        ++compressedInsertions;
+    insertionRatio.sample(line.ratio());
+
+    provider_->observeInsertion(now, set, mode, bytes);
+}
+
+std::uint64_t
+CompressedCache::effectiveCapacityBytes() const
+{
+    return validLines() * cfg_.l1LineBytes;
+}
+
+std::uint64_t
+CompressedCache::usedSubBlocks() const
+{
+    std::uint64_t used = 0;
+    for (const auto &entry : tags_) {
+        if (entry.valid)
+            used += entry.subBlocks;
+    }
+    return used;
+}
+
+std::uint64_t
+CompressedCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &entry : tags_) {
+        if (entry.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+CompressedCache::invalidateScGeneration(std::uint32_t current_generation)
+{
+    for (auto &entry : tags_) {
+        if (entry.valid && entry.mode == CompressorId::Sc &&
+            entry.generation != current_generation) {
+            entry.valid = false;
+            entry.payload.clear();
+            ++scGenerationInvalidations;
+        }
+    }
+}
+
+void
+CompressedCache::invalidateSampleMismatch(std::uint32_t stride,
+                                          std::uint32_t n_modes,
+                                          CompressorId keep)
+{
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        if (set % stride >= n_modes)
+            continue;
+        TagEntry *ways = setBase(set);
+        for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+            TagEntry &entry = ways[w];
+            if (entry.valid && entry.mode != CompressorId::None &&
+                entry.mode != keep) {
+                entry.valid = false;
+                entry.payload.clear();
+            }
+        }
+    }
+}
+
+void
+CompressedCache::invalidateAll()
+{
+    for (auto &entry : tags_) {
+        entry.valid = false;
+        entry.payload.clear();
+    }
+    pendingFills_.clear();
+    nextFillCycle_ = kNoCycle;
+    mshrs.clear();
+    bdiQueue_.clear();
+    scQueue_.clear();
+    bpcQueue_.clear();
+    fpcQueue_.clear();
+    cpackQueue_.clear();
+}
+
+} // namespace latte

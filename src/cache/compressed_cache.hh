@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The compressed L1 data cache (Section IV-A). The organisation follows
+ * the paper: the tag array is provisioned with 4x the baseline tags and
+ * compressed data is stored in 32 B sub-blocks, so a set that would hold
+ * four 128 B lines can hold up to sixteen sufficiently-compressed lines.
+ * Lines are (de)compressed with real engines on real bytes; hits to
+ * compressed lines pay the decompression-queue latency of Eq. (3).
+ *
+ * The cache is write-avoid (Section IV-C3): writes are forwarded to the
+ * L2 and invalidate any cached copy, so recompression never forces
+ * evictions on the store path.
+ */
+
+#ifndef LATTE_CACHE_COMPRESSED_CACHE_HH
+#define LATTE_CACHE_COMPRESSED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "decomp_queue.hh"
+#include "engines.hh"
+#include "mem/l2cache.hh"
+#include "mem/memory_image.hh"
+#include "mem/mshr.hh"
+#include "mode_provider.hh"
+
+namespace latte
+{
+
+/** Experiment knobs used by the motivation studies (Figures 3 and 4). */
+struct CacheTuning
+{
+    /**
+     * When false, compressed lines still occupy a full line's worth of
+     * sub-blocks: isolates the decompression-latency penalty (Figure 4).
+     */
+    bool capacityBenefit = true;
+    /**
+     * When false, hits to compressed lines cost the plain hit latency:
+     * isolates the capacity benefit (Figure 3).
+     */
+    bool chargeDecompression = true;
+    /**
+     * Store compressed payloads and check the round trip against the
+     * functional memory image on every hit (used by integration tests).
+     */
+    bool verifyRoundTrip = false;
+};
+
+/** Outcome of an L1 access as seen by the load/store unit. */
+struct L1AccessResult
+{
+    bool hit = false;
+    /** Cycle the data (or write ack) is available to the warp. */
+    Cycles readyCycle = 0;
+    /** Secondary miss merged into an outstanding MSHR. */
+    bool merged = false;
+    /** Resource stall (MSHR full): the access must be retried. */
+    bool rejected = false;
+};
+
+/** Per-SM compressed L1 data cache. */
+class CompressedCache : public StatGroup
+{
+  public:
+    CompressedCache(const GpuConfig &cfg, SmId sm_id,
+                    CompressionEngines *engines, L2Cache *l2,
+                    MemoryImage *mem, StatGroup *parent,
+                    CacheTuning tuning = {});
+
+    /** Install the compression management policy (not owned). */
+    void setModeProvider(CompressionModeProvider *provider);
+
+    /** Perform a (coalesced) line access. */
+    L1AccessResult access(Cycles now, Addr addr, bool is_write);
+
+    /** Insert lines whose fills completed by @p now. */
+    void processFills(Cycles now);
+
+    // --- Geometry ---
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t setIndexOf(Addr addr) const;
+    std::uint32_t tagsPerSet() const { return tagsPerSet_; }
+    std::uint32_t subBlocksPerSet() const { return subBlocksPerSet_; }
+
+    // --- Introspection for the policies and experiments ---
+    /** Sum of the *uncompressed* size of all valid lines (Figure 16). */
+    std::uint64_t effectiveCapacityBytes() const;
+    /** Sub-blocks currently allocated. */
+    std::uint64_t usedSubBlocks() const;
+    /** Valid lines currently held. */
+    std::uint64_t validLines() const;
+    /** Decompression queue for @p mode (Bdi, Sc or Bpc). */
+    DecompressionQueue &queueFor(CompressorId mode);
+    const DecompressionQueue &queueFor(CompressorId mode) const;
+
+    /** Invalidate SC lines not encoded with @p current_generation. */
+    void invalidateScGeneration(std::uint32_t current_generation);
+
+    /**
+     * Drop compressed lines left in the sampling sets (set % stride <
+     * n_modes) that are neither uncompressed nor in @p keep mode. Called
+     * by adaptive policies when sampling deactivates so stale sampled
+     * lines stop paying decompression latency on every hit.
+     */
+    void invalidateSampleMismatch(std::uint32_t stride,
+                                  std::uint32_t n_modes,
+                                  CompressorId keep);
+
+    /** Drop everything (between kernels / runs). */
+    void invalidateAll();
+
+    // --- Statistics ---
+    Counter loads;
+    Counter stores;
+    Counter hits;
+    Counter misses;          //!< primary misses (== insertions attempted)
+    Counter mergedMisses;    //!< secondary misses folded into an MSHR
+    Counter insertions;
+    Counter evictions;
+    Counter writeInvalidations;
+    Counter rejections;      //!< accesses refused because the MSHRs were full
+    Counter compressedInsertions;
+    Counter bdiCompressions;     //!< insertions compressed with BDI
+    Counter scCompressions;      //!< insertions compressed with SC
+    Counter bpcCompressions;     //!< insertions compressed with BPC
+    Counter scGenerationInvalidations;
+    Average insertionRatio;  //!< compression ratio of inserted lines
+    Average missLatency;     //!< observed miss service time (cycles)
+    MshrFile mshrs;
+
+  private:
+    struct TagEntry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;          //!< LRU: touch, FIFO: fill
+        std::uint8_t rrpv = 3;               //!< SRRIP re-reference bits
+        CompressorId mode = CompressorId::None;
+        std::uint8_t encoding = 0;
+        std::uint32_t sizeBits = 0;
+        std::uint32_t generation = 0;
+        std::uint8_t subBlocks = 0;
+        std::vector<std::uint8_t> payload;   //!< verifyRoundTrip only
+    };
+
+    struct PendingFill
+    {
+        Addr lineAddr;
+        Cycles fillCycle;
+    };
+
+    TagEntry *findLine(Addr line_addr);
+    TagEntry *pickVictim(std::uint32_t set_index);
+    void touchOnHit(TagEntry &entry);
+    void touchOnFill(TagEntry &entry);
+    TagEntry *setBase(std::uint32_t set_index);
+    const TagEntry *setBase(std::uint32_t set_index) const;
+    Addr tagOf(Addr line_addr) const;
+    std::uint32_t usedSubBlocksInSet(std::uint32_t set_index) const;
+    void insertLine(Cycles now, Addr line_addr);
+    std::uint8_t subBlocksFor(const CompressedLine &line) const;
+
+    const GpuConfig &cfg_;
+    CacheTuning tuning_;
+    CompressionEngines *engines_;
+    L2Cache *l2_;
+    MemoryImage *mem_;
+    CompressionModeProvider *provider_;
+    UncompressedProvider defaultProvider_;
+
+    std::uint32_t numSets_;
+    std::uint32_t tagsPerSet_;
+    std::uint32_t subBlocksPerSet_;
+    std::vector<TagEntry> tags_;
+    std::vector<PendingFill> pendingFills_;
+    Cycles nextFillCycle_ = kNoCycle;
+    std::uint64_t lruClock_ = 0;
+
+    DecompressionQueue bdiQueue_;
+    DecompressionQueue scQueue_;
+    DecompressionQueue bpcQueue_;
+    DecompressionQueue fpcQueue_;
+    DecompressionQueue cpackQueue_;
+};
+
+} // namespace latte
+
+#endif // LATTE_CACHE_COMPRESSED_CACHE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The per-SM set of compression engines available to the L1 data cache:
+ * BDI (low-latency mode), SC (high-capacity mode) and BPC (alternative
+ * high-capacity mode, Section V-E).
+ */
+
+#ifndef LATTE_CACHE_ENGINES_HH
+#define LATTE_CACHE_ENGINES_HH
+
+#include "common/config.hh"
+#include "compress/bdi.hh"
+#include "compress/bpc.hh"
+#include "compress/cpack.hh"
+#include "compress/fpc.hh"
+#include "compress/sc.hh"
+
+namespace latte
+{
+
+/** Bundle of the compression engines wired into one SM's L1. */
+class CompressionEngines
+{
+  public:
+    explicit CompressionEngines(const GpuConfig &cfg)
+        : bdi(cfg.timings), sc(cfg.timings, cfg.latte), bpc(cfg.timings),
+          fpc(cfg.timings), cpack(cfg.timings)
+    {}
+
+    /** Engine lookup; nullptr for CompressorId::None. */
+    Compressor *
+    get(CompressorId id)
+    {
+        switch (id) {
+          case CompressorId::None: return nullptr;
+          case CompressorId::Bdi: return &bdi;
+          case CompressorId::Sc: return &sc;
+          case CompressorId::Bpc: return &bpc;
+          case CompressorId::Fpc: return &fpc;
+          case CompressorId::CpackZ: return &cpack;
+        }
+        latte_panic("engine {} not wired into the L1 path",
+                    compressorName(id));
+    }
+
+    BdiCompressor bdi;
+    ScCompressor sc;
+    BpcCompressor bpc;
+    FpcCompressor fpc;
+    CpackCompressor cpack;
+};
+
+} // namespace latte
+
+#endif // LATTE_CACHE_ENGINES_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Interface between the compressed L1 cache and the compression
+ * management policy (LATTE-CC or one of the baselines). The cache asks
+ * the provider which mode to use for each insertion and reports every
+ * access/insertion so set-sampling policies can maintain their counters.
+ */
+
+#ifndef LATTE_CACHE_MODE_PROVIDER_HH
+#define LATTE_CACHE_MODE_PROVIDER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+#include "compress/compressor.hh"
+
+namespace latte
+{
+
+/** Decides the compression mode of inserted lines. */
+class CompressionModeProvider
+{
+  public:
+    virtual ~CompressionModeProvider() = default;
+
+    /** Mode for a line about to be inserted into @p set_index. */
+    virtual CompressorId modeForInsertion(std::uint32_t set_index) = 0;
+
+    /**
+     * Called on every L1 access.
+     * @param line_mode mode of the line that hit (None on a miss).
+     */
+    virtual void
+    observeAccess(Cycles now, std::uint32_t set_index, bool hit,
+                  bool is_write, CompressorId line_mode)
+    {
+        (void)now; (void)set_index; (void)hit; (void)is_write;
+        (void)line_mode;
+    }
+
+    /** Called when a fill inserts a line (after modeForInsertion). */
+    virtual void
+    observeInsertion(Cycles now, std::uint32_t set_index, CompressorId mode,
+                     std::span<const std::uint8_t> data)
+    {
+        (void)now; (void)set_index; (void)mode; (void)data;
+    }
+};
+
+/** Trivial provider: never compress (the uncompressed baseline). */
+class UncompressedProvider : public CompressionModeProvider
+{
+  public:
+    CompressorId
+    modeForInsertion(std::uint32_t) override
+    {
+        return CompressorId::None;
+    }
+};
+
+} // namespace latte
+
+#endif // LATTE_CACHE_MODE_PROVIDER_HH

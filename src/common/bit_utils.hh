@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the compression algorithms and the
+ * cache tag machinery.
+ */
+
+#ifndef LATTE_COMMON_BIT_UTILS_HH
+#define LATTE_COMMON_BIT_UTILS_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "logging.hh"
+
+namespace latte
+{
+
+/** Return true if @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Round @p value up to the next multiple of @p granule. */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t granule)
+{
+    return (value + granule - 1) / granule * granule;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Load a little-endian unsigned integer of @p width bytes from @p src. */
+inline std::uint64_t
+loadLe(const std::uint8_t *src, unsigned width)
+{
+    latte_assert(width >= 1 && width <= 8);
+    std::uint64_t value = 0;
+    std::memcpy(&value, src, width);
+    return value;
+}
+
+/** Store the low @p width bytes of @p value little-endian into @p dst. */
+inline void
+storeLe(std::uint8_t *dst, std::uint64_t value, unsigned width)
+{
+    latte_assert(width >= 1 && width <= 8);
+    std::memcpy(dst, &value, width);
+}
+
+/** Sign-extend the low @p bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    if (bits == 0 || bits >= 64)
+        return static_cast<std::int64_t>(value);
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    value &= mask;
+    const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+    return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/** True if signed @p value fits in @p bytes bytes (two's complement). */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned bytes)
+{
+    if (bytes >= 8)
+        return true;
+    const std::int64_t lo = -(std::int64_t{1} << (8 * bytes - 1));
+    const std::int64_t hi = (std::int64_t{1} << (8 * bytes - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/**
+ * A growable bit stream writer. The compression algorithms serialise
+ * their encodings through this class so compressed sizes are bit-exact.
+ */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits bits of @p value (LSB first). */
+    void
+    write(std::uint64_t value, unsigned bits)
+    {
+        latte_assert(bits <= 64);
+        for (unsigned i = 0; i < bits; ++i)
+            pushBit((value >> i) & 1);
+    }
+
+    /** Append a single bit. */
+    void
+    pushBit(bool bit)
+    {
+        const unsigned offset = bitSize_ % 8;
+        if (offset == 0)
+            bytes_.push_back(0);
+        if (bit)
+            bytes_.back() |= static_cast<std::uint8_t>(1u << offset);
+        ++bitSize_;
+    }
+
+    /** Number of bits written so far. */
+    std::uint64_t bitSize() const { return bitSize_; }
+
+    /** Byte image of the stream (last byte zero-padded). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t bitSize_ = 0;
+};
+
+/** Bit stream reader matching BitWriter's layout. */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const std::uint8_t> bytes,
+                       std::uint64_t bit_size)
+        : bytes_(bytes), bitSize_(bit_size)
+    {}
+
+    /** Read @p bits bits (LSB first). */
+    std::uint64_t
+    read(unsigned bits)
+    {
+        latte_assert(bits <= 64);
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < bits; ++i)
+            value |= static_cast<std::uint64_t>(readBit()) << i;
+        return value;
+    }
+
+    /** Read one bit. */
+    bool
+    readBit()
+    {
+        latte_assert(pos_ < bitSize_, "bit stream overrun");
+        const bool bit =
+            (bytes_[pos_ / 8] >> (pos_ % 8)) & 1;
+        ++pos_;
+        return bit;
+    }
+
+    /** Bits remaining in the stream. */
+    std::uint64_t remaining() const { return bitSize_ - pos_; }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::uint64_t bitSize_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_COMMON_BIT_UTILS_HH

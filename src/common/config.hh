@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulated GPU configuration. Defaults reproduce Table II of the
+ * LATTE-CC paper (a GTX480/Fermi-class device as configured in
+ * GPGPU-Sim 3.2.2) plus the compression latencies/energies of Section IV-C.
+ */
+
+#ifndef LATTE_COMMON_CONFIG_HH
+#define LATTE_COMMON_CONFIG_HH
+
+#include <cstdint>
+
+#include "types.hh"
+
+namespace latte
+{
+
+/** Per-compressor pipeline latencies and per-event energies (Sec IV-C). */
+struct CompressorTimings
+{
+    Cycles bdiCompress = 2;
+    Cycles bdiDecompress = 2;
+    Cycles fpcDecompress = 5;
+    Cycles cpackDecompress = 8;
+    Cycles bpcCompress = 6;
+    Cycles bpcDecompress = 11;
+    Cycles scCompress = 6;
+    Cycles scDecompress = 14;
+
+    double bdiCompressNj = 0.192;
+    double bdiDecompressNj = 0.056;
+    double scCompressNj = 0.42;
+    double scDecompressNj = 0.336;
+    // BPC energies are not published in the paper; scaled between BDI and
+    // SC proportionally to decompression latency.
+    double bpcCompressNj = 0.35;
+    double bpcDecompressNj = 0.26;
+};
+
+/** LATTE-CC controller parameters (Section IV-C3). */
+struct LatteParams
+{
+    /** L1 accesses per experimental phase. */
+    std::uint32_t epAccesses = 256;
+    /** EPs per period (1 learning + (periodEps-1) adaptive). */
+    std::uint32_t periodEps = 10;
+    /** Learning EPs per period. */
+    std::uint32_t learningEps = 1;
+    /** Dedicated sample sets per compression mode. */
+    std::uint32_t dedicatedSetsPerMode = 4;
+    /** Value-frequency table entries for SC code construction. */
+    std::uint32_t vftEntries = 1024;
+    /** VFT counter width in bits (counters saturate). */
+    std::uint32_t vftCounterBits = 12;
+};
+
+/** Whole-GPU configuration (Table II defaults). */
+struct GpuConfig
+{
+    // --- SM organisation ---
+    std::uint32_t numSms = 15;
+    std::uint32_t maxWarpsPerSm = 48;
+    std::uint32_t maxBlocksPerSm = 8;
+    std::uint32_t schedulersPerSm = 2;
+    std::uint32_t warpSize = 32;
+    std::uint32_t registersPerSm = 32768;
+    std::uint32_t sharedMemBytes = 48 * 1024;
+
+    // --- L1 data cache ---
+    std::uint32_t l1SizeBytes = 16 * 1024;
+    std::uint32_t l1LineBytes = 128;
+    std::uint32_t l1Assoc = 4;
+    Cycles l1HitLatency = 1;
+    /** Tag-array expansion factor for the compressed cache. */
+    std::uint32_t l1TagFactor = 4;
+    /** Compressed-data allocation granule. */
+    std::uint32_t l1SubBlockBytes = 32;
+    std::uint32_t l1MshrEntries = 32;
+
+    // --- L1 instruction cache (modelled as always-hit; kernels are tiny) --
+    std::uint32_t l1iSizeBytes = 2 * 1024;
+
+    // --- L2 / DRAM ---
+    std::uint32_t l2SizeBytes = 768 * 1024;
+    std::uint32_t l2LineBytes = 128;
+    std::uint32_t l2Assoc = 8;
+    std::uint32_t l2Banks = 12;
+    /** Minimum L1-miss-to-L2-data latency (includes interconnect). */
+    Cycles l2MinLatency = 120;
+    /** Minimum L1-miss-to-DRAM-data latency. */
+    Cycles dramMinLatency = 230;
+    /** Peak DRAM bandwidth in bytes per SM core cycle (aggregate). */
+    double dramBytesPerCycle = 128.0;
+    /** Peak NoC bandwidth in bytes/cycle (aggregate, each direction). */
+    double nocBytesPerCycle = 256.0;
+
+    // --- Scheduling ---
+    enum class SchedPolicy { GTO, LRR };
+    SchedPolicy schedPolicy = SchedPolicy::GTO;
+
+    // --- L1 replacement ---
+    enum class ReplPolicy { LRU, FIFO, SRRIP };
+    ReplPolicy l1Repl = ReplPolicy::LRU;
+
+    // --- Decompression engine ---
+    /** Outstanding-line capacity of the per-SM decompression queue. */
+    std::uint32_t decompQueueEntries = 16;
+
+    CompressorTimings timings;
+    LatteParams latte;
+
+    std::uint32_t l1NumSets() const
+    {
+        return l1SizeBytes / (l1LineBytes * l1Assoc);
+    }
+    std::uint32_t l2NumSets() const
+    {
+        return l2SizeBytes / (l2LineBytes * l2Assoc);
+    }
+};
+
+} // namespace latte
+
+#endif // LATTE_COMMON_CONFIG_HH

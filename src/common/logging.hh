@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Error and status reporting in the style of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it aborts.
+ * fatal() is for user/configuration errors; it exits cleanly with an error
+ * code. warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef LATTE_COMMON_LOGGING_HH
+#define LATTE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace latte
+{
+
+namespace detail
+{
+
+inline void
+strfmtAppend(std::ostringstream &os, const char *fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Rest>
+void
+strfmtAppend(std::ostringstream &os, const char *fmt, T &&value,
+             Rest &&...rest)
+{
+    for (; *fmt; ++fmt) {
+        if (fmt[0] == '{' && fmt[1] == '}') {
+            os << value;
+            strfmtAppend(os, fmt + 2, std::forward<Rest>(rest)...);
+            return;
+        }
+        os << *fmt;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Minimal type-safe "{}" string formatter (std::format is unavailable on
+ * the host toolchain). Extra arguments beyond the placeholders are ignored;
+ * extra placeholders are emitted verbatim.
+ */
+template <typename... Args>
+std::string
+strfmt(const char *fmt, Args &&...args)
+{
+    std::ostringstream os;
+    detail::strfmtAppend(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+/** Abort with a message: an internal simulator invariant was violated. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a message: the user supplied an impossible configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print a status message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace latte
+
+#define latte_panic(...) \
+    ::latte::panicImpl(__FILE__, __LINE__, ::latte::strfmt(__VA_ARGS__))
+
+#define latte_fatal(...) \
+    ::latte::fatalImpl(__FILE__, __LINE__, ::latte::strfmt(__VA_ARGS__))
+
+#define latte_warn(...) ::latte::warnImpl(::latte::strfmt(__VA_ARGS__))
+
+#define latte_inform(...) ::latte::informImpl(::latte::strfmt(__VA_ARGS__))
+
+/** Assertion that survives NDEBUG builds and reports through panic(). */
+#define latte_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::latte::panicImpl(__FILE__, __LINE__,                       \
+                "assertion failed: " #cond " " +                         \
+                ::latte::strfmt("" __VA_ARGS__));                        \
+        }                                                                \
+    } while (0)
+
+#endif // LATTE_COMMON_LOGGING_HH

@@ -1,0 +1,159 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace latte
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    latte_assert(parent != nullptr, "stat {} needs a parent group", name_);
+    parent->addStat(this);
+}
+
+void
+StatBase::print(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name_ << " "
+       << std::setw(16) << value() << " # " << desc_ << "\n";
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double bucket_width, unsigned n_buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(n_buckets, 0)
+{
+    latte_assert(bucket_width > 0 && n_buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (samples_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++samples_;
+
+    const auto idx = static_cast<std::uint64_t>(std::max(v, 0.0) /
+                                                bucketWidth_);
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << " samples="
+       << samples_ << " mean=" << mean() << " min=" << min_
+       << " max=" << max_ << " # " << desc() << "\n";
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    children_.erase(std::remove(children_.begin(), children_.end(), child),
+                    children_.end());
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const auto *stat : stats_) {
+        if (stat->name() == name)
+            return stat;
+    }
+    const auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        const std::string tail = name.substr(dot + 1);
+        for (const auto *child : children_) {
+            if (child->groupName() == head)
+                return child->findStat(tail);
+        }
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetStats();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string path =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto *stat : stats_) {
+        os << path << ".";
+        stat->print(os);
+    }
+    for (const auto *child : children_)
+        child->dump(os, path);
+}
+
+void
+StatGroup::collect(std::map<std::string, double> &out,
+                   const std::string &prefix) const
+{
+    const std::string path =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto *stat : stats_)
+        out[path + "." + stat->name()] = stat->value();
+    for (const auto *child : children_)
+        child->collect(out, path);
+}
+
+} // namespace latte

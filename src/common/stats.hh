@@ -1,0 +1,174 @@
+/**
+ * @file
+ * A small statistics framework modelled on gem5's stats package: named
+ * scalar counters, averages, formulas and histograms that register with a
+ * StatGroup and can be dumped as text or key=value pairs.
+ */
+
+#ifndef LATTE_COMMON_STATS_HH
+#define LATTE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace latte
+{
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Current scalar view of the stat (histograms report their count). */
+    virtual double value() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+    /** Print "name value # desc" style lines. */
+    virtual void print(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++count_; return *this; }
+    Counter &operator+=(std::uint64_t n) { count_ += n; return *this; }
+
+    std::uint64_t count() const { return count_; }
+    double value() const override { return static_cast<double>(count_); }
+    void reset() override { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Running average of submitted samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++samples_;
+    }
+
+    std::uint64_t samples() const { return samples_; }
+    double sum() const { return sum_; }
+
+    double
+    value() const override
+    {
+        return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+
+    void reset() override { sum_ = 0.0; samples_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, bucket_width * n_buckets). */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double bucket_width, unsigned n_buckets);
+
+    void sample(double v);
+
+    std::uint64_t totalSamples() const { return samples_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    double bucketWidth() const { return bucketWidth_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const;
+
+    double value() const override
+    {
+        return static_cast<double>(samples_);
+    }
+    void reset() override;
+    void print(std::ostream &os) const override;
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of statistics with optional child groups, mirroring
+ * the gem5 Stats::Group hierarchy.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Register a stat; called by StatBase's constructor. */
+    void addStat(StatBase *stat);
+
+    /** Register/unregister a child group. */
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    /** Find a stat by (possibly dotted) name; nullptr if absent. */
+    const StatBase *findStat(const std::string &name) const;
+
+    /** Reset all stats in this group and its children. */
+    void resetStats();
+
+    /** Dump all stats, prefixed by the group path. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Flatten all stats into a name -> value map. */
+    void collect(std::map<std::string, double> &out,
+                 const std::string &prefix = "") const;
+
+  private:
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace latte
+
+#endif // LATTE_COMMON_STATS_HH

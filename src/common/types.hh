@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the LATTE-CC simulator.
+ */
+
+#ifndef LATTE_COMMON_TYPES_HH
+#define LATTE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace latte
+{
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time expressed in SM core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, used when subtracting timestamps. */
+using CycleDelta = std::int64_t;
+
+/** Identifier of a streaming multiprocessor. */
+using SmId = std::uint32_t;
+
+/** Identifier of a warp within an SM. */
+using WarpId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycles kNoCycle = std::numeric_limits<Cycles>::max();
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kBadAddr = std::numeric_limits<Addr>::max();
+
+} // namespace latte
+
+#endif // LATTE_COMMON_TYPES_HH

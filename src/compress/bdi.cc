@@ -1,0 +1,186 @@
+#include "bdi.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+/** The eight base+delta probes, in the order they are attempted. */
+constexpr std::array<BdiLayout, 6> kLayouts = {{
+    {BdiCompressor::kEncB8D1, 8, 1},
+    {BdiCompressor::kEncB8D2, 8, 2},
+    {BdiCompressor::kEncB4D1, 4, 1},
+    {BdiCompressor::kEncB8D4, 8, 4},
+    {BdiCompressor::kEncB4D2, 4, 2},
+    {BdiCompressor::kEncB2D1, 2, 1},
+}};
+
+bool
+allZero(std::span<const std::uint8_t> line)
+{
+    return std::all_of(line.begin(), line.end(),
+                       [](std::uint8_t b) { return b == 0; });
+}
+
+bool
+repeated8(std::span<const std::uint8_t> line)
+{
+    const std::uint64_t first = loadLe(line.data(), 8);
+    for (std::size_t off = 8; off < line.size(); off += 8) {
+        if (loadLe(line.data() + off, 8) != first)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+BdiCompressor::BdiCompressor(const CompressorTimings &timings)
+    : compressLat_(timings.bdiCompress),
+      decompressLat_(timings.bdiDecompress),
+      compressNj_(timings.bdiCompressNj),
+      decompressNj_(timings.bdiDecompressNj)
+{}
+
+bool
+BdiCompressor::tryLayout(std::span<const std::uint8_t> line,
+                         const BdiLayout &layout, CompressedLine &out) const
+{
+    const unsigned base_bytes = layout.baseBytes;
+    const unsigned delta_bytes = layout.deltaBytes;
+    const unsigned n_blocks = kLineBytes / base_bytes;
+
+    // Pass 1: classify each block as immediate (delta from zero fits) or
+    // base-relative; the first non-immediate block defines the base.
+    std::uint64_t base = 0;
+    bool have_base = false;
+    std::vector<bool> immediate(n_blocks);
+    std::vector<std::int64_t> deltas(n_blocks);
+
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        const std::uint64_t raw = loadLe(line.data() + i * base_bytes,
+                                         base_bytes);
+        const std::int64_t value = signExtend(raw, 8 * base_bytes);
+        if (fitsSigned(value, delta_bytes)) {
+            immediate[i] = true;
+            deltas[i] = value;
+            continue;
+        }
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        // Modular (wrap-around) difference, reinterpreted as a signed
+        // delta of the block width; matches the hardware subtractor.
+        const std::int64_t delta = signExtend(raw - base, 8 * base_bytes);
+        if (!fitsSigned(delta, delta_bytes))
+            return false;
+        immediate[i] = false;
+        deltas[i] = delta;
+    }
+
+    // Serialise: base, immediate mask, then the per-block deltas.
+    BitWriter bw;
+    bw.write(base, 8 * base_bytes);
+    for (unsigned i = 0; i < n_blocks; ++i)
+        bw.pushBit(immediate[i]);
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        bw.write(static_cast<std::uint64_t>(deltas[i]), 8 * delta_bytes);
+    }
+
+    out.algo = CompressorId::Bdi;
+    out.encoding = layout.encoding;
+    out.sizeBits = static_cast<std::uint32_t>(bw.bitSize());
+    out.payload = bw.bytes();
+    return out.sizeBits < kLineBits;
+}
+
+CompressedLine
+BdiCompressor::compress(std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+
+    if (allZero(line)) {
+        CompressedLine out;
+        out.algo = CompressorId::Bdi;
+        out.encoding = kEncZeros;
+        out.sizeBits = 8; // one zero byte of payload in the data array
+        return out;
+    }
+
+    if (repeated8(line)) {
+        CompressedLine out;
+        out.algo = CompressorId::Bdi;
+        out.encoding = kEncRep8;
+        out.sizeBits = 64;
+        out.payload.assign(line.begin(), line.begin() + 8);
+        return out;
+    }
+
+    CompressedLine best = makeRawLine(CompressorId::Bdi, line);
+    for (const auto &layout : kLayouts) {
+        CompressedLine candidate;
+        if (tryLayout(line, layout, candidate) &&
+            candidate.sizeBits < best.sizeBits) {
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+std::vector<std::uint8_t>
+BdiCompressor::decompress(const CompressedLine &line) const
+{
+    latte_assert(line.algo == CompressorId::Bdi);
+
+    if (line.encoding == kRawEncoding)
+        return decodeRawLine(line);
+
+    if (line.encoding == kEncZeros)
+        return std::vector<std::uint8_t>(kLineBytes, 0);
+
+    if (line.encoding == kEncRep8) {
+        latte_assert(line.payload.size() >= 8);
+        std::vector<std::uint8_t> out(kLineBytes);
+        for (unsigned off = 0; off < kLineBytes; off += 8)
+            std::copy_n(line.payload.begin(), 8, out.begin() + off);
+        return out;
+    }
+
+    const BdiLayout *layout = nullptr;
+    for (const auto &probe : kLayouts) {
+        if (probe.encoding == line.encoding)
+            layout = &probe;
+    }
+    latte_assert(layout, "bad BDI encoding {}",
+                 static_cast<int>(line.encoding));
+
+    const unsigned base_bytes = layout->baseBytes;
+    const unsigned delta_bytes = layout->deltaBytes;
+    const unsigned n_blocks = kLineBytes / base_bytes;
+
+    BitReader br(line.payload, line.sizeBits);
+    const std::uint64_t base = br.read(8 * base_bytes);
+
+    std::vector<bool> immediate(n_blocks);
+    for (unsigned i = 0; i < n_blocks; ++i)
+        immediate[i] = br.readBit();
+
+    std::vector<std::uint8_t> out(kLineBytes);
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        const std::int64_t delta =
+            signExtend(br.read(8 * delta_bytes), 8 * delta_bytes);
+        const std::uint64_t value =
+            (immediate[i] ? 0 : base) + static_cast<std::uint64_t>(delta);
+        storeLe(out.data() + i * base_bytes, value, base_bytes);
+    }
+    return out;
+}
+
+} // namespace latte

@@ -1,0 +1,42 @@
+#include "compressor.hh"
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+const char *
+compressorName(CompressorId id)
+{
+    switch (id) {
+      case CompressorId::None: return "None";
+      case CompressorId::Bdi: return "BDI";
+      case CompressorId::Fpc: return "FPC";
+      case CompressorId::CpackZ: return "CPACK-Z";
+      case CompressorId::Bpc: return "BPC";
+      case CompressorId::Sc: return "SC";
+    }
+    latte_panic("unknown compressor id {}", static_cast<int>(id));
+}
+
+CompressedLine
+makeRawLine(CompressorId id, std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+    CompressedLine out;
+    out.algo = id;
+    out.encoding = kRawEncoding;
+    out.sizeBits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    return out;
+}
+
+std::vector<std::uint8_t>
+decodeRawLine(const CompressedLine &line)
+{
+    latte_assert(line.encoding == kRawEncoding);
+    latte_assert(line.payload.size() == kLineBytes);
+    return line.payload;
+}
+
+} // namespace latte

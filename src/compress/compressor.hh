@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Abstract interface for cache-line compression algorithms. All five
+ * algorithms studied in the paper (Table I) implement this interface with
+ * bit-exact, round-trippable encoders so compression ratios are measured
+ * on real bytes rather than assumed.
+ */
+
+#ifndef LATTE_COMPRESS_COMPRESSOR_HH
+#define LATTE_COMPRESS_COMPRESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bit_utils.hh"
+#include "common/types.hh"
+
+namespace latte
+{
+
+/** Identifier of a compression algorithm / operating mode. */
+enum class CompressorId : std::uint8_t
+{
+    None = 0,
+    Bdi,
+    Fpc,
+    CpackZ,
+    Bpc,
+    Sc,
+};
+
+/** Human-readable algorithm name. */
+const char *compressorName(CompressorId id);
+
+/** Uncompressed cache-line size used throughout the paper. */
+constexpr std::uint32_t kLineBytes = 128;
+constexpr std::uint32_t kLineBits = kLineBytes * 8;
+
+/**
+ * The result of compressing one cache line: the exact encoded bit count
+ * plus the payload needed to reverse the encoding.
+ */
+struct CompressedLine
+{
+    CompressorId algo = CompressorId::None;
+    /** Algorithm-specific encoding id (e.g. BDI's 4-bit compression_enc). */
+    std::uint8_t encoding = 0;
+    /** Exact encoded size in bits, including per-line metadata. */
+    std::uint32_t sizeBits = kLineBits;
+    /** Encoded payload (LSB-first bit stream packed into bytes). */
+    std::vector<std::uint8_t> payload;
+    /**
+     * Compressor-state generation the line was encoded under. Only SC uses
+     * this: lines encoded with a retired Huffman code generation can no
+     * longer be decoded and must be invalidated (Section IV-C2).
+     */
+    std::uint32_t generation = 0;
+
+    std::uint32_t
+    sizeBytes() const
+    {
+        return static_cast<std::uint32_t>(divCeil(sizeBits, 8));
+    }
+
+    bool compressed() const { return algo != CompressorId::None; }
+
+    /** Compression ratio vs. the 128 B uncompressed line. */
+    double
+    ratio() const
+    {
+        return static_cast<double>(kLineBits) /
+               static_cast<double>(sizeBits == 0 ? 1 : sizeBits);
+    }
+};
+
+/** Abstract cache-line compressor. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    virtual CompressorId id() const = 0;
+    virtual std::string name() const = 0;
+
+    /**
+     * Compress one 128 B line. Implementations must fall back to a raw
+     * encoding (sizeBits == kLineBits) when the algorithm would expand
+     * the line.
+     */
+    virtual CompressedLine compress(std::span<const std::uint8_t> line) = 0;
+
+    /**
+     * Reverse compress(). @pre line.algo == id() and, for stateful
+     * algorithms, line.generation is still decodable.
+     */
+    virtual std::vector<std::uint8_t>
+    decompress(const CompressedLine &line) const = 0;
+
+    /** Pipeline latency of the compression engine in core cycles. */
+    virtual Cycles compressLatency() const = 0;
+
+    /** Pipeline latency of the decompression engine in core cycles. */
+    virtual Cycles decompressLatency() const = 0;
+
+    /** Energy per compression event (nJ). */
+    virtual double compressEnergyNj() const = 0;
+
+    /** Energy per decompression event (nJ). */
+    virtual double decompressEnergyNj() const = 0;
+};
+
+/** Produce a raw (uncompressed) encoding of @p line. */
+CompressedLine makeRawLine(CompressorId id,
+                           std::span<const std::uint8_t> line);
+
+/** Recover the bytes of a raw encoding. */
+std::vector<std::uint8_t> decodeRawLine(const CompressedLine &line);
+
+/** Encoding id shared by all algorithms for the raw fallback. */
+constexpr std::uint8_t kRawEncoding = 0xf;
+
+} // namespace latte
+
+#endif // LATTE_COMPRESS_COMPRESSOR_HH

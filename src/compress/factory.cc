@@ -1,0 +1,44 @@
+#include "factory.hh"
+
+#include "bdi.hh"
+#include "bpc.hh"
+#include "common/logging.hh"
+#include "cpack.hh"
+#include "fpc.hh"
+#include "sc.hh"
+
+namespace latte
+{
+
+std::unique_ptr<Compressor>
+makeCompressor(CompressorId id, const CompressorTimings &timings,
+               const LatteParams &params)
+{
+    switch (id) {
+      case CompressorId::Bdi:
+        return std::make_unique<BdiCompressor>(timings);
+      case CompressorId::Fpc:
+        return std::make_unique<FpcCompressor>(timings);
+      case CompressorId::CpackZ:
+        return std::make_unique<CpackCompressor>(timings);
+      case CompressorId::Bpc:
+        return std::make_unique<BpcCompressor>(timings);
+      case CompressorId::Sc:
+        return std::make_unique<ScCompressor>(timings, params);
+      case CompressorId::None:
+        break;
+    }
+    latte_panic("no engine for compressor id {}", static_cast<int>(id));
+}
+
+const std::vector<CompressorId> &
+allCompressorIds()
+{
+    static const std::vector<CompressorId> ids = {
+        CompressorId::Bdi, CompressorId::Fpc, CompressorId::CpackZ,
+        CompressorId::Bpc, CompressorId::Sc,
+    };
+    return ids;
+}
+
+} // namespace latte

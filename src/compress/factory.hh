@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Construction helpers for compression engines.
+ */
+
+#ifndef LATTE_COMPRESS_FACTORY_HH
+#define LATTE_COMPRESS_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "compressor.hh"
+
+namespace latte
+{
+
+/** Instantiate the engine for @p id (None is not a valid engine). */
+std::unique_ptr<Compressor>
+makeCompressor(CompressorId id, const CompressorTimings &timings = {},
+               const LatteParams &params = {});
+
+/** All five algorithm ids studied in the paper, in Table I order. */
+const std::vector<CompressorId> &allCompressorIds();
+
+} // namespace latte
+
+#endif // LATTE_COMPRESS_FACTORY_HH

@@ -1,0 +1,182 @@
+#include "huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+struct TreeNode
+{
+    std::uint64_t weight;
+    int index;              //!< entry in the symbol table; -1 = internal
+    int left = -1;
+    int right = -1;
+    // Tie-break on creation order for deterministic trees.
+    std::uint64_t order;
+};
+
+} // namespace
+
+HuffmanCode
+HuffmanCode::build(const std::vector<Freq> &freqs,
+                   std::uint64_t escape_weight)
+{
+    latte_assert(escape_weight >= 1);
+
+    // Symbol table: all nonzero-weight values plus the escape at the end.
+    struct Entry { std::uint32_t symbol; std::uint64_t weight; bool esc; };
+    std::vector<Entry> entries;
+    entries.reserve(freqs.size() + 1);
+    for (const auto &[symbol, weight] : freqs) {
+        if (weight > 0)
+            entries.push_back({symbol, weight, false});
+    }
+    entries.push_back({0, escape_weight, true});
+
+    // Standard Huffman construction with deterministic tie-breaking.
+    std::vector<TreeNode> pool;
+    pool.reserve(entries.size() * 2);
+    auto cmp = [&pool](int a, int b) {
+        if (pool[a].weight != pool[b].weight)
+            return pool[a].weight > pool[b].weight;
+        return pool[a].order > pool[b].order;
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        pool.push_back({entries[i].weight, static_cast<int>(i), -1, -1,
+                        i});
+        heap.push(static_cast<int>(pool.size()) - 1);
+    }
+    std::uint64_t order = entries.size();
+    while (heap.size() > 1) {
+        const int a = heap.top(); heap.pop();
+        const int b = heap.top(); heap.pop();
+        pool.push_back({pool[a].weight + pool[b].weight, -1, a, b,
+                        order++});
+        heap.push(static_cast<int>(pool.size()) - 1);
+    }
+
+    // Collect code lengths by walking the tree.
+    std::vector<unsigned> lengths(entries.size(), 0);
+    struct StackItem { int node; unsigned depth; };
+    std::vector<StackItem> stack{{heap.top(), 0}};
+    while (!stack.empty()) {
+        const auto [node, depth] = stack.back();
+        stack.pop_back();
+        if (pool[node].index >= 0) {
+            // A single-symbol tree still needs a 1-bit code.
+            lengths[pool[node].index] = std::max(depth, 1u);
+            continue;
+        }
+        stack.push_back({pool[node].left, depth + 1});
+        stack.push_back({pool[node].right, depth + 1});
+    }
+
+    // Canonicalise: sort by (length, symbol) and assign increasing codes.
+    std::vector<int> by_length(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        by_length[i] = static_cast<int>(i);
+    std::sort(by_length.begin(), by_length.end(),
+              [&](int a, int b) {
+                  if (lengths[a] != lengths[b])
+                      return lengths[a] < lengths[b];
+                  if (entries[a].esc != entries[b].esc)
+                      return entries[b].esc;
+                  return entries[a].symbol < entries[b].symbol;
+              });
+
+    HuffmanCode book;
+    std::uint64_t next_code = 0;
+    unsigned prev_len = 0;
+    for (const int idx : by_length) {
+        const unsigned len = lengths[idx];
+        latte_assert(len >= 1 && len <= 64, "code length {} out of range",
+                     len);
+        next_code <<= (len - prev_len);
+        prev_len = len;
+        CodeWord code{next_code, len};
+        ++next_code;
+        book.insertCode(code, entries[idx].esc, entries[idx].symbol);
+        book.maxBits_ = std::max(book.maxBits_, len);
+    }
+    return book;
+}
+
+void
+HuffmanCode::insertCode(const CodeWord &code, bool escape,
+                        std::uint32_t symbol)
+{
+    if (nodes_.empty())
+        nodes_.push_back({});
+    int node = 0;
+    for (unsigned i = 0; i < code.length; ++i) {
+        // Codes are assigned MSB-first; emit/walk them MSB-first too.
+        const bool bit = (code.bits >> (code.length - 1 - i)) & 1;
+        int child = bit ? nodes_[node].right : nodes_[node].left;
+        if (child < 0) {
+            child = static_cast<int>(nodes_.size());
+            nodes_.push_back({});
+            // (push_back may reallocate: re-index, don't hold references)
+            if (bit)
+                nodes_[node].right = child;
+            else
+                nodes_[node].left = child;
+        }
+        node = child;
+    }
+    latte_assert(!nodes_[node].leaf, "duplicate Huffman code");
+    nodes_[node].leaf = true;
+    nodes_[node].escape = escape;
+    nodes_[node].symbol = symbol;
+    if (escape)
+        escapeCode_ = code;
+    else
+        codes_[symbol] = code;
+}
+
+bool
+HuffmanCode::encode(std::uint32_t value, BitWriter &bw) const
+{
+    latte_assert(valid(), "encode on an empty code book");
+    const auto it = codes_.find(value);
+    const CodeWord &code = it != codes_.end() ? it->second : escapeCode_;
+    for (unsigned i = 0; i < code.length; ++i)
+        bw.pushBit((code.bits >> (code.length - 1 - i)) & 1);
+    if (it == codes_.end()) {
+        bw.write(value, 32);
+        return false;
+    }
+    return true;
+}
+
+unsigned
+HuffmanCode::encodedBits(std::uint32_t value) const
+{
+    const auto it = codes_.find(value);
+    return it != codes_.end() ? it->second.length
+                              : escapeCode_.length + 32;
+}
+
+std::uint32_t
+HuffmanCode::decode(BitReader &br) const
+{
+    latte_assert(valid(), "decode on an empty code book");
+    int node = 0;
+    while (!nodes_[node].leaf) {
+        const bool bit = br.readBit();
+        node = bit ? nodes_[node].right : nodes_[node].left;
+        latte_assert(node >= 0, "invalid Huffman bit stream");
+    }
+    if (nodes_[node].escape)
+        return static_cast<std::uint32_t>(br.read(32));
+    return nodes_[node].symbol;
+}
+
+} // namespace latte

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Canonical Huffman coding over 32-bit symbols, used by the statistical
+ * compressor (SC). Supports an escape symbol for values outside the
+ * code table.
+ */
+
+#ifndef LATTE_COMPRESS_HUFFMAN_HH
+#define LATTE_COMPRESS_HUFFMAN_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bit_utils.hh"
+
+namespace latte
+{
+
+/** An immutable Huffman code book with escape support. */
+class HuffmanCode
+{
+  public:
+    /** (symbol value, weight) training pair. */
+    using Freq = std::pair<std::uint32_t, std::uint64_t>;
+
+    HuffmanCode() = default;
+
+    /**
+     * Build a code book over @p freqs plus an escape symbol of weight
+     * @p escape_weight (>= 1). Zero-weight symbols are dropped.
+     */
+    static HuffmanCode build(const std::vector<Freq> &freqs,
+                             std::uint64_t escape_weight);
+
+    /** True once build() populated the book. */
+    bool valid() const { return !nodes_.empty(); }
+
+    /** Number of coded symbols, not counting the escape. */
+    std::size_t numSymbols() const { return codes_.size(); }
+
+    /**
+     * Emit the code for @p value if it is in the book; otherwise emit the
+     * escape prefix followed by the raw 32-bit value.
+     * @return true if the value was in the book.
+     */
+    bool encode(std::uint32_t value, BitWriter &bw) const;
+
+    /** Bits the encoder would emit for @p value. */
+    unsigned encodedBits(std::uint32_t value) const;
+
+    /** True if @p value has a dedicated code (no escape needed). */
+    bool
+    hasCode(std::uint32_t value) const
+    {
+        return codes_.contains(value);
+    }
+
+    /** Decode one symbol; reads the raw value itself after an escape. */
+    std::uint32_t decode(BitReader &br) const;
+
+    /** Length in bits of the longest code (diagnostics). */
+    unsigned maxCodeBits() const { return maxBits_; }
+
+  private:
+    struct CodeWord
+    {
+        std::uint64_t bits = 0;
+        unsigned length = 0;
+    };
+
+    struct Node
+    {
+        int left = -1;        //!< child on bit 0
+        int right = -1;       //!< child on bit 1
+        bool leaf = false;
+        bool escape = false;
+        std::uint32_t symbol = 0;
+    };
+
+    void insertCode(const CodeWord &code, bool escape,
+                    std::uint32_t symbol);
+
+    std::unordered_map<std::uint32_t, CodeWord> codes_;
+    CodeWord escapeCode_;
+    std::vector<Node> nodes_;   //!< decode trie; node 0 is the root
+    unsigned maxBits_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_COMPRESS_HUFFMAN_HH

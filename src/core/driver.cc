@@ -1,0 +1,233 @@
+#include "driver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline: return "Baseline";
+      case PolicyKind::StaticBdi: return "Static-BDI";
+      case PolicyKind::StaticSc: return "Static-SC";
+      case PolicyKind::StaticBpc: return "Static-BPC";
+      case PolicyKind::AdaptiveHitCount: return "Adaptive-Hit-Count";
+      case PolicyKind::AdaptiveCmp: return "Adaptive-CMP";
+      case PolicyKind::LatteCc: return "LATTE-CC";
+      case PolicyKind::LatteCcBdiBpc: return "LATTE-CC-BDI-BPC";
+      case PolicyKind::KernelOpt: return "Kernel-OPT";
+    }
+    latte_panic("unknown policy kind");
+}
+
+std::unique_ptr<Policy>
+makePolicy(PolicyKind kind, const GpuConfig &cfg)
+{
+    switch (kind) {
+      case PolicyKind::Baseline:
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::None);
+      case PolicyKind::StaticBdi:
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bdi);
+      case PolicyKind::StaticSc:
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::Sc);
+      case PolicyKind::StaticBpc:
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bpc);
+      case PolicyKind::AdaptiveHitCount:
+        return std::make_unique<AdaptiveHitCountPolicy>(cfg);
+      case PolicyKind::AdaptiveCmp:
+        return std::make_unique<AdaptiveCmpPolicy>(cfg);
+      case PolicyKind::LatteCc:
+        return std::make_unique<LatteCcPolicy>(cfg);
+      case PolicyKind::LatteCcBdiBpc:
+        return std::make_unique<LatteCcPolicy>(
+            cfg, std::vector<CompressorId>{CompressorId::None,
+                                           CompressorId::Bdi,
+                                           CompressorId::Bpc});
+      case PolicyKind::KernelOpt:
+        break;
+    }
+    latte_panic("Kernel-OPT is composed by the driver, not a provider");
+}
+
+double
+WorkloadRunResult::avgTolerance() const
+{
+    if (trace.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &point : trace)
+        sum += point.latencyTolerance;
+    return sum / static_cast<double>(trace.size());
+}
+
+namespace
+{
+
+/** One concrete (non-oracle) run. */
+WorkloadRunResult
+runConcrete(const Workload &workload,
+            const PolicyFactory &factory, PolicyKind kind,
+            const DriverOptions &options)
+{
+    MemoryImage mem;
+    workload.setup(mem);
+
+    Gpu gpu(options.cfg, &mem, options.tuning);
+
+    std::vector<std::unique_ptr<Policy>> policies;
+    policies.reserve(gpu.numSms());
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+        auto policy = factory(gpu.config());
+        auto &sm = gpu.sm(i);
+        policy->bind(&sm.cache(), &sm.engines(), &sm.meter());
+        sm.cache().setModeProvider(policy.get());
+        policies.push_back(std::move(policy));
+    }
+
+    auto sum_mode_accesses = [&]() {
+        std::array<std::uint64_t, kNumModes> sums{};
+        for (const auto &policy : policies) {
+            const auto &counts = policy->modeAccesses();
+            for (std::size_t m = 0; m < kNumModes; ++m)
+                sums[m] += counts[m];
+        }
+        return sums;
+    };
+
+    WorkloadRunResult result;
+    result.workload = workload.abbr;
+    result.policy = kind;
+
+    auto kernels = makeKernels(workload);
+    UsageCounts prev_usage = harvestUsage(gpu);
+    std::uint64_t prev_hits = 0, prev_misses = 0;
+    auto prev_modes = sum_mode_accesses();
+
+    for (auto &kernel : kernels) {
+        const RunResult run = gpu.runKernel(
+            *kernel, options.maxInstructionsPerKernel);
+
+        KernelSnapshot snap;
+        snap.name = kernel->name();
+        snap.cycles = run.cycles;
+        snap.instructions = run.instructions;
+        const UsageCounts usage = harvestUsage(gpu);
+        snap.usage = usage - prev_usage;
+        prev_usage = usage;
+        const std::uint64_t hits = gpu.totalL1Hits();
+        const std::uint64_t misses = gpu.totalL1Misses();
+        snap.hits = hits - prev_hits;
+        snap.misses = misses - prev_misses;
+        prev_hits = hits;
+        prev_misses = misses;
+        const auto modes = sum_mode_accesses();
+        for (std::size_t m = 0; m < kNumModes; ++m)
+            snap.modeAccesses[m] = modes[m] - prev_modes[m];
+        prev_modes = modes;
+
+        result.kernels.push_back(std::move(snap));
+    }
+
+    result.cycles = gpu.cyclesElapsed.count();
+    result.instructions = gpu.totalInstructions();
+    result.hits = gpu.totalL1Hits();
+    result.misses = gpu.totalL1Misses();
+    result.modeAccesses = sum_mode_accesses();
+    result.trace = policies[0]->trace();
+
+    const EnergyModel energy_model(gpu.config());
+    result.energy = energy_model.compute(harvestUsage(gpu));
+    return result;
+}
+
+/** Kernel-OPT: per-kernel best of the three static modes. */
+WorkloadRunResult
+runKernelOpt(const Workload &workload, const DriverOptions &options)
+{
+    const PolicyKind static_kinds[] = {
+        PolicyKind::Baseline, PolicyKind::StaticBdi, PolicyKind::StaticSc};
+    const CompressorId static_modes[] = {
+        CompressorId::None, CompressorId::Bdi, CompressorId::Sc};
+
+    std::vector<WorkloadRunResult> runs;
+    runs.reserve(3);
+    for (const PolicyKind kind : static_kinds) {
+        runs.push_back(runConcrete(
+            workload,
+            [kind](const GpuConfig &cfg) { return makePolicy(kind, cfg); },
+            kind, options));
+    }
+
+    WorkloadRunResult result;
+    result.workload = workload.abbr;
+    result.policy = PolicyKind::KernelOpt;
+
+    const std::size_t n_kernels = runs[0].kernels.size();
+    UsageCounts total_usage;
+    for (std::size_t k = 0; k < n_kernels; ++k) {
+        std::size_t best = 0;
+        for (std::size_t p = 1; p < 3; ++p) {
+            if (runs[p].kernels[k].cycles < runs[best].kernels[k].cycles)
+                best = p;
+        }
+        const KernelSnapshot &snap = runs[best].kernels[k];
+        result.kernels.push_back(snap);
+        result.kernelBestModes.push_back(static_modes[best]);
+        result.cycles += snap.cycles;
+        result.instructions += snap.instructions;
+        result.hits += snap.hits;
+        result.misses += snap.misses;
+        total_usage.cycles += snap.usage.cycles;
+        total_usage.instructions += snap.usage.instructions;
+        total_usage.l1Accesses += snap.usage.l1Accesses;
+        total_usage.l2Accesses += snap.usage.l2Accesses;
+        total_usage.nocBytes += snap.usage.nocBytes;
+        total_usage.dramBytes += snap.usage.dramBytes;
+        total_usage.bdiCompressions += snap.usage.bdiCompressions;
+        total_usage.scCompressions += snap.usage.scCompressions;
+        total_usage.bpcCompressions += snap.usage.bpcCompressions;
+        total_usage.bdiDecompressions += snap.usage.bdiDecompressions;
+        total_usage.scDecompressions += snap.usage.scDecompressions;
+        total_usage.bpcDecompressions += snap.usage.bpcDecompressions;
+    }
+
+    const EnergyModel energy_model(options.cfg);
+    result.energy = energy_model.compute(total_usage);
+    return result;
+}
+
+} // namespace
+
+WorkloadRunResult
+runWorkload(const Workload &workload, PolicyKind kind,
+            const DriverOptions &options)
+{
+    if (kind == PolicyKind::KernelOpt)
+        return runKernelOpt(workload, options);
+    return runConcrete(
+        workload,
+        [kind](const GpuConfig &cfg) { return makePolicy(kind, cfg); },
+        kind, options);
+}
+
+WorkloadRunResult
+runWorkloadCustom(const Workload &workload, const PolicyFactory &factory,
+                  const DriverOptions &options)
+{
+    return runConcrete(workload, factory, PolicyKind::Baseline, options);
+}
+
+double
+speedupOver(const WorkloadRunResult &baseline,
+            const WorkloadRunResult &result)
+{
+    latte_assert(result.cycles > 0);
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(result.cycles);
+}
+
+} // namespace latte

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulation driver: builds a GPU, binds one policy instance per SM,
+ * runs a workload's kernel sequence and collects the metrics every
+ * experiment in the paper needs (cycles, misses, energy, per-kernel
+ * snapshots, per-EP traces). Also implements the Kernel-OPT oracle of
+ * Section V-B by composing per-kernel-best static runs.
+ */
+
+#ifndef LATTE_CORE_DRIVER_HH
+#define LATTE_CORE_DRIVER_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "policies.hh"
+#include "workloads/zoo.hh"
+
+namespace latte
+{
+
+/** Every policy configuration the paper evaluates. */
+enum class PolicyKind
+{
+    Baseline,
+    StaticBdi,
+    StaticSc,
+    StaticBpc,
+    AdaptiveHitCount,
+    AdaptiveCmp,
+    LatteCc,
+    LatteCcBdiBpc,
+    KernelOpt,
+};
+
+const char *policyName(PolicyKind kind);
+
+/** Construct a policy instance of @p kind (not valid for KernelOpt). */
+std::unique_ptr<Policy> makePolicy(PolicyKind kind, const GpuConfig &cfg);
+
+/** Metrics of one kernel launch within a run. */
+struct KernelSnapshot
+{
+    std::string name;
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    UsageCounts usage;
+    std::array<std::uint64_t, kNumModes> modeAccesses{};
+};
+
+/** Metrics of a whole workload run under one policy. */
+struct WorkloadRunResult
+{
+    std::string workload;
+    PolicyKind policy = PolicyKind::Baseline;
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    EnergyReport energy;
+    std::vector<KernelSnapshot> kernels;
+    /** KernelOpt only: the oracle's per-kernel mode choice. */
+    std::vector<CompressorId> kernelBestModes;
+    /** Per-EP trace from SM 0's policy (tolerance, mode, capacity). */
+    std::vector<PolicyTracePoint> trace;
+    std::array<std::uint64_t, kNumModes> modeAccesses{};
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double avgTolerance() const;
+};
+
+/** Run-wide knobs. */
+struct DriverOptions
+{
+    GpuConfig cfg{};
+    CacheTuning tuning{};
+    std::uint64_t maxInstructionsPerKernel = 50'000'000;
+};
+
+/** Run @p workload under @p kind. */
+WorkloadRunResult runWorkload(const Workload &workload, PolicyKind kind,
+                              const DriverOptions &options = {});
+
+/** Builds one policy instance per SM. */
+using PolicyFactory =
+    std::function<std::unique_ptr<Policy>(const GpuConfig &)>;
+
+/**
+ * Run @p workload under a custom policy (e.g. a StaticPolicy over FPC,
+ * or a LatteCcPolicy with a non-standard mode set). The result's
+ * `policy` field is meaningless for custom runs.
+ */
+WorkloadRunResult runWorkloadCustom(const Workload &workload,
+                                    const PolicyFactory &factory,
+                                    const DriverOptions &options = {});
+
+/** Speedup of @p result over @p baseline (cycles ratio). */
+double speedupOver(const WorkloadRunResult &baseline,
+                   const WorkloadRunResult &result);
+
+} // namespace latte
+
+#endif // LATTE_CORE_DRIVER_HH

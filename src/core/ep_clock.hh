@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experimental-phase bookkeeping (Section III-B). Application execution
+ * is divided into EPs of 256 L1 accesses; 10 EPs form a period whose
+ * first EP is the learning phase and the rest the adaptive phase.
+ */
+
+#ifndef LATTE_CORE_EP_CLOCK_HH
+#define LATTE_CORE_EP_CLOCK_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace latte
+{
+
+/** Tracks EP/period position from the stream of L1 accesses. */
+class EpClock
+{
+  public:
+    explicit EpClock(const LatteParams &params)
+        : params_(params)
+    {
+        latte_assert(params_.epAccesses > 0 && params_.periodEps > 0);
+        latte_assert(params_.learningEps < params_.periodEps);
+    }
+
+    /** Boundary events produced by one access. */
+    struct Events
+    {
+        bool epBoundary = false;      //!< an EP just completed
+        bool periodBoundary = false;  //!< ... and it closed the period
+    };
+
+    /** Account one L1 access. */
+    Events
+    onAccess()
+    {
+        Events events;
+        if (++accessesInEp_ >= params_.epAccesses) {
+            accessesInEp_ = 0;
+            events.epBoundary = true;
+            ++epIndex_;
+            if (++epInPeriod_ >= params_.periodEps) {
+                epInPeriod_ = 0;
+                ++periodIndex_;
+                events.periodBoundary = true;
+            }
+        }
+        return events;
+    }
+
+    /** EP position within the current period (0-based). */
+    std::uint32_t epInPeriod() const { return epInPeriod_; }
+
+    /** EPs completed overall. */
+    std::uint64_t epIndex() const { return epIndex_; }
+
+    /** Periods completed overall. */
+    std::uint64_t periodIndex() const { return periodIndex_; }
+
+    /** True while the learning phase of the period is running. */
+    bool
+    inLearningPhase() const
+    {
+        return epInPeriod_ < params_.learningEps;
+    }
+
+    /**
+     * True during the EP right after the learning phase, when hit
+     * counters keep updating (Section III-B1).
+     */
+    bool
+    inHitTailPhase() const
+    {
+        return epInPeriod_ >= params_.learningEps &&
+               epInPeriod_ < 2 * params_.learningEps;
+    }
+
+    /** True during the final EP of the period (the SC VFT window). */
+    bool
+    inFinalEp() const
+    {
+        return epInPeriod_ == params_.periodEps - 1;
+    }
+
+    const LatteParams &params() const { return params_; }
+
+  private:
+    LatteParams params_;
+    std::uint32_t accessesInEp_ = 0;
+    std::uint32_t epInPeriod_ = 0;
+    std::uint64_t epIndex_ = 0;
+    std::uint64_t periodIndex_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_CORE_EP_CLOCK_HH

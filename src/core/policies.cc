@@ -1,0 +1,277 @@
+#include "policies.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace latte
+{
+
+// ---------------------------------------------------------------- Static
+
+void
+StaticPolicy::onEpBoundary(Cycles, double, bool period_end)
+{
+    if (mode_ != CompressorId::Sc)
+        return;
+    // The VFT trains during the first EP of the first period; build the
+    // first code book as soon as that EP closes, then reconsider at
+    // every period boundary (the VFT retrains during each final EP).
+    if (!firstScBuildDone_) {
+        rebuildScCodes();
+        firstScBuildDone_ = true;
+    } else if (period_end) {
+        maybeRebuildScCodes();
+    }
+}
+
+bool
+StaticPolicy::scTrainingActive() const
+{
+    if (mode_ != CompressorId::Sc)
+        return false;
+    return (clock_.periodIndex() == 0 && clock_.epInPeriod() == 0) ||
+           clock_.inFinalEp();
+}
+
+// --------------------------------------------------------------- LatteCc
+
+LatteCcPolicy::LatteCcPolicy(const GpuConfig &cfg,
+                             std::vector<CompressorId> modes,
+                             bool use_tolerance)
+    : Policy(cfg), modes_(std::move(modes)), useTolerance_(use_tolerance),
+      nHit_(modes_.size(), 0), nMiss_(modes_.size(), 0)
+{
+    latte_assert(!modes_.empty() && modes_[0] == CompressorId::None,
+                 "mode 0 must be the uncompressed baseline");
+    usesSc_ = std::find(modes_.begin(), modes_.end(),
+                        CompressorId::Sc) != modes_.end();
+}
+
+std::string
+LatteCcPolicy::name() const
+{
+    if (modes_.size() == 3 && modes_[2] == CompressorId::Bpc)
+        return "LATTE-CC-BDI-BPC";
+    return "LATTE-CC";
+}
+
+void
+LatteCcPolicy::bind(CompressedCache *cache, CompressionEngines *engines,
+                    LatencyToleranceMeter *meter)
+{
+    Policy::bind(cache, engines, meter);
+    const std::uint32_t dedicated = cfg_.latte.dedicatedSetsPerMode;
+    latte_assert(cache->numSets() >= dedicated * modes_.size(),
+                 "cache too small for the dedicated sample sets");
+    stride_ = cache->numSets() / dedicated;
+}
+
+int
+LatteCcPolicy::dedicatedModeIndex(std::uint32_t set_index) const
+{
+    const std::uint32_t k = set_index % stride_;
+    return k < modes_.size() ? static_cast<int>(k) : -1;
+}
+
+bool
+LatteCcPolicy::samplingActive() const
+{
+    // Continuous sampling until the decision stabilises, then only the
+    // paper's learning window of every fourth period. Winner flips and
+    // latency-tolerance shifts reset stablePeriods_, reviving full
+    // sampling.
+    if (stablePeriods_ < 1)
+        return true;
+    // Back off further on long-stable workloads: the sampling tax is
+    // pure overhead while nothing changes.
+    const std::uint64_t interval = stablePeriods_ >= 8 ? 16 : 4;
+    return clock_.periodIndex() % interval == 0 &&
+           (clock_.inLearningPhase() || clock_.inHitTailPhase());
+}
+
+CompressorId
+LatteCcPolicy::modeForInsertion(std::uint32_t set_index)
+{
+    // While sampling, dedicated sets insert with their sampling mode
+    // (set-dueling); once the winner is stable they behave as followers
+    // outside the learning window, as in the paper (see DESIGN.md).
+    if (samplingActive()) {
+        const int k = dedicatedModeIndex(set_index);
+        if (k >= 0)
+            return modes_[k];
+    }
+    return winner_;
+}
+
+void
+LatteCcPolicy::onAccess(Cycles, std::uint32_t set_index, bool hit,
+                        bool is_write, CompressorId)
+{
+    if (is_write || !samplingActive())
+        return;
+    const int k = dedicatedModeIndex(set_index);
+    if (k < 0)
+        return;
+    if (hit)
+        ++nHit_[k];
+    else
+        ++nMiss_[k];
+}
+
+void
+LatteCcPolicy::onEpBoundary(Cycles now, double tolerance, bool period_end)
+{
+    // A large latency-tolerance shift signals a phase change: resume
+    // full sampling so the decision can be revisited quickly.
+    if (std::abs(tolerance - prevTolerance_) >
+        std::max(4.0, prevTolerance_)) {
+        stablePeriods_ = 0;
+    }
+    prevTolerance_ = tolerance;
+
+    chooseWinner(now, tolerance);
+
+    if (period_end) {
+        if (winnerChanged_)
+            stablePeriods_ = 0;
+        else
+            ++stablePeriods_;
+        winnerChanged_ = false;
+    }
+
+    // Once the hit counters of the sampling window have been harvested
+    // (the EP after the hit-tail), flush mismatched sampled lines so a
+    // hot line compressed with a losing mode doesn't keep charging
+    // decompression for the rest of its lifetime. Only do this in
+    // hit-saturated execution: when the cache misses at any real rate,
+    // resident compressed lines are capacity worth keeping, and
+    // eviction recycles them naturally anyway.
+    std::uint64_t window_hits = 0, window_misses = 0;
+    for (std::size_t k = 0; k < modes_.size(); ++k) {
+        window_hits += nHit_[k];
+        window_misses += nMiss_[k];
+    }
+    const bool hit_saturated =
+        window_hits > 0 &&
+        static_cast<double>(window_misses) /
+                static_cast<double>(window_hits + window_misses) <
+            0.02;
+    if (hit_saturated && stablePeriods_ >= 1 &&
+        !clock_.inLearningPhase() && !clock_.inHitTailPhase()) {
+        cache_->invalidateSampleMismatch(
+            stride_, static_cast<std::uint32_t>(modes_.size()), winner_);
+    }
+
+    // Decay rather than clear the sampling counters each EP: with only
+    // 4 dedicated sets per mode a single EP's counts are noisy, and a
+    // decaying accumulation (~4 EP memory) smooths decisions while
+    // staying responsive to phase changes.
+    for (auto &h : nHit_)
+        h -= h / 4;
+    for (auto &m : nMiss_)
+        m -= m / 4;
+
+    if (usesSc_) {
+        if (!firstScBuildDone_) {
+            rebuildScCodes();
+            firstScBuildDone_ = true;
+        } else if (period_end) {
+            maybeRebuildScCodes();
+        }
+    }
+}
+
+bool
+LatteCcPolicy::scTrainingActive() const
+{
+    if (!usesSc_)
+        return false;
+    return (clock_.periodIndex() == 0 && clock_.epInPeriod() == 0) ||
+           clock_.inFinalEp();
+}
+
+void
+LatteCcPolicy::chooseWinner(Cycles now, double tolerance)
+{
+    if (!useTolerance_)
+        tolerance = 0.0;
+
+    const double miss_latency = estimatedMissLatency();
+    const std::size_t n = modes_.size();
+    std::vector<double> amat(n, std::numeric_limits<double>::max());
+    std::vector<double> exposed(n, 0.0);
+    std::vector<double> miss_rate(n, 0.0);
+    int incumbent = -1;
+    int best = -1;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        if (modes_[k] == winner_)
+            incumbent = static_cast<int>(k);
+        const std::uint64_t hits = nHit_[k];
+        const std::uint64_t misses = nMiss_[k];
+        const std::uint64_t total = hits + misses;
+        if (total < kMinSamples)
+            continue;
+
+        // AMAT_GPU (Eq. 2): hits only cost what tolerance cannot hide.
+        const double eff_hit = effectiveHitLatency(modes_[k], now);
+        exposed[k] = std::max(eff_hit - tolerance, 0.0);
+        miss_rate[k] = static_cast<double>(misses) /
+                       static_cast<double>(total);
+        amat[k] = exposed[k] +
+                  miss_rate[k] * (miss_latency - exposed[k]);
+        if (best < 0 || amat[k] < amat[best])
+            best = static_cast<int>(k);
+    }
+
+    if (best < 0 || modes_[best] == winner_ || incumbent < 0)
+        return;
+
+    // Mild hysteresis against sampling noise from 4 dedicated sets.
+    if (amat[best] >= amat[incumbent] * 0.98)
+        return;
+
+    // A challenger that adds exposed hit latency must show a real
+    // capacity benefit; in hit-saturated windows a burst of a few
+    // misses in the incumbent's sets would otherwise flip the mode and
+    // leave long-lived slow lines behind.
+    if (exposed[best] > exposed[incumbent] &&
+        miss_rate[incumbent] - miss_rate[best] < 0.02) {
+        return;
+    }
+
+    // Debounce: commit a switch only when two consecutive EP decisions
+    // agree, filtering single-EP sampling noise (a real phase lasts
+    // many EPs, so adaptation is delayed by at most one EP).
+    if (pendingWinner_ != modes_[best]) {
+        pendingWinner_ = modes_[best];
+        return;
+    }
+
+    winner_ = modes_[best];
+    winnerChanged_ = true;
+}
+
+// ----------------------------------------------------- AdaptiveHitCount
+
+void
+AdaptiveHitCountPolicy::chooseWinner(Cycles, double)
+{
+    std::uint64_t best_hits = 0;
+    int best = -1;
+    for (std::size_t k = 0; k < modes_.size(); ++k) {
+        if (nHit_[k] + nMiss_[k] < kMinSamples)
+            continue;
+        if (nHit_[k] > best_hits) {
+            best_hits = nHit_[k];
+            best = static_cast<int>(k);
+        }
+    }
+    if (best >= 0 && modes_[best] != winner_) {
+        winner_ = modes_[best];
+        winnerChanged_ = true;
+    }
+}
+
+} // namespace latte

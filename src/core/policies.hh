@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Concrete compression management policies: the uncompressed baseline,
+ * the static schemes (Section V-A), LATTE-CC itself (Section III), and
+ * the latency-tolerance-blind adaptive baselines of Section V-D.
+ */
+
+#ifndef LATTE_CORE_POLICIES_HH
+#define LATTE_CORE_POLICIES_HH
+
+#include <memory>
+
+#include "policy.hh"
+
+namespace latte
+{
+
+/** Always insert with one fixed mode (None/BDI/SC/BPC). */
+class StaticPolicy : public Policy
+{
+  public:
+    StaticPolicy(const GpuConfig &cfg, CompressorId mode)
+        : Policy(cfg), mode_(mode)
+    {}
+
+    std::string
+    name() const override
+    {
+        return mode_ == CompressorId::None
+                   ? "Baseline"
+                   : strfmt("Static-{}", compressorName(mode_));
+    }
+
+    CompressorId modeForInsertion(std::uint32_t) override { return mode_; }
+    CompressorId currentMode() const override { return mode_; }
+
+  protected:
+    void onEpBoundary(Cycles now, double tolerance,
+                      bool period_end) override;
+    bool scTrainingActive() const override;
+
+  private:
+    CompressorId mode_;
+    bool firstScBuildDone_ = false;
+};
+
+/**
+ * LATTE-CC (Section III): set-sampling capacity estimation, per-EP
+ * latency tolerance, AMAT_GPU-minimising mode selection.
+ */
+class LatteCcPolicy : public Policy
+{
+  public:
+    /**
+     * @param modes candidate modes; index 0 must be None. The default is
+     *        the paper's {no-compression, BDI, SC}; Section V-E swaps SC
+     *        for BPC.
+     * @param use_tolerance when false, AMAT is evaluated with zero
+     *        latency tolerance (the Adaptive-CMP baseline).
+     */
+    LatteCcPolicy(const GpuConfig &cfg,
+                  std::vector<CompressorId> modes =
+                      {CompressorId::None, CompressorId::Bdi,
+                       CompressorId::Sc},
+                  bool use_tolerance = true);
+
+    std::string name() const override;
+
+    void bind(CompressedCache *cache, CompressionEngines *engines,
+              LatencyToleranceMeter *meter) override;
+
+    CompressorId modeForInsertion(std::uint32_t set_index) override;
+    CompressorId currentMode() const override { return winner_; }
+
+    /** Sampling counters for the current period (for tests). */
+    std::uint64_t hitCount(std::size_t mode_idx) const
+    {
+        return nHit_[mode_idx];
+    }
+    std::uint64_t missCount(std::size_t mode_idx) const
+    {
+        return nMiss_[mode_idx];
+    }
+
+  protected:
+    void onAccess(Cycles now, std::uint32_t set_index, bool hit,
+                  bool is_write, CompressorId line_mode) override;
+    void onEpBoundary(Cycles now, double tolerance,
+                      bool period_end) override;
+    bool scTrainingActive() const override;
+
+    /** Pick the AMAT_GPU-minimising mode; overridable by baselines. */
+    virtual void chooseWinner(Cycles now, double tolerance);
+
+    /** Dedicated-set mapping: mode index for @p set_index or -1. */
+    int dedicatedModeIndex(std::uint32_t set_index) const;
+
+    /**
+     * True while dedicated sets actively insert with their sampling
+     * modes. Sampling runs continuously while the decision is unstable
+     * and shrinks to the paper's learning-window behaviour (plus a
+     * periodic probe period) once the winner has settled, so stable
+     * hit-heavy workloads don't keep paying the sampling tax.
+     */
+    bool samplingActive() const;
+
+    std::vector<CompressorId> modes_;
+    bool useTolerance_;
+    bool usesSc_ = false;
+    std::uint32_t stride_ = 8;
+    CompressorId winner_ = CompressorId::None;
+    std::vector<std::uint64_t> nHit_;
+    std::vector<std::uint64_t> nMiss_;
+    bool firstScBuildDone_ = false;
+    std::uint32_t stablePeriods_ = 0;
+    bool winnerChanged_ = false;
+    double prevTolerance_ = 0;
+    CompressorId pendingWinner_ = CompressorId::None;
+
+    /** Minimum dedicated-set samples before trusting a mode's counters. */
+    static constexpr std::uint64_t kMinSamples = 8;
+};
+
+/**
+ * Adaptive-Hit-Count (Section V-D): the same set-sampling machinery but
+ * the winner is simply the mode with the most dedicated-set hits —
+ * decompression latency and tolerance are ignored.
+ */
+class AdaptiveHitCountPolicy : public LatteCcPolicy
+{
+  public:
+    explicit AdaptiveHitCountPolicy(const GpuConfig &cfg)
+        : LatteCcPolicy(cfg)
+    {}
+
+    std::string name() const override { return "Adaptive-Hit-Count"; }
+
+  protected:
+    void chooseWinner(Cycles now, double tolerance) override;
+};
+
+/**
+ * Adaptive-CMP (Section V-D): accounts for decompression latency in the
+ * CMP manner of Alameldeen & Wood but is blind to GPU latency tolerance.
+ */
+class AdaptiveCmpPolicy : public LatteCcPolicy
+{
+  public:
+    explicit AdaptiveCmpPolicy(const GpuConfig &cfg)
+        : LatteCcPolicy(cfg,
+                        {CompressorId::None, CompressorId::Bdi,
+                         CompressorId::Sc},
+                        /*use_tolerance=*/false)
+    {}
+
+    std::string name() const override { return "Adaptive-CMP"; }
+};
+
+} // namespace latte
+
+#endif // LATTE_CORE_POLICIES_HH

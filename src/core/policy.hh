@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Base class for compression management policies. A policy instance is
+ * bound to one SM: it sees that SM's L1 accesses and insertions, owns the
+ * EP clock, manages SC code generations, and decides the compression mode
+ * of inserted lines.
+ */
+
+#ifndef LATTE_CORE_POLICY_HH
+#define LATTE_CORE_POLICY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cache/compressed_cache.hh"
+#include "cache/mode_provider.hh"
+#include "common/config.hh"
+#include "ep_clock.hh"
+#include "sim/lt_meter.hh"
+
+namespace latte
+{
+
+/** Number of CompressorId values (for per-mode arrays). */
+constexpr std::size_t kNumModes = 6;
+
+/** Per-EP sample of policy state, for the time-series figures. */
+struct PolicyTracePoint
+{
+    Cycles cycle = 0;
+    double latencyTolerance = 0;
+    CompressorId mode = CompressorId::None;
+    std::uint64_t effectiveCapacityBytes = 0;
+};
+
+/** Compression management policy bound to one SM. */
+class Policy : public CompressionModeProvider
+{
+  public:
+    explicit Policy(const GpuConfig &cfg)
+        : cfg_(cfg), clock_(cfg.latte)
+    {}
+
+    virtual std::string name() const = 0;
+
+    /** Attach to one SM's cache, engines and tolerance meter. */
+    virtual void
+    bind(CompressedCache *cache, CompressionEngines *engines,
+         LatencyToleranceMeter *meter)
+    {
+        cache_ = cache;
+        engines_ = engines;
+        meter_ = meter;
+    }
+
+    // --- CompressionModeProvider ---
+    void
+    observeAccess(Cycles now, std::uint32_t set_index, bool hit,
+                  bool is_write, CompressorId line_mode) override
+    {
+        ++modeAccesses_[static_cast<std::size_t>(currentMode())];
+        onAccess(now, set_index, hit, is_write, line_mode);
+        const EpClock::Events events = clock_.onAccess();
+        if (events.epBoundary) {
+            const double tolerance = meter_ ? meter_->harvest() : 0.0;
+            lastTolerance_ = tolerance;
+            onEpBoundary(now, tolerance, events.periodBoundary);
+            trace_.push_back({now, tolerance, currentMode(),
+                              cache_ ? cache_->effectiveCapacityBytes()
+                                     : 0});
+        }
+    }
+
+    void
+    observeInsertion(Cycles now, std::uint32_t set_index,
+                     CompressorId mode,
+                     std::span<const std::uint8_t> data) override
+    {
+        if (scTrainingActive())
+            engines_->sc.trainLine(data);
+        onInsertion(now, set_index, mode, data);
+    }
+
+    /** The mode follower sets currently insert with. */
+    virtual CompressorId currentMode() const = 0;
+
+    /** Accesses observed while each mode was the follower mode. */
+    const std::array<std::uint64_t, kNumModes> &
+    modeAccesses() const
+    {
+        return modeAccesses_;
+    }
+
+    /** Per-EP trace (latency tolerance, mode, effective capacity). */
+    const std::vector<PolicyTracePoint> &trace() const { return trace_; }
+
+    /** Latency tolerance measured in the most recent EP. */
+    double lastTolerance() const { return lastTolerance_; }
+
+    const EpClock &epClock() const { return clock_; }
+
+  protected:
+    /** Policy-specific access hook (before EP accounting). */
+    virtual void
+    onAccess(Cycles, std::uint32_t, bool, bool, CompressorId)
+    {}
+
+    /** Policy-specific insertion hook. */
+    virtual void
+    onInsertion(Cycles, std::uint32_t, CompressorId,
+                std::span<const std::uint8_t>)
+    {}
+
+    /** Called at every EP boundary with the fresh tolerance estimate. */
+    virtual void onEpBoundary(Cycles, double, bool) {}
+
+    /**
+     * True while the SC value-frequency table should sample insertions:
+     * the first EP of the first period and the final EP of every period
+     * (Section IV-C2). Policies that never use SC return false.
+     */
+    virtual bool
+    scTrainingActive() const
+    {
+        return false;
+    }
+
+    /** Rebuild SC codes and invalidate lines of retired generations. */
+    void
+    rebuildScCodes()
+    {
+        const std::uint32_t generation = engines_->sc.rebuildCodes();
+        cache_->invalidateScGeneration(generation);
+    }
+
+    /**
+     * Rebuild SC codes at a period boundary only when the sampled value
+     * palette has drifted from the current code book. Rebuilding retires
+     * the code generation and invalidates every SC line, so doing it
+     * when the palette is stable costs capacity for nothing.
+     */
+    void
+    maybeRebuildScCodes()
+    {
+        auto &sc = engines_->sc;
+        if (sc.vft().samples() < 256) {
+            sc.discardVft(); // too few samples to judge drift
+            return;
+        }
+        if (!sc.hasCodes() || sc.codeDivergence() > 0.3)
+            rebuildScCodes();
+        else
+            sc.discardVft();
+    }
+
+    /**
+     * Effective hit latency a hit under @p mode would see right now
+     * (Eq. 3): base hit latency plus decompression pipeline plus the
+     * expected decompression-queue wait.
+     */
+    double
+    effectiveHitLatency(CompressorId mode, Cycles now) const
+    {
+        double lat = static_cast<double>(cfg_.l1HitLatency);
+        if (mode != CompressorId::None) {
+            const auto *engine =
+                const_cast<CompressionEngines *>(engines_)->get(mode);
+            lat += static_cast<double>(engine->decompressLatency());
+            lat += static_cast<double>(
+                       cache_->queueFor(mode).expectedPos(now)) + 1.0;
+        }
+        return lat;
+    }
+
+    /** Rolling estimate of the miss service latency. */
+    double
+    estimatedMissLatency()
+    {
+        const auto &stat = cache_->missLatency;
+        const std::uint64_t samples = stat.samples();
+        const double sum = stat.sum();
+        double estimate =
+            static_cast<double>(cfg_.l2MinLatency) + 40.0;
+        if (samples > lastMissSamples_) {
+            estimate = (sum - lastMissSum_) /
+                       static_cast<double>(samples - lastMissSamples_);
+            lastMissSamples_ = samples;
+            lastMissSum_ = sum;
+            lastMissEstimate_ = estimate;
+        } else if (lastMissEstimate_ > 0) {
+            estimate = lastMissEstimate_;
+        }
+        return estimate;
+    }
+
+    const GpuConfig &cfg_;
+    EpClock clock_;
+    CompressedCache *cache_ = nullptr;
+    CompressionEngines *engines_ = nullptr;
+    LatencyToleranceMeter *meter_ = nullptr;
+
+  private:
+    std::array<std::uint64_t, kNumModes> modeAccesses_{};
+    std::vector<PolicyTracePoint> trace_;
+    double lastTolerance_ = 0;
+    std::uint64_t lastMissSamples_ = 0;
+    double lastMissSum_ = 0;
+    double lastMissEstimate_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_CORE_POLICY_HH

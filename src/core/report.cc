@@ -1,0 +1,54 @@
+#include "report.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+void
+writeCsv(std::ostream &os, const std::vector<WorkloadRunResult> &results)
+{
+    os << "workload,policy,cycles,instructions,ipc,hits,misses,"
+          "miss_rate,energy_mj,core_mj,l1_mj,data_movement_mj,"
+          "compression_mj,static_mj,avg_tolerance\n";
+    for (const auto &r : results) {
+        const double ipc =
+            r.cycles ? static_cast<double>(r.instructions) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+        os << r.workload << ',' << policyName(r.policy) << ','
+           << r.cycles << ',' << r.instructions << ',' << ipc << ','
+           << r.hits << ',' << r.misses << ',' << r.missRate() << ','
+           << r.energy.totalMj() << ',' << r.energy.coreDynamicMj << ','
+           << r.energy.l1Mj << ',' << r.energy.dataMovementMj() << ','
+           << r.energy.compressionMj << ',' << r.energy.staticMj << ','
+           << r.avgTolerance() << '\n';
+    }
+}
+
+void
+writeComparisonCsv(std::ostream &os,
+                   const std::vector<WorkloadRunResult> &baselines,
+                   const std::vector<WorkloadRunResult> &results)
+{
+    latte_assert(baselines.size() == results.size(),
+                 "comparison needs one baseline per result");
+    os << "workload,policy,speedup,miss_reduction,normalized_energy\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &base = baselines[i];
+        const auto &r = results[i];
+        latte_assert(base.workload == r.workload,
+                     "baseline/result workload mismatch at row {}", i);
+        const double miss_reduction =
+            base.misses ? 1.0 - static_cast<double>(r.misses) /
+                                    static_cast<double>(base.misses)
+                        : 0.0;
+        os << r.workload << ',' << policyName(r.policy) << ','
+           << speedupOver(base, r) << ',' << miss_reduction << ','
+           << r.energy.totalMj() / base.energy.totalMj() << '\n';
+    }
+}
+
+} // namespace latte

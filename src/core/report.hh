@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Result reporting: CSV and aligned-table serialisation of
+ * WorkloadRunResult collections, for piping experiment output into
+ * plotting scripts.
+ */
+
+#ifndef LATTE_CORE_REPORT_HH
+#define LATTE_CORE_REPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "driver.hh"
+
+namespace latte
+{
+
+/** Write one header plus one CSV row per result. */
+void writeCsv(std::ostream &os,
+              const std::vector<WorkloadRunResult> &results);
+
+/** Write a normalised comparison: every result vs its named baseline. */
+void writeComparisonCsv(std::ostream &os,
+                        const std::vector<WorkloadRunResult> &baselines,
+                        const std::vector<WorkloadRunResult> &results);
+
+} // namespace latte
+
+#endif // LATTE_CORE_REPORT_HH

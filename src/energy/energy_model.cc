@@ -1,0 +1,75 @@
+#include "energy_model.hh"
+
+namespace latte
+{
+
+UsageCounts
+UsageCounts::operator-(const UsageCounts &rhs) const
+{
+    UsageCounts out;
+    out.cycles = cycles - rhs.cycles;
+    out.instructions = instructions - rhs.instructions;
+    out.l1Accesses = l1Accesses - rhs.l1Accesses;
+    out.l2Accesses = l2Accesses - rhs.l2Accesses;
+    out.nocBytes = nocBytes - rhs.nocBytes;
+    out.dramBytes = dramBytes - rhs.dramBytes;
+    out.bdiCompressions = bdiCompressions - rhs.bdiCompressions;
+    out.scCompressions = scCompressions - rhs.scCompressions;
+    out.bpcCompressions = bpcCompressions - rhs.bpcCompressions;
+    out.bdiDecompressions = bdiDecompressions - rhs.bdiDecompressions;
+    out.scDecompressions = scDecompressions - rhs.scDecompressions;
+    out.bpcDecompressions = bpcDecompressions - rhs.bpcDecompressions;
+    return out;
+}
+
+UsageCounts
+harvestUsage(Gpu &gpu)
+{
+    UsageCounts usage;
+    usage.cycles = gpu.cyclesElapsed.count();
+    usage.instructions = gpu.totalInstructions();
+    usage.l2Accesses = gpu.l2().reads.count() + gpu.l2().writes.count();
+    usage.nocBytes = gpu.noc().bytesMoved.count();
+    usage.dramBytes = gpu.dram().bytesTransferred.count();
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+        auto &cache = gpu.sm(i).cache();
+        usage.l1Accesses += cache.loads.count() + cache.stores.count();
+        usage.bdiCompressions += cache.bdiCompressions.count();
+        usage.scCompressions += cache.scCompressions.count();
+        usage.bpcCompressions += cache.bpcCompressions.count();
+        usage.bdiDecompressions +=
+            cache.queueFor(CompressorId::Bdi).requests.count();
+        usage.scDecompressions +=
+            cache.queueFor(CompressorId::Sc).requests.count();
+        usage.bpcDecompressions +=
+            cache.queueFor(CompressorId::Bpc).requests.count();
+    }
+    return usage;
+}
+
+EnergyReport
+EnergyModel::compute(const UsageCounts &usage) const
+{
+    constexpr double kNjToMj = 1e-6;
+    const auto &t = cfg_.timings;
+
+    EnergyReport report;
+    report.coreDynamicMj =
+        usage.instructions * params_.instructionNj * kNjToMj;
+    report.l1Mj = usage.l1Accesses * params_.l1AccessNj * kNjToMj;
+    report.l2Mj = usage.l2Accesses * params_.l2AccessNj * kNjToMj;
+    report.nocMj = usage.nocBytes * params_.nocByteNj * kNjToMj;
+    report.dramMj = usage.dramBytes * params_.dramByteNj * kNjToMj;
+    report.compressionMj =
+        (usage.bdiCompressions * t.bdiCompressNj +
+         usage.bdiDecompressions * t.bdiDecompressNj +
+         usage.scCompressions * t.scCompressNj +
+         usage.scDecompressions * t.scDecompressNj +
+         usage.bpcCompressions * t.bpcCompressNj +
+         usage.bpcDecompressions * t.bpcDecompressNj) *
+        kNjToMj;
+    report.staticMj = usage.cycles * params_.staticNjPerCycle * kNjToMj;
+    return report;
+}
+
+} // namespace latte

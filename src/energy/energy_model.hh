@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GPU energy model in the spirit of GPUWattch (the paper's Section IV-A
+ * methodology): per-event dynamic energies for the core, caches,
+ * interconnect and DRAM, the paper's published compressor/decompressor
+ * energies (Section IV-C), and a leakage term proportional to execution
+ * time. Absolute joules are representative of a Fermi-class part; the
+ * evaluation uses energy *normalised to the uncompressed baseline*, as
+ * the paper does.
+ */
+
+#ifndef LATTE_ENERGY_ENERGY_MODEL_HH
+#define LATTE_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "sim/gpu.hh"
+
+namespace latte
+{
+
+/** Event totals harvested from a run (or the delta between snapshots). */
+struct UsageCounts
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t nocBytes = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t bdiCompressions = 0;
+    std::uint64_t scCompressions = 0;
+    std::uint64_t bpcCompressions = 0;
+    std::uint64_t bdiDecompressions = 0;
+    std::uint64_t scDecompressions = 0;
+    std::uint64_t bpcDecompressions = 0;
+
+    UsageCounts operator-(const UsageCounts &rhs) const;
+};
+
+/** Pull current totals out of the simulated GPU. */
+UsageCounts harvestUsage(Gpu &gpu);
+
+/** Energy in millijoules, with the Figure 14 style breakdown. */
+struct EnergyReport
+{
+    double coreDynamicMj = 0;
+    double l1Mj = 0;
+    double l2Mj = 0;
+    double nocMj = 0;
+    double dramMj = 0;
+    double compressionMj = 0;    //!< compress + decompress events
+    double staticMj = 0;         //!< leakage over execution time
+
+    double
+    totalMj() const
+    {
+        return coreDynamicMj + l1Mj + l2Mj + nocMj + dramMj +
+               compressionMj + staticMj;
+    }
+
+    /** Data-movement slice (L2 + NoC + DRAM), as Figure 14 groups it. */
+    double dataMovementMj() const { return l2Mj + nocMj + dramMj; }
+};
+
+/** Per-event energy constants (nJ) and the leakage rate. */
+struct EnergyParams
+{
+    double instructionNj = 0.8;      //!< warp instruction, 32 lanes
+    double l1AccessNj = 0.06;
+    double l2AccessNj = 0.35;
+    double nocByteNj = 0.012;
+    double dramByteNj = 0.16;
+    double staticNjPerCycle = 18.0;  //!< chip leakage at core clock
+};
+
+/** The energy model proper. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const GpuConfig &cfg, EnergyParams params = {})
+        : cfg_(cfg), params_(params)
+    {}
+
+    EnergyReport compute(const UsageCounts &usage) const;
+
+  private:
+    GpuConfig cfg_;
+    EnergyParams params_;
+};
+
+} // namespace latte
+
+#endif // LATTE_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,33 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+namespace latte
+{
+
+DramModel::DramModel(const GpuConfig &cfg, StatGroup *parent)
+    : StatGroup("dram", parent),
+      accesses(this, "accesses", "DRAM requests serviced"),
+      bytesTransferred(this, "bytes", "bytes moved over the DRAM channel"),
+      queueDelay(this, "queue_delay", "average queueing delay (cycles)"),
+      extraLatency_(cfg.dramMinLatency - cfg.l2MinLatency),
+      bytesPerCycle_(cfg.dramBytesPerCycle)
+{}
+
+Cycles
+DramModel::access(Cycles now, std::uint32_t bytes)
+{
+    ++accesses;
+    bytesTransferred += bytes;
+
+    const double start = std::max(static_cast<double>(now), nextFree_);
+    const double service = static_cast<double>(bytes) / bytesPerCycle_;
+    nextFree_ = start + service;
+
+    const double queue = start - static_cast<double>(now);
+    queueDelay.sample(queue);
+
+    return now + extraLatency_ + static_cast<Cycles>(queue + service);
+}
+
+} // namespace latte

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A bandwidth- and latency-constrained DRAM channel model. Requests pay
+ * the minimum access latency (Table II: 230 cycles from the SM's
+ * perspective, of which the L2 path contributes 120) plus queueing delay
+ * once the channel's sustained bandwidth is saturated.
+ */
+
+#ifndef LATTE_MEM_DRAM_HH
+#define LATTE_MEM_DRAM_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace latte
+{
+
+/** Aggregate DRAM channel with a service-rate queue. */
+class DramModel : public StatGroup
+{
+  public:
+    DramModel(const GpuConfig &cfg, StatGroup *parent);
+
+    /**
+     * Issue a @p bytes transfer arriving at the controller at @p now.
+     * @return the cycle the data is available at the L2.
+     */
+    Cycles access(Cycles now, std::uint32_t bytes);
+
+    /** Reset queue state between runs (stats reset separately). */
+    void flushQueues() { nextFree_ = 0; }
+
+    Counter accesses;
+    Counter bytesTransferred;
+    Average queueDelay;
+
+  private:
+    /** Extra latency DRAM adds beyond the L2 round trip. */
+    Cycles extraLatency_;
+    double bytesPerCycle_;
+    /** Cycle at which the channel next becomes free. */
+    double nextFree_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_MEM_DRAM_HH

@@ -1,0 +1,36 @@
+#include "interconnect.hh"
+
+#include <algorithm>
+
+namespace latte
+{
+
+Interconnect::Interconnect(const GpuConfig &cfg, StatGroup *parent)
+    : StatGroup("noc", parent),
+      packets(this, "packets", "packets injected"),
+      bytesMoved(this, "bytes", "bytes moved over the network"),
+      queueDelay(this, "queue_delay", "average injection queueing delay"),
+      // The network contributes a fixed fraction of the 120-cycle minimum
+      // L2 latency; the remainder is charged at the L2 itself.
+      traversal_(cfg.l2MinLatency / 4),
+      bytesPerCycle_(cfg.nocBytesPerCycle)
+{}
+
+Cycles
+Interconnect::transfer(Cycles now, std::uint32_t bytes, Channel channel)
+{
+    ++packets;
+    bytesMoved += bytes;
+
+    double &next_free = nextFree_[static_cast<std::size_t>(channel)];
+    const double start = std::max(static_cast<double>(now), next_free);
+    const double service = static_cast<double>(bytes) / bytesPerCycle_;
+    next_free = start + service;
+
+    const double queue = start - static_cast<double>(now);
+    queueDelay.sample(queue);
+
+    return now + traversal_ + static_cast<Cycles>(queue + service);
+}
+
+} // namespace latte

@@ -1,0 +1,121 @@
+#include "l2cache.hh"
+
+#include <algorithm>
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace latte
+{
+
+L2Cache::L2Cache(const GpuConfig &cfg, Interconnect *noc, DramModel *dram,
+                 StatGroup *parent)
+    : StatGroup("l2", parent),
+      reads(this, "reads", "read requests"),
+      writes(this, "writes", "write requests"),
+      hits(this, "hits", "L2 hits"),
+      misses(this, "misses", "L2 misses"),
+      bankQueueDelay(this, "bank_queue_delay",
+                     "average bank queueing delay (cycles)"),
+      cfg_(cfg), noc_(noc), dram_(dram),
+      numSets_(cfg.l2NumSets()),
+      ways_(static_cast<std::size_t>(numSets_) * cfg.l2Assoc),
+      bankNextFree_(cfg.l2Banks, 0.0)
+{
+    latte_assert(numSets_ > 0);
+    latte_assert(noc_ && dram_);
+}
+
+std::uint32_t
+L2Cache::setIndex(Addr line_addr) const
+{
+    // 768 KB / 8-way / 128 B = 768 sets: not a power of two (the real
+    // part interleaves 12 banks x 64 sets), so index by modulo.
+    return static_cast<std::uint32_t>(
+        (line_addr / cfg_.l2LineBytes) % numSets_);
+}
+
+std::uint32_t
+L2Cache::bankIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(
+        (line_addr / cfg_.l2LineBytes) % cfg_.l2Banks);
+}
+
+L2Result
+L2Cache::access(Cycles now, Addr line_addr, bool is_write)
+{
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+
+    // Request traverses the network to the L2 partition.
+    const Cycles at_l2 = noc_->transfer(now, is_write ? 128 + 8 : 8,
+                                        Interconnect::Channel::Request);
+
+    // Bank arbitration.
+    const std::uint32_t bank = bankIndex(line_addr);
+    const double start = std::max(static_cast<double>(at_l2),
+                                  bankNextFree_[bank]);
+    bankNextFree_[bank] = start + kBankServiceCycles;
+    const double queue = start - static_cast<double>(at_l2);
+    bankQueueDelay.sample(queue);
+
+    // Remaining pipeline latency so an unloaded read hit observed from
+    // the SM costs exactly l2MinLatency.
+    const Cycles pipeline =
+        cfg_.l2MinLatency - 2 * noc_->traversalLatency();
+    Cycles data_at_l2 = at_l2 + static_cast<Cycles>(queue) + pipeline;
+
+    // Tag lookup.
+    const std::uint32_t set = setIndex(line_addr);
+    Way *ways = &ways_[static_cast<std::size_t>(set) * cfg_.l2Assoc];
+    const Addr tag = line_addr / cfg_.l2LineBytes / numSets_;
+
+    Way *entry = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.l2Assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            entry = &ways[w];
+            break;
+        }
+    }
+
+    if (entry) {
+        ++hits;
+        entry->lruStamp = ++lruClock_;
+    } else {
+        ++misses;
+        // Fetch from DRAM, then fill.
+        data_at_l2 = dram_->access(data_at_l2, cfg_.l2LineBytes);
+        Way *victim = &ways[0];
+        for (std::uint32_t w = 1; w < cfg_.l2Assoc; ++w) {
+            if (!ways[w].valid) {
+                victim = &ways[w];
+                break;
+            }
+            if (ways[w].lruStamp < victim->lruStamp)
+                victim = &ways[w];
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lruStamp = ++lruClock_;
+    }
+
+    // Response traverses the network back (data payload for reads).
+    const Cycles ready =
+        noc_->transfer(data_at_l2, is_write ? 8 : 128 + 8,
+                       Interconnect::Channel::Reply);
+    return {entry != nullptr, ready};
+}
+
+void
+L2Cache::invalidateAll()
+{
+    for (auto &way : ways_)
+        way = Way{};
+    std::fill(bankNextFree_.begin(), bankNextFree_.end(), 0.0);
+    lruClock_ = 0;
+}
+
+} // namespace latte

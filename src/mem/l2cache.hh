@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unified L2 cache (Table II: 768 KB, 128 B lines, 8-way, 12 banks).
+ * Timing-only: hit/miss state is tracked per line, data comes from the
+ * functional MemoryImage. Bank conflicts add queueing delay; misses go
+ * to the DRAM model.
+ */
+
+#ifndef LATTE_MEM_L2CACHE_HH
+#define LATTE_MEM_L2CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram.hh"
+#include "interconnect.hh"
+
+namespace latte
+{
+
+/** Result of an L2 lookup. */
+struct L2Result
+{
+    bool hit = false;
+    /** Cycle the requested line is available back at the requesting SM. */
+    Cycles readyCycle = 0;
+};
+
+/** Banked, set-associative, LRU, timing-only cache. */
+class L2Cache : public StatGroup
+{
+  public:
+    L2Cache(const GpuConfig &cfg, Interconnect *noc, DramModel *dram,
+            StatGroup *parent);
+
+    /**
+     * Service an L1 miss (or write-through) for the line at @p line_addr,
+     * leaving the requesting SM at @p now.
+     */
+    L2Result access(Cycles now, Addr line_addr, bool is_write);
+
+    /** Drop all cached lines and bank queues (between runs). */
+    void invalidateAll();
+
+    Counter reads;
+    Counter writes;
+    Counter hits;
+    Counter misses;
+    Average bankQueueDelay;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    std::uint32_t bankIndex(Addr line_addr) const;
+
+    const GpuConfig &cfg_;
+    Interconnect *noc_;
+    DramModel *dram_;
+
+    std::uint32_t numSets_;
+    std::vector<Way> ways_;              //!< numSets_ x assoc
+    std::vector<double> bankNextFree_;   //!< per-bank service queue
+    std::uint64_t lruClock_ = 0;
+
+    /** L2 pipeline occupancy per access, per bank. */
+    static constexpr double kBankServiceCycles = 2.0;
+};
+
+} // namespace latte
+
+#endif // LATTE_MEM_L2CACHE_HH

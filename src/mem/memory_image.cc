@@ -1,0 +1,77 @@
+#include "memory_image.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+void
+MemoryImage::addRegion(Addr base, Addr size,
+                       std::shared_ptr<LineGenerator> gen)
+{
+    latte_assert(gen != nullptr);
+    latte_assert(base % kLineBytes == 0, "region base must be line aligned");
+    regions_.push_back({base, size, std::move(gen)});
+}
+
+MemoryImage::Line &
+MemoryImage::materialise(Addr line_addr)
+{
+    const auto it = lines_.find(line_addr);
+    if (it != lines_.end())
+        return it->second;
+
+    Line &line = lines_[line_addr];
+    line.fill(0);
+    // Later registrations take precedence: scan back to front.
+    for (auto rit = regions_.rbegin(); rit != regions_.rend(); ++rit) {
+        if (line_addr >= rit->base && line_addr < rit->base + rit->size) {
+            rit->gen->generate(line_addr, line);
+            break;
+        }
+    }
+    return line;
+}
+
+const MemoryImage::Line &
+MemoryImage::line(Addr addr)
+{
+    return materialise(lineAddr(addr));
+}
+
+void
+MemoryImage::readBytes(Addr addr, std::span<std::uint8_t> out)
+{
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Addr cur = addr + done;
+        const Addr base = lineAddr(cur);
+        const std::size_t offset = cur - base;
+        const std::size_t chunk =
+            std::min(out.size() - done, std::size_t{kLineBytes} - offset);
+        const Line &src = materialise(base);
+        std::memcpy(out.data() + done, src.data() + offset, chunk);
+        done += chunk;
+    }
+}
+
+void
+MemoryImage::writeBytes(Addr addr, std::span<const std::uint8_t> in)
+{
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const Addr cur = addr + done;
+        const Addr base = lineAddr(cur);
+        const std::size_t offset = cur - base;
+        const std::size_t chunk =
+            std::min(in.size() - done, std::size_t{kLineBytes} - offset);
+        Line &dst = materialise(base);
+        std::memcpy(dst.data() + offset, in.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+} // namespace latte

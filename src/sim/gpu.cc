@@ -1,0 +1,139 @@
+#include "gpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning)
+    : StatGroup("gpu"),
+      cyclesElapsed(this, "cycles", "total simulated cycles"),
+      kernelsLaunched(this, "kernels", "kernel launches"),
+      cfg_(cfg), mem_(mem),
+      noc_(cfg, this),
+      dram_(cfg, this),
+      l2_(cfg, &noc_, &dram_, this)
+{
+    latte_assert(mem_ != nullptr);
+    sms_.reserve(cfg_.numSms);
+    for (std::uint32_t i = 0; i < cfg_.numSms; ++i) {
+        sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+            cfg_, i, &l2_, mem_, this, tuning));
+    }
+}
+
+RunResult
+Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
+               Cycles max_cycles)
+{
+    ++kernelsLaunched;
+    const Cycles start = now_;
+    const std::uint64_t instr_start = totalInstructions();
+
+    for (auto &sm : sms_)
+        sm->startKernel(&program);
+
+    std::uint32_t next_cta = 0;
+    const std::uint32_t num_ctas = program.numCtas();
+
+    std::vector<Cycles> next_tick(sms_.size(), now_);
+    std::vector<Cycles> last_tick(sms_.size(), now_);
+
+    bool budget_hit = false;
+    while (true) {
+        // Distribute CTAs round-robin to SMs with capacity.
+        bool assigned = true;
+        while (assigned && next_cta < num_ctas) {
+            assigned = false;
+            for (std::uint32_t i = 0;
+                 i < sms_.size() && next_cta < num_ctas; ++i) {
+                if (sms_[i]->canTakeCta()) {
+                    sms_[i]->assignCta(now_, next_cta++);
+                    next_tick[i] = std::min(next_tick[i], now_ + 1);
+                    assigned = true;
+                }
+            }
+        }
+
+        // Find the earliest cycle any SM needs attention.
+        Cycles next = kNoCycle;
+        for (const Cycles t : next_tick)
+            next = std::min(next, t);
+        if (next == kNoCycle)
+            break; // every SM drained and no CTAs left
+        latte_assert(next >= now_ || next == now_,
+                     "clock went backwards");
+        now_ = std::max(now_, next);
+
+        if (now_ - start > max_cycles) {
+            latte_warn("kernel {} exceeded {} cycles; stopping",
+                       program.name(), max_cycles);
+            budget_hit = true;
+            break;
+        }
+
+        for (std::uint32_t i = 0; i < sms_.size(); ++i) {
+            if (next_tick[i] > now_)
+                continue;
+            const Cycles gap = now_ - last_tick[i];
+            if (gap > 1)
+                sms_[i]->noteIdle(gap - 1);
+            last_tick[i] = now_;
+            next_tick[i] = sms_[i]->tick(now_);
+            latte_assert(next_tick[i] == kNoCycle || next_tick[i] > now_,
+                         "SM must request a future tick");
+        }
+
+        if (totalInstructions() - instr_start >= max_instructions) {
+            budget_hit = true;
+            break;
+        }
+    }
+
+    const Cycles duration = now_ - start;
+    cyclesElapsed += duration;
+
+    RunResult result;
+    result.cycles = duration;
+    result.instructions = totalInstructions() - instr_start;
+    result.completed = !budget_hit;
+    return result;
+}
+
+std::uint64_t
+Gpu::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm->instructions.count();
+    return n;
+}
+
+std::uint64_t
+Gpu::totalL1Hits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm->cache().hits.count();
+    return n;
+}
+
+std::uint64_t
+Gpu::totalL1Misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm->cache().misses.count() +
+             sm->cache().mergedMisses.count();
+    return n;
+}
+
+std::uint64_t
+Gpu::totalL1Accesses() const
+{
+    return totalL1Hits() + totalL1Misses();
+}
+
+} // namespace latte

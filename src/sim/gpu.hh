@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level GPU model: 15 SMs sharing an interconnect, a banked L2 and a
+ * DRAM channel (Table II). Drives kernels to completion with idle-gap
+ * skipping so memory-bound phases simulate quickly.
+ */
+
+#ifndef LATTE_SIM_GPU_HH
+#define LATTE_SIM_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/l2cache.hh"
+#include "mem/memory_image.hh"
+#include "sm.hh"
+
+namespace latte
+{
+
+/** Result of one kernel launch. */
+struct RunResult
+{
+    Cycles cycles = 0;            //!< kernel duration
+    std::uint64_t instructions = 0;
+    bool completed = false;       //!< false if a budget cut it short
+};
+
+/** The simulated GPU. */
+class Gpu : public StatGroup
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg, MemoryImage *mem,
+                 CacheTuning tuning = {});
+
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(sms_.size());
+    }
+    StreamingMultiprocessor &sm(std::uint32_t i) { return *sms_[i]; }
+    L2Cache &l2() { return l2_; }
+    DramModel &dram() { return dram_; }
+    Interconnect &noc() { return noc_; }
+    const GpuConfig &config() const { return cfg_; }
+
+    /** Global clock; accumulates across kernel launches. */
+    Cycles now() const { return now_; }
+
+    /**
+     * Run @p program to completion or until the whole launch has issued
+     * @p max_instructions (the paper simulates 1 B instructions or
+     * completion, whichever is earlier).
+     */
+    RunResult runKernel(KernelProgram &program,
+                        std::uint64_t max_instructions = ~0ull,
+                        Cycles max_cycles = 200'000'000);
+
+    /** Aggregate counters across SMs. */
+    std::uint64_t totalInstructions() const;
+    std::uint64_t totalL1Hits() const;
+    std::uint64_t totalL1Misses() const;
+    std::uint64_t totalL1Accesses() const;
+
+    Counter cyclesElapsed;
+    Counter kernelsLaunched;
+
+  private:
+    const GpuConfig cfg_;
+    MemoryImage *mem_;
+    Interconnect noc_;
+    DramModel dram_;
+    L2Cache l2_;
+    std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+    Cycles now_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_GPU_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The abstract instruction stream executed by warps. Workloads supply a
+ * KernelProgram that deterministically produces each warp's instructions;
+ * the SIMT core model executes them against the timing model. This plays
+ * the role GPGPU-Sim's PTX front end plays for the paper, at the
+ * granularity that matters for the study: ALU work, per-lane memory
+ * addresses, and control of warp-level parallelism over time.
+ */
+
+#ifndef LATTE_SIM_INSTRUCTION_HH
+#define LATTE_SIM_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace latte
+{
+
+/** Instruction classes the timing model distinguishes. */
+enum class Op : std::uint8_t
+{
+    Alu,    //!< arithmetic; completes after `latency` cycles
+    Sfu,    //!< special function; like Alu but typically longer latency
+    Load,   //!< global load; warp waits for all coalesced accesses
+    Store,  //!< global store; fire-and-forget (write-avoid L1)
+    Exit,   //!< warp terminates
+};
+
+/** One decoded warp instruction. */
+struct DecodedInstr
+{
+    Op op = Op::Exit;
+    /** Completion latency for Alu/Sfu. */
+    Cycles latency = 1;
+    /** Per-lane byte addresses for Load/Store; empty entries = inactive. */
+    std::vector<Addr> laneAddrs;
+};
+
+/**
+ * A kernel: a grid of CTAs, each of `warpsPerCta` warps, whose
+ * instruction stream is a deterministic function of (global warp id, pc).
+ */
+class KernelProgram
+{
+  public:
+    virtual ~KernelProgram() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::uint32_t numCtas() const = 0;
+    virtual std::uint32_t warpsPerCta() const = 0;
+
+    /**
+     * Produce the instruction at @p pc of @p global_warp. Must be
+     * deterministic: re-fetching the same (warp, pc) yields the same
+     * instruction.
+     */
+    virtual DecodedInstr fetch(std::uint32_t global_warp,
+                               std::uint64_t pc) = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_INSTRUCTION_HH

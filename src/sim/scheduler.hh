@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Warp schedulers. The paper's baseline uses Greedy-Then-Oldest (GTO,
+ * Rogers et al., MICRO 2012): keep issuing from the current warp until it
+ * stalls, then switch to the oldest ready warp. Loose round-robin (LRR)
+ * is provided for comparison studies.
+ */
+
+#ifndef LATTE_SIM_SCHEDULER_HH
+#define LATTE_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "warp.hh"
+
+namespace latte
+{
+
+/** One of an SM's warp schedulers; owns a subset of the warp slots. */
+class WarpScheduler
+{
+  public:
+    WarpScheduler(GpuConfig::SchedPolicy policy, std::uint32_t id)
+        : policy_(policy), id_(id)
+    {}
+
+    std::uint32_t id() const { return id_; }
+
+    /** Register a warp slot as belonging to this scheduler. */
+    void addSlot(std::uint32_t slot) { slots_.push_back(slot); }
+
+    const std::vector<std::uint32_t> &slots() const { return slots_; }
+
+    /**
+     * Count ready warps and pick the one to issue this cycle.
+     * @param warps the SM's full warp array
+     * @param ready_count out: warps that could issue this cycle
+     * @return slot of the selected warp, or -1 if none is ready
+     */
+    int
+    pick(std::span<const Warp> warps, Cycles now,
+         std::uint32_t &ready_count) const
+    {
+        ready_count = 0;
+        int best = -1;
+        if (policy_ == GpuConfig::SchedPolicy::GTO) {
+            std::uint64_t best_age = ~std::uint64_t{0};
+            bool greedy_ready = false;
+            for (const std::uint32_t slot : slots_) {
+                const Warp &warp = warps[slot];
+                if (!warp.ready(now))
+                    continue;
+                ++ready_count;
+                if (static_cast<int>(slot) == greedy_) {
+                    greedy_ready = true;
+                } else if (warp.age < best_age) {
+                    best_age = warp.age;
+                    best = static_cast<int>(slot);
+                }
+            }
+            if (greedy_ready)
+                return greedy_;
+            return best;
+        }
+
+        // LRR: next ready slot after the last issued one, in slot order.
+        const std::size_t n = slots_.size();
+        int first_ready = -1;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint32_t slot =
+                slots_[(rrNext_ + k) % n];
+            if (warps[slot].ready(now)) {
+                ++ready_count;
+                if (first_ready < 0)
+                    first_ready = static_cast<int>(slot);
+            }
+        }
+        return first_ready;
+    }
+
+    /** Record the issue decision (updates greedy/rotation state). */
+    void
+    noteIssued(std::uint32_t slot)
+    {
+        greedy_ = static_cast<int>(slot);
+        for (std::size_t k = 0; k < slots_.size(); ++k) {
+            if (slots_[k] == slot) {
+                rrNext_ = (k + 1) % slots_.size();
+                break;
+            }
+        }
+    }
+
+    /** Earliest future cycle a warp of this scheduler becomes ready. */
+    Cycles
+    nextWake(std::span<const Warp> warps, Cycles now) const
+    {
+        Cycles wake = kNoCycle;
+        for (const std::uint32_t slot : slots_) {
+            const Warp &warp = warps[slot];
+            if (warp.sleeping(now) && warp.readyAt < wake)
+                wake = warp.readyAt;
+        }
+        return wake;
+    }
+
+  private:
+    GpuConfig::SchedPolicy policy_;
+    std::uint32_t id_;
+    std::vector<std::uint32_t> slots_;
+    int greedy_ = -1;
+    mutable std::size_t rrNext_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_SCHEDULER_HH

@@ -1,0 +1,234 @@
+#include "sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+/** Coalesce per-lane addresses into unique 128 B line addresses. */
+std::vector<Addr>
+coalesce(const std::vector<Addr> &lane_addrs)
+{
+    std::vector<Addr> lines;
+    lines.reserve(lane_addrs.size());
+    for (const Addr addr : lane_addrs) {
+        if (addr == kBadAddr)
+            continue;
+        lines.push_back(MemoryImage::lineAddr(addr));
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+} // namespace
+
+StreamingMultiprocessor::StreamingMultiprocessor(
+        const GpuConfig &cfg, SmId sm_id, L2Cache *l2, MemoryImage *mem,
+        StatGroup *parent, CacheTuning tuning)
+    : StatGroup(strfmt("sm{}", sm_id), parent),
+      instructions(this, "instructions", "warp instructions issued"),
+      aluInstructions(this, "alu_instructions", "ALU/SFU instructions"),
+      memInstructions(this, "mem_instructions", "loads and stores"),
+      ctasCompleted(this, "ctas_completed", "thread blocks retired"),
+      accessesPerLoad(this, "accesses_per_load",
+                      "coalesced line accesses per load"),
+      cfg_(cfg), smId_(sm_id), mem_(mem),
+      engines_(cfg),
+      cache_(cfg, sm_id, &engines_, l2, mem, this, tuning),
+      lsu_(this),
+      warps_(cfg.maxWarpsPerSm)
+{
+    for (std::uint32_t s = 0; s < cfg.schedulersPerSm; ++s)
+        schedulers_.emplace_back(cfg.schedPolicy, s);
+    for (std::uint32_t w = 0; w < cfg.maxWarpsPerSm; ++w) {
+        warps_[w].slot = w;
+        schedulers_[w % cfg.schedulersPerSm].addSlot(w);
+    }
+}
+
+void
+StreamingMultiprocessor::startKernel(KernelProgram *program)
+{
+    latte_assert(program != nullptr);
+    program_ = program;
+    freeSlots_.clear();
+    for (std::uint32_t w = 0; w < cfg_.maxWarpsPerSm; ++w) {
+        warps_[w] = Warp{};
+        warps_[w].slot = w;
+        freeSlots_.push_back(cfg_.maxWarpsPerSm - 1 - w);
+    }
+    ctaRemaining_.clear();
+    residentCtas_ = 0;
+    lsu_.clear();
+}
+
+bool
+StreamingMultiprocessor::canTakeCta() const
+{
+    return program_ != nullptr &&
+           residentCtas_ < cfg_.maxBlocksPerSm &&
+           freeSlots_.size() >= program_->warpsPerCta();
+}
+
+void
+StreamingMultiprocessor::assignCta(Cycles now, std::uint32_t cta_index)
+{
+    latte_assert(canTakeCta());
+    const std::uint32_t warps_per_cta = program_->warpsPerCta();
+    const auto handle = static_cast<std::uint32_t>(ctaRemaining_.size());
+    ctaRemaining_.push_back(warps_per_cta);
+    ++residentCtas_;
+
+    for (std::uint32_t i = 0; i < warps_per_cta; ++i) {
+        const std::uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        Warp &warp = warps_[slot];
+        warp = Warp{};
+        warp.slot = slot;
+        warp.globalWarpId = cta_index * warps_per_cta + i;
+        warp.ctaSlot = handle;
+        warp.state = WarpState::Active;
+        warp.readyAt = now + 1;
+        warp.age = ageClock_++;
+    }
+}
+
+bool
+StreamingMultiprocessor::drained() const
+{
+    if (lsu_.busy())
+        return false;
+    for (const Warp &warp : warps_) {
+        if (warp.state == WarpState::Active ||
+            warp.state == WarpState::WaitMem) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+StreamingMultiprocessor::activeWarps() const
+{
+    std::uint32_t n = 0;
+    for (const Warp &warp : warps_) {
+        if (warp.state == WarpState::Active ||
+            warp.state == WarpState::WaitMem) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+StreamingMultiprocessor::noteIdle(std::uint64_t cycles)
+{
+    meter_.accumulate(0, cycles * schedulers_.size());
+}
+
+Cycles
+StreamingMultiprocessor::tick(Cycles now)
+{
+    lsu_.tick(now, cache_, warps_);
+
+    bool issued = false;
+    for (auto &sched : schedulers_) {
+        std::uint32_t ready = 0;
+        const int slot = sched.pick(warps_, now, ready);
+        meter_.accumulate(ready);
+        if (slot >= 0) {
+            sched.noteIssued(static_cast<std::uint32_t>(slot));
+            meter_.noteIssue(sched.id(),
+                             static_cast<std::uint32_t>(slot));
+            issueWarp(warps_[slot], now);
+            issued = true;
+        }
+    }
+
+    Cycles next = kNoCycle;
+    if (issued)
+        next = now + 1;
+    if (lsu_.busy())
+        next = std::min(next, lsu_.nextEvent(now));
+    for (const auto &sched : schedulers_)
+        next = std::min(next, sched.nextWake(warps_, now));
+    return next;
+}
+
+void
+StreamingMultiprocessor::issueWarp(Warp &warp, Cycles now)
+{
+    DecodedInstr instr = program_->fetch(warp.globalWarpId, warp.pc);
+
+    switch (instr.op) {
+      case Op::Exit:
+        finishWarp(warp);
+        return;
+
+      case Op::Alu:
+      case Op::Sfu:
+        ++instructions;
+        ++aluInstructions;
+        ++warp.pc;
+        warp.readyAt = now + std::max<Cycles>(instr.latency, 1);
+        return;
+
+      case Op::Load: {
+        ++instructions;
+        ++memInstructions;
+        ++warp.pc;
+        const auto lines = coalesce(instr.laneAddrs);
+        if (lines.empty()) {
+            warp.readyAt = now + 1;
+            return;
+        }
+        accessesPerLoad.sample(static_cast<double>(lines.size()));
+        warp.state = WarpState::WaitMem;
+        warp.readyAt = kNoCycle;
+        warp.pendingAccesses = static_cast<std::uint32_t>(lines.size());
+        warp.memReady = 0;
+        lsu_.enqueueLoad(warp.slot, lines);
+        return;
+      }
+
+      case Op::Store: {
+        ++instructions;
+        ++memInstructions;
+        ++warp.pc;
+        const auto lines = coalesce(instr.laneAddrs);
+        if (!lines.empty())
+            lsu_.enqueueStore(lines);
+        // Write-avoid: the warp does not wait for stores.
+        warp.readyAt = now + 1;
+        return;
+      }
+    }
+    latte_panic("unknown opcode");
+}
+
+void
+StreamingMultiprocessor::finishWarp(Warp &warp)
+{
+    warp.state = WarpState::Finished;
+    latte_assert(warp.ctaSlot < ctaRemaining_.size());
+    latte_assert(ctaRemaining_[warp.ctaSlot] > 0);
+    if (--ctaRemaining_[warp.ctaSlot] == 0) {
+        --residentCtas_;
+        ++ctasCompleted;
+        for (Warp &other : warps_) {
+            if (other.state == WarpState::Finished &&
+                other.ctaSlot == warp.ctaSlot) {
+                other.state = WarpState::Unassigned;
+                freeSlots_.push_back(other.slot);
+            }
+        }
+    }
+}
+
+} // namespace latte

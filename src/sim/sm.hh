@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming multiprocessor model: warp slots, two GTO schedulers, a
+ * load/store unit in front of the compressed L1, and the latency
+ * tolerance meter LATTE-CC reads. The SM is tick-driven but reports the
+ * next cycle it needs attention so the GPU loop can skip idle gaps.
+ */
+
+#ifndef LATTE_SIM_SM_HH
+#define LATTE_SIM_SM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/compressed_cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "instruction.hh"
+#include "lsu.hh"
+#include "lt_meter.hh"
+#include "scheduler.hh"
+#include "warp.hh"
+
+namespace latte
+{
+
+/** One SM with its private L1 and compression engines. */
+class StreamingMultiprocessor : public StatGroup
+{
+  public:
+    StreamingMultiprocessor(const GpuConfig &cfg, SmId sm_id, L2Cache *l2,
+                            MemoryImage *mem, StatGroup *parent,
+                            CacheTuning tuning = {});
+
+    SmId smId() const { return smId_; }
+    CompressedCache &cache() { return cache_; }
+    const CompressedCache &cache() const { return cache_; }
+    CompressionEngines &engines() { return engines_; }
+    LatencyToleranceMeter &meter() { return meter_; }
+    LoadStoreUnit &lsu() { return lsu_; }
+
+    /** Begin executing @p program; drops all warp state. */
+    void startKernel(KernelProgram *program);
+
+    /** True if another CTA fits (block and warp-slot limits). */
+    bool canTakeCta() const;
+
+    /** Place CTA @p cta_index on this SM; its warps wake at now+1. */
+    void assignCta(Cycles now, std::uint32_t cta_index);
+
+    /** True when every assigned warp finished and the LSU drained. */
+    bool drained() const;
+
+    /**
+     * Execute one cycle.
+     * @return the next cycle this SM needs to be ticked, or kNoCycle if
+     *         it is idle until more work arrives.
+     */
+    Cycles tick(Cycles now);
+
+    /** Account @p cycles of skipped (idle) time to the tolerance meter. */
+    void noteIdle(std::uint64_t cycles);
+
+    /** Resident warps currently in flight. */
+    std::uint32_t activeWarps() const;
+
+    Counter instructions;
+    Counter aluInstructions;
+    Counter memInstructions;
+    Counter ctasCompleted;
+    Average accessesPerLoad;
+
+  private:
+    void issueWarp(Warp &warp, Cycles now);
+    void finishWarp(Warp &warp);
+
+    const GpuConfig &cfg_;
+    SmId smId_;
+    MemoryImage *mem_;
+    KernelProgram *program_ = nullptr;
+
+    CompressionEngines engines_;
+    CompressedCache cache_;
+    LoadStoreUnit lsu_;
+    LatencyToleranceMeter meter_;
+
+    std::vector<Warp> warps_;
+    std::vector<WarpScheduler> schedulers_;
+    std::vector<std::uint32_t> freeSlots_;
+
+    /** Remaining unfinished warps per resident CTA handle. */
+    std::vector<std::uint32_t> ctaRemaining_;
+    std::uint32_t residentCtas_ = 0;
+    std::uint64_t ageClock_ = 0;
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_SM_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-warp execution state tracked by the SM model.
+ */
+
+#ifndef LATTE_SIM_WARP_HH
+#define LATTE_SIM_WARP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace latte
+{
+
+/** Lifecycle of a warp slot. */
+enum class WarpState : std::uint8_t
+{
+    Unassigned,  //!< slot not populated with a CTA warp
+    Active,      //!< executing (ready when readyAt <= now)
+    WaitMem,     //!< load outstanding; readyAt set once the LSU resolves it
+    Finished,    //!< hit Exit; slot reusable when the CTA drains
+};
+
+/** One warp slot in an SM. */
+struct Warp
+{
+    WarpId slot = 0;                 //!< index within the SM
+    std::uint32_t globalWarpId = 0;  //!< cta * warpsPerCta + lane group
+    std::uint32_t ctaSlot = 0;       //!< which resident CTA it belongs to
+    std::uint64_t pc = 0;
+    WarpState state = WarpState::Unassigned;
+    /** Cycle the warp can next issue; kNoCycle while WaitMem-unresolved. */
+    Cycles readyAt = 0;
+    /** Age stamp for GTO's "oldest" order (assignment order). */
+    std::uint64_t age = 0;
+
+    // --- load tracking ---
+    std::uint32_t pendingAccesses = 0;
+    Cycles memReady = 0;
+
+    bool
+    ready(Cycles now) const
+    {
+        return state == WarpState::Active && readyAt != kNoCycle &&
+               readyAt <= now;
+    }
+
+    /** True if the warp will become ready at a known future cycle. */
+    bool
+    sleeping(Cycles now) const
+    {
+        return (state == WarpState::Active ||
+                state == WarpState::WaitMem) &&
+               readyAt != kNoCycle && readyAt > now;
+    }
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_WARP_HH

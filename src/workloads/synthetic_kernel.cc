@@ -1,0 +1,177 @@
+#include "synthetic_kernel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/memory_image.hh"
+#include "value_gens.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+constexpr std::uint32_t kWarpLanes = 32;
+constexpr std::uint64_t kLine = 128;
+
+std::uint64_t
+bodyLength(const PhaseSpec &phase)
+{
+    return phase.loadsPerIter + phase.aluPerIter + phase.storesPerIter;
+}
+
+} // namespace
+
+SyntheticKernel::SyntheticKernel(KernelSpec spec)
+    : spec_(std::move(spec))
+{
+    latte_assert(!spec_.phases.empty(), "kernel needs at least one phase");
+    latte_assert(spec_.warpsPerCta >= 1 && spec_.ctas >= 1);
+
+    std::uint64_t instr = 0;
+    std::uint64_t iter = 0;
+    for (const auto &phase : spec_.phases) {
+        latte_assert(bodyLength(phase) > 0,
+                     "phase body must not be empty");
+        latte_assert(phase.pattern.sizeBytes >= kLine);
+        phaseInstrStart_.push_back(instr);
+        phaseIterStart_.push_back(iter);
+        instr += bodyLength(phase) * phase.iterations;
+        iter += phase.iterations;
+    }
+    totalInstrs_ = instr;
+}
+
+DecodedInstr
+SyntheticKernel::fetch(std::uint32_t global_warp, std::uint64_t pc)
+{
+    if (pc >= totalInstrs_)
+        return DecodedInstr{}; // Op::Exit
+
+    // Locate the phase containing pc.
+    std::size_t p = phaseInstrStart_.size() - 1;
+    while (phaseInstrStart_[p] > pc)
+        --p;
+    const PhaseSpec &phase = spec_.phases[p];
+    const std::uint64_t body = bodyLength(phase);
+    const std::uint64_t rel = pc - phaseInstrStart_[p];
+    const std::uint64_t iter = phaseIterStart_[p] + rel / body;
+    const std::uint64_t slot = rel % body;
+
+    DecodedInstr instr;
+    if (slot < phase.loadsPerIter) {
+        instr.op = Op::Load;
+        fillLaneAddrs(instr, phase.pattern, global_warp, iter,
+                      static_cast<std::uint32_t>(slot));
+    } else if (slot < phase.loadsPerIter + phase.aluPerIter) {
+        instr.op = Op::Alu;
+        instr.latency = phase.aluLatency;
+    } else {
+        instr.op = Op::Store;
+        fillLaneAddrs(instr, phase.pattern, global_warp, iter,
+                      static_cast<std::uint32_t>(slot) + 64);
+    }
+    return instr;
+}
+
+void
+SyntheticKernel::fillLaneAddrs(DecodedInstr &instr, const Pattern &pattern,
+                               std::uint32_t global_warp,
+                               std::uint64_t iter,
+                               std::uint32_t mem_idx) const
+{
+    instr.laneAddrs.resize(kWarpLanes);
+    for (std::uint32_t lane = 0; lane < kWarpLanes; ++lane) {
+        instr.laneAddrs[lane] =
+            laneAddr(pattern, global_warp, iter, mem_idx, lane);
+    }
+}
+
+Addr
+SyntheticKernel::laneAddr(const Pattern &pattern,
+                          std::uint32_t global_warp, std::uint64_t iter,
+                          std::uint32_t mem_idx, std::uint32_t lane) const
+{
+    const std::uint32_t cta = global_warp / spec_.warpsPerCta;
+    const std::uint64_t h =
+        mixHash(spec_.seed + mem_idx * 0x1000193u,
+                (static_cast<std::uint64_t>(global_warp) << 24) ^ iter);
+
+    switch (pattern.kind) {
+      case PatternKind::Streaming: {
+        const std::uint64_t total_threads =
+            static_cast<std::uint64_t>(spec_.ctas) * spec_.warpsPerCta *
+            kWarpLanes;
+        const std::uint64_t tid =
+            static_cast<std::uint64_t>(global_warp) * kWarpLanes + lane;
+        const std::uint64_t idx =
+            (tid + iter * total_threads + mem_idx * 977) *
+            pattern.elemBytes;
+        return pattern.base + idx % pattern.sizeBytes;
+      }
+
+      case PatternKind::HotReuse: {
+        const std::uint64_t slices =
+            std::max<std::uint64_t>(1,
+                                    pattern.sizeBytes /
+                                        pattern.sliceBytes);
+        const std::uint64_t slice_off =
+            (cta % slices) * pattern.sliceBytes;
+        const bool hot =
+            (h % 1024) <
+            static_cast<std::uint64_t>(pattern.hotFraction * 1024.0);
+        const std::uint64_t span =
+            std::max<std::uint64_t>(kLine,
+                                    hot ? pattern.hotBytes
+                                        : pattern.sliceBytes);
+        const std::uint64_t line_idx =
+            mixHash(h, 0x51u) % (span / kLine);
+        return pattern.base + slice_off + line_idx * kLine +
+               (lane * 4) % kLine;
+      }
+
+      case PatternKind::Irregular: {
+        const std::uint64_t slices =
+            std::max<std::uint64_t>(1,
+                                    pattern.sizeBytes /
+                                        pattern.sliceBytes);
+        const std::uint64_t slice_off =
+            (cta % slices) * pattern.sliceBytes;
+        const std::uint32_t lanes_per_group = std::max<std::uint32_t>(
+            1, kWarpLanes / std::max<std::uint32_t>(
+                   1, pattern.divergentLanes));
+        const std::uint32_t group = lane / lanes_per_group;
+        const std::uint64_t hg = mixHash(h, group + 11);
+        const bool hot =
+            (hg % 1024) <
+            static_cast<std::uint64_t>(pattern.hotFraction * 1024.0);
+        const std::uint64_t span =
+            std::max<std::uint64_t>(kLine,
+                                    hot ? pattern.hotBytes
+                                        : pattern.sliceBytes);
+        const std::uint64_t line_idx = mixHash(hg, 0x7fu) % (span / kLine);
+        return pattern.base + slice_off + line_idx * kLine +
+               (lane * 4) % kLine;
+      }
+
+      case PatternKind::Tiled: {
+        const std::uint64_t slices =
+            std::max<std::uint64_t>(1,
+                                    pattern.sizeBytes /
+                                        pattern.sliceBytes);
+        const std::uint64_t slice_off =
+            (cta % slices) * pattern.sliceBytes;
+        const std::uint64_t lines_in_slice =
+            std::max<std::uint64_t>(1, pattern.sliceBytes / kLine);
+        const std::uint64_t line_idx =
+            (iter + mem_idx * 7 +
+             (global_warp % spec_.warpsPerCta) * 3) % lines_in_slice;
+        return pattern.base + slice_off + line_idx * kLine +
+               (lane * 4) % kLine;
+      }
+    }
+    latte_panic("unknown pattern kind");
+}
+
+} // namespace latte

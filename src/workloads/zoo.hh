@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The workload zoo: synthetic stand-ins for the paper's Table III
+ * benchmarks. Each entry reproduces the benchmark's documented character
+ * along four axes: data-value locality (which compressors work), cache
+ * sensitivity, latency tolerance (warp-level parallelism and dependence
+ * structure), and temporal phase behaviour. See DESIGN.md for the
+ * substitution rationale.
+ *
+ * Note: the paper abbreviates Streamcluster as "SC", colliding with
+ * Statistical Compression; we use "STC" for the benchmark.
+ */
+
+#ifndef LATTE_WORKLOADS_ZOO_HH
+#define LATTE_WORKLOADS_ZOO_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/memory_image.hh"
+#include "synthetic_kernel.hh"
+
+namespace latte
+{
+
+/** One benchmark: memory contents plus a sequence of kernels. */
+struct Workload
+{
+    std::string abbr;
+    std::string fullName;
+    std::string suite;
+    bool cacheSensitive = false;
+    std::uint64_t seed = 1;
+    /** Install the value-generator regions this workload reads. */
+    std::function<void(MemoryImage &)> setup;
+    /** Kernel sequence (executed in order, like the app's launches). */
+    std::vector<KernelSpec> kernels;
+};
+
+/** All workloads, paper Table III order (C-InSens then C-Sens). */
+const std::vector<Workload> &workloadZoo();
+
+/** Lookup by abbreviation; nullptr if unknown. */
+const Workload *findWorkload(const std::string &abbr);
+
+/** Only the cache-sensitive (or only the insensitive) workloads. */
+std::vector<const Workload *> workloadsByCategory(bool cache_sensitive);
+
+/** Instantiate fresh KernelProgram objects for a workload. */
+std::vector<std::unique_ptr<SyntheticKernel>>
+makeKernels(const Workload &workload);
+
+} // namespace latte
+
+#endif // LATTE_WORKLOADS_ZOO_HH

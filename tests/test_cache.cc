@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the compressed L1 data cache: tag/sub-block accounting,
+ * the 4x-tag capacity expansion, write-avoid semantics, MSHR merging,
+ * decompression queueing and SC generation invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/compressed_cache.hh"
+#include "common/config.hh"
+#include "workloads/value_gens.hh"
+
+using namespace latte;
+
+namespace
+{
+
+class CacheFixture : public ::testing::Test
+{
+  protected:
+    explicit CacheFixture(CacheTuning tuning = {})
+        : root("root"), noc(cfg, &root), dram(cfg, &root),
+          l2(cfg, &noc, &dram, &root), engines(cfg),
+          cache(cfg, 0, &engines, &l2, &mem, &root, tuning)
+    {}
+
+    /** Fill a line in memory with highly BDI-compressible data. */
+    void
+    makeCompressible(Addr line_addr)
+    {
+        std::array<std::uint8_t, 128> bytes{};
+        for (unsigned i = 0; i < 32; ++i)
+            storeLe(bytes.data() + 4 * i, 1000 + i, 4);
+        mem.writeBytes(line_addr, bytes);
+    }
+
+    /** Fill a line with incompressible noise. */
+    void
+    makeRandom(Addr line_addr, std::uint64_t seed)
+    {
+        std::array<std::uint8_t, 128> bytes;
+        Rng rng(seed);
+        for (unsigned i = 0; i < 128; i += 8)
+            storeLe(bytes.data() + i, rng.next(), 8);
+        mem.writeBytes(line_addr, bytes);
+    }
+
+    /** Miss on a line, then advance past the fill so it inserts. */
+    void
+    installLine(Addr addr, Cycles &now)
+    {
+        const auto res = cache.access(now, addr, false);
+        EXPECT_FALSE(res.hit);
+        now = res.readyCycle + 1;
+        cache.processFills(now);
+    }
+
+    /** Address mapping to a specific set with a distinct tag. */
+    Addr
+    addrInSet(std::uint32_t set, std::uint32_t tag) const
+    {
+        return (static_cast<Addr>(tag) * cache.numSets() + set) * 128;
+    }
+
+    GpuConfig cfg;
+    StatGroup root;
+    MemoryImage mem;
+    Interconnect noc;
+    DramModel dram;
+    L2Cache l2;
+    CompressionEngines engines;
+    CompressedCache cache;
+};
+
+/** Fixture variant: insert everything with a fixed mode. */
+class StaticModeProvider : public CompressionModeProvider
+{
+  public:
+    explicit StaticModeProvider(CompressorId mode) : mode_(mode) {}
+    CompressorId modeForInsertion(std::uint32_t) override { return mode_; }
+
+  private:
+    CompressorId mode_;
+};
+
+} // namespace
+
+TEST_F(CacheFixture, GeometryMatchesTableII)
+{
+    EXPECT_EQ(cache.numSets(), 32u);
+    EXPECT_EQ(cache.tagsPerSet(), 16u);     // 4x tags
+    EXPECT_EQ(cache.subBlocksPerSet(), 16u); // 4 lines x 4 sub-blocks
+}
+
+TEST_F(CacheFixture, MissThenHit)
+{
+    Cycles now = 0;
+    installLine(0x1000, now);
+    EXPECT_EQ(cache.misses.count(), 1u);
+    EXPECT_EQ(cache.insertions.count(), 1u);
+
+    const auto hit = cache.access(now, 0x1000, false);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.readyCycle, now + cfg.l1HitLatency);
+}
+
+TEST_F(CacheFixture, SecondaryMissMerges)
+{
+    const auto first = cache.access(0, 0x2000, false);
+    const auto second = cache.access(1, 0x2040, false); // same line
+    EXPECT_FALSE(second.hit);
+    EXPECT_TRUE(second.merged);
+    EXPECT_EQ(second.readyCycle, first.readyCycle);
+    EXPECT_EQ(cache.mergedMisses.count(), 1u);
+    EXPECT_EQ(cache.misses.count(), 1u);
+}
+
+TEST_F(CacheFixture, MshrExhaustionRejects)
+{
+    // Fill all MSHRs with distinct lines.
+    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+        cache.access(0, 0x100000 + i * 128, false);
+    const auto res = cache.access(0, 0x900000, false);
+    EXPECT_TRUE(res.rejected);
+    EXPECT_EQ(cache.rejections.count(), 1u);
+}
+
+TEST_F(CacheFixture, UncompressedSetHoldsFourLines)
+{
+    Cycles now = 0;
+    for (std::uint32_t t = 0; t < 5; ++t)
+        installLine(addrInSet(3, t + 1), now);
+    // Fifth line evicts the LRU first line.
+    EXPECT_EQ(cache.evictions.count(), 1u);
+    const auto res = cache.access(now, addrInSet(3, 1), false);
+    EXPECT_FALSE(res.hit);
+}
+
+TEST_F(CacheFixture, CompressionExpandsCapacity)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+
+    Cycles now = 0;
+    // 8 compressible lines in one set: all should fit (BDI ~36 B
+    // -> 2 sub-blocks each, 16 sub-blocks and 16 tags available).
+    for (std::uint32_t t = 0; t < 8; ++t) {
+        makeCompressible(addrInSet(5, t + 1));
+        installLine(addrInSet(5, t + 1), now);
+    }
+    EXPECT_EQ(cache.evictions.count(), 0u);
+    for (std::uint32_t t = 0; t < 8; ++t) {
+        const auto res = cache.access(now, addrInSet(5, t + 1), false);
+        EXPECT_TRUE(res.hit) << "line " << t;
+        now = res.readyCycle;
+    }
+    EXPECT_EQ(cache.compressedInsertions.count(), 8u);
+}
+
+TEST_F(CacheFixture, IncompressibleLinesTakeFullSpace)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+
+    Cycles now = 0;
+    for (std::uint32_t t = 0; t < 5; ++t) {
+        makeRandom(addrInSet(6, t + 1), 100 + t);
+        installLine(addrInSet(6, t + 1), now);
+    }
+    // Random data stays raw: capacity is the baseline 4 lines.
+    EXPECT_GE(cache.evictions.count(), 1u);
+}
+
+TEST_F(CacheFixture, CompressedHitPaysDecompression)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+
+    Cycles now = 0;
+    makeCompressible(0x4000);
+    installLine(0x4000, now);
+
+    const auto hit = cache.access(now, 0x4000, false);
+    EXPECT_TRUE(hit.hit);
+    // hit latency + BDI decompression (2) + queue position 0 + 1.
+    EXPECT_EQ(hit.readyCycle,
+              now + cfg.l1HitLatency + cfg.timings.bdiDecompress + 1);
+    EXPECT_EQ(cache.queueFor(CompressorId::Bdi).requests.count(), 1u);
+}
+
+TEST_F(CacheFixture, DecompressionQueueBacklogGrows)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+
+    Cycles now = 0;
+    makeCompressible(0x4000);
+    installLine(0x4000, now);
+
+    const auto h1 = cache.access(now, 0x4000, false);
+    const auto h2 = cache.access(now, 0x4000, false);
+    EXPECT_GT(h2.readyCycle, h1.readyCycle)
+        << "second concurrent hit must queue behind the first";
+}
+
+TEST_F(CacheFixture, WriteHitInvalidatesLine)
+{
+    Cycles now = 0;
+    installLine(0x5000, now);
+    const auto write = cache.access(now, 0x5000, true);
+    EXPECT_TRUE(write.hit);
+    EXPECT_EQ(cache.writeInvalidations.count(), 1u);
+
+    const auto read = cache.access(now + 1, 0x5000, false);
+    EXPECT_FALSE(read.hit) << "write-avoid must drop the cached copy";
+}
+
+TEST_F(CacheFixture, WriteMissDoesNotAllocate)
+{
+    const auto write = cache.access(0, 0x6000, true);
+    EXPECT_FALSE(write.hit);
+    EXPECT_EQ(cache.insertions.count(), 0u);
+    EXPECT_EQ(l2.writes.count(), 1u);
+}
+
+TEST_F(CacheFixture, EffectiveCapacityCountsUncompressedSize)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+    Cycles now = 0;
+    for (std::uint32_t t = 0; t < 6; ++t) {
+        makeCompressible(addrInSet(7, t + 1));
+        installLine(addrInSet(7, t + 1), now);
+    }
+    EXPECT_EQ(cache.effectiveCapacityBytes(), 6u * 128u);
+    EXPECT_LT(cache.usedSubBlocks(), 6u * 4u);
+}
+
+TEST_F(CacheFixture, ScGenerationInvalidation)
+{
+    StaticModeProvider sc_mode(CompressorId::Sc);
+    cache.setModeProvider(&sc_mode);
+
+    // Train and build codes so SC actually compresses.
+    Cycles now = 0;
+    makeCompressible(0x7000);
+    engines.sc.trainLine(mem.line(0x7000));
+    engines.sc.rebuildCodes();
+
+    installLine(0x7000, now);
+    EXPECT_TRUE(cache.access(now, 0x7000, false).hit);
+
+    // Retire the generation: the line must be dropped.
+    const auto generation = engines.sc.rebuildCodes();
+    cache.invalidateScGeneration(generation);
+    EXPECT_EQ(cache.scGenerationInvalidations.count(), 1u);
+    EXPECT_FALSE(cache.access(now + 1, 0x7000, false).hit);
+}
+
+TEST_F(CacheFixture, InvalidateAllEmptiesCache)
+{
+    Cycles now = 0;
+    installLine(0x8000, now);
+    installLine(0x9000, now);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+    EXPECT_EQ(cache.effectiveCapacityBytes(), 0u);
+}
+
+// ------------------------------- tuning knobs used by Figures 3 and 4
+
+namespace
+{
+
+class NoCapacityFixture : public CacheFixture
+{
+  protected:
+    NoCapacityFixture()
+        : CacheFixture(CacheTuning{.capacityBenefit = false,
+                                   .chargeDecompression = true,
+                                   .verifyRoundTrip = false})
+    {}
+};
+
+class FreeLatencyFixture : public CacheFixture
+{
+  protected:
+    FreeLatencyFixture()
+        : CacheFixture(CacheTuning{.capacityBenefit = true,
+                                   .chargeDecompression = false,
+                                   .verifyRoundTrip = false})
+    {}
+};
+
+class VerifyFixture : public CacheFixture
+{
+  protected:
+    VerifyFixture()
+        : CacheFixture(CacheTuning{.capacityBenefit = true,
+                                   .chargeDecompression = true,
+                                   .verifyRoundTrip = true})
+    {}
+};
+
+} // namespace
+
+TEST_F(NoCapacityFixture, CompressedLinesStillTakeFullSpace)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+    Cycles now = 0;
+    for (std::uint32_t t = 0; t < 5; ++t) {
+        makeCompressible(addrInSet(2, t + 1));
+        installLine(addrInSet(2, t + 1), now);
+    }
+    EXPECT_GE(cache.evictions.count(), 1u)
+        << "without the capacity benefit the set holds 4 lines";
+}
+
+TEST_F(FreeLatencyFixture, CompressedHitsCostBaseLatency)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+    Cycles now = 0;
+    makeCompressible(0x4000);
+    installLine(0x4000, now);
+    const auto hit = cache.access(now, 0x4000, false);
+    EXPECT_EQ(hit.readyCycle, now + cfg.l1HitLatency);
+}
+
+TEST_F(VerifyFixture, RoundTripVerifiedOnHits)
+{
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+    Cycles now = 0;
+    makeCompressible(0xa000);
+    installLine(0xa000, now);
+    EXPECT_TRUE(cache.access(now, 0xa000, false).hit);
+}

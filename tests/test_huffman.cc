@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Focused tests for the canonical Huffman coder underlying SC: code
+ * optimality properties, escape handling, determinism and edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "compress/huffman.hh"
+
+using namespace latte;
+
+TEST(Huffman, EmptyFrequenciesStillBuildEscapeOnly)
+{
+    const HuffmanCode code = HuffmanCode::build({}, 1);
+    EXPECT_TRUE(code.valid());
+    EXPECT_EQ(code.numSymbols(), 0u);
+
+    BitWriter bw;
+    EXPECT_FALSE(code.encode(0xdeadbeef, bw));
+    BitReader br(bw.bytes(), bw.bitSize());
+    EXPECT_EQ(code.decode(br), 0xdeadbeefu);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBitCode)
+{
+    const HuffmanCode code = HuffmanCode::build({{42, 100}}, 1);
+    EXPECT_EQ(code.numSymbols(), 1u);
+    EXPECT_LE(code.encodedBits(42), 1u + 1u);
+
+    BitWriter bw;
+    EXPECT_TRUE(code.encode(42, bw));
+    BitReader br(bw.bytes(), bw.bitSize());
+    EXPECT_EQ(code.decode(br), 42u);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes)
+{
+    const HuffmanCode code = HuffmanCode::build(
+        {{1, 1000}, {2, 100}, {3, 10}, {4, 1}}, 1);
+    EXPECT_LE(code.encodedBits(1), code.encodedBits(2));
+    EXPECT_LE(code.encodedBits(2), code.encodedBits(3));
+    EXPECT_LE(code.encodedBits(3), code.encodedBits(4));
+}
+
+TEST(Huffman, ZeroWeightSymbolsDropped)
+{
+    const HuffmanCode code =
+        HuffmanCode::build({{1, 10}, {2, 0}}, 1);
+    EXPECT_EQ(code.numSymbols(), 1u);
+    EXPECT_FALSE(code.hasCode(2));
+    EXPECT_TRUE(code.hasCode(1));
+}
+
+TEST(Huffman, StreamOfMixedSymbolsRoundTrips)
+{
+    std::vector<HuffmanCode::Freq> freqs;
+    for (std::uint32_t v = 0; v < 200; ++v)
+        freqs.emplace_back(v * 7919, (v % 13) + 1);
+    const HuffmanCode code = HuffmanCode::build(freqs, 4);
+
+    Rng rng(3);
+    std::vector<std::uint32_t> symbols;
+    BitWriter bw;
+    for (int i = 0; i < 500; ++i) {
+        // Mix coded symbols and escapes.
+        const std::uint32_t value =
+            rng.chance(0.8)
+                ? static_cast<std::uint32_t>(rng.below(200)) * 7919
+                : static_cast<std::uint32_t>(rng.next());
+        symbols.push_back(value);
+        code.encode(value, bw);
+    }
+    BitReader br(bw.bytes(), bw.bitSize());
+    for (const std::uint32_t expected : symbols)
+        ASSERT_EQ(code.decode(br), expected);
+    EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(Huffman, KraftInequalityHolds)
+{
+    std::vector<HuffmanCode::Freq> freqs;
+    Rng rng(9);
+    for (std::uint32_t v = 0; v < 300; ++v)
+        freqs.emplace_back(v, rng.below(4096) + 1);
+    const HuffmanCode code = HuffmanCode::build(freqs, 2);
+
+    double kraft = 0;
+    for (std::uint32_t v = 0; v < 300; ++v)
+        kraft += std::pow(2.0, -double(code.encodedBits(v)));
+    // Escape adds the remaining leaf; coded symbols alone must be < 1.
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, DeterministicAcrossBuilds)
+{
+    std::vector<HuffmanCode::Freq> freqs = {
+        {10, 5}, {20, 5}, {30, 7}, {40, 7}};
+    const HuffmanCode a = HuffmanCode::build(freqs, 1);
+    const HuffmanCode b = HuffmanCode::build(freqs, 1);
+    for (const auto &[symbol, weight] : freqs)
+        EXPECT_EQ(a.encodedBits(symbol), b.encodedBits(symbol));
+}
+
+TEST(Huffman, NearOptimalAverageLength)
+{
+    // Uniform over 16 symbols: optimal average code length is 4 bits.
+    std::vector<HuffmanCode::Freq> freqs;
+    for (std::uint32_t v = 0; v < 16; ++v)
+        freqs.emplace_back(v, 100);
+    const HuffmanCode code = HuffmanCode::build(freqs, 1);
+    double total = 0;
+    for (std::uint32_t v = 0; v < 16; ++v)
+        total += code.encodedBits(v);
+    EXPECT_LE(total / 16.0, 5.0);
+    EXPECT_GE(total / 16.0, 4.0);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * End-to-end integration tests: whole-GPU runs under every policy with
+ * functional round-trip verification enabled, cross-policy invariants
+ * on real workloads, and the driver's Kernel-OPT composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hh"
+#include "workloads/value_gens.hh"
+#include "workloads/zoo.hh"
+
+using namespace latte;
+
+namespace
+{
+
+/** A scaled-down workload so integration tests stay fast. */
+Workload
+miniWorkload(bool phase_change = false)
+{
+    Workload workload;
+    workload.abbr = "MINI";
+    workload.fullName = "Miniature hot-reuse benchmark";
+    workload.suite = "tests";
+    workload.cacheSensitive = true;
+    workload.seed = 77;
+    workload.setup = [](MemoryImage &mem) {
+        mem.addRegion(0x10000000, 8 << 20,
+                      std::make_shared<IntArrayGen>(77, 100, 2, 4));
+    };
+
+    KernelSpec spec;
+    spec.name = "mini_kernel";
+    spec.ctas = 60;
+    spec.warpsPerCta = 4;
+    spec.seed = 77;
+    PhaseSpec a;
+    a.iterations = 250;
+    a.loadsPerIter = 2;
+    a.aluPerIter = 2;
+    a.aluLatency = 2;
+    a.pattern.base = 0x10000000;
+    a.pattern.sizeBytes = 8 << 20;
+    a.pattern.kind = PatternKind::HotReuse;
+    a.pattern.sliceBytes = 8 * 1024;
+    a.pattern.hotBytes = 3 * 1024;
+    a.pattern.hotFraction = 0.85;
+    spec.phases.push_back(a);
+    if (phase_change) {
+        PhaseSpec b = a;
+        b.iterations = 40;
+        b.loadsPerIter = 1;
+        b.aluPerIter = 4;
+        b.aluLatency = 8;
+        spec.phases.push_back(b);
+    }
+    workload.kernels.push_back(spec);
+    return workload;
+}
+
+} // namespace
+
+TEST(Integration, AllPoliciesRunWithRoundTripVerification)
+{
+    const Workload workload = miniWorkload();
+    DriverOptions options;
+    options.tuning.verifyRoundTrip = true; // panics on any mismatch
+
+    const PolicyKind kinds[] = {
+        PolicyKind::Baseline,        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,        PolicyKind::StaticBpc,
+        PolicyKind::AdaptiveHitCount, PolicyKind::AdaptiveCmp,
+        PolicyKind::LatteCc,         PolicyKind::LatteCcBdiBpc,
+    };
+    for (const PolicyKind kind : kinds) {
+        const auto result = runWorkload(workload, kind, options);
+        EXPECT_GT(result.cycles, 0u) << policyName(kind);
+        EXPECT_GT(result.instructions, 0u) << policyName(kind);
+        EXPECT_GT(result.hits + result.misses, 0u) << policyName(kind);
+    }
+}
+
+TEST(Integration, RunsAreDeterministic)
+{
+    const Workload workload = miniWorkload(true);
+    const auto a = runWorkload(workload, PolicyKind::LatteCc);
+    const auto b = runWorkload(workload, PolicyKind::LatteCc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.modeAccesses, b.modeAccesses);
+}
+
+TEST(Integration, PoliciesAgreeOnInstructionCount)
+{
+    // Compression changes timing, never the executed program.
+    const Workload workload = miniWorkload();
+    const auto base = runWorkload(workload, PolicyKind::Baseline);
+    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+    EXPECT_EQ(base.instructions, bdi.instructions);
+    EXPECT_EQ(base.instructions, latte.instructions);
+}
+
+TEST(Integration, BdiCompressionReducesMissesOnBdiFriendlyData)
+{
+    const Workload workload = miniWorkload();
+    const auto base = runWorkload(workload, PolicyKind::Baseline);
+    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    EXPECT_LT(bdi.misses, base.misses)
+        << "small-delta int data must compress and cut misses";
+    EXPECT_LT(bdi.cycles, base.cycles);
+}
+
+TEST(Integration, KernelOptPicksBestPerKernel)
+{
+    const Workload workload = miniWorkload();
+    const auto oracle = runWorkload(workload, PolicyKind::KernelOpt);
+    ASSERT_EQ(oracle.kernelBestModes.size(), 1u);
+    ASSERT_EQ(oracle.kernels.size(), 1u);
+
+    // The oracle's time cannot exceed any single static scheme's.
+    for (const PolicyKind kind :
+         {PolicyKind::Baseline, PolicyKind::StaticBdi,
+          PolicyKind::StaticSc}) {
+        const auto result = runWorkload(workload, kind);
+        EXPECT_LE(oracle.cycles, result.cycles) << policyName(kind);
+    }
+}
+
+TEST(Integration, LatteTracksBestStaticWithinMargin)
+{
+    const Workload workload = miniWorkload(true);
+    const auto base = runWorkload(workload, PolicyKind::Baseline);
+    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    const auto sc = runWorkload(workload, PolicyKind::StaticSc);
+    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+
+    const Cycles best = std::min({base.cycles, bdi.cycles, sc.cycles});
+    EXPECT_LT(latte.cycles,
+              static_cast<Cycles>(static_cast<double>(best) * 1.35))
+        << "adaptive management must stay within 35% of the best "
+           "static scheme on a stable workload";
+}
+
+TEST(Integration, TraceAndToleranceArePopulated)
+{
+    const Workload workload = miniWorkload(true);
+    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+    EXPECT_FALSE(latte.trace.empty());
+    std::uint64_t mode_total = 0;
+    for (const auto count : latte.modeAccesses)
+        mode_total += count;
+    EXPECT_GT(mode_total, 0u);
+}
+
+TEST(Integration, EnergyOrderingMatchesWork)
+{
+    const Workload workload = miniWorkload();
+    const auto base = runWorkload(workload, PolicyKind::Baseline);
+    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    // BDI runs faster and moves less data: total energy must drop.
+    EXPECT_LT(bdi.energy.totalMj(), base.energy.totalMj());
+}
+
+TEST(Integration, LargerCacheNeverSlower)
+{
+    const Workload workload = miniWorkload();
+    const auto small = runWorkload(workload, PolicyKind::Baseline);
+    DriverOptions big;
+    big.cfg.l1SizeBytes = 64 * 1024;
+    const auto large = runWorkload(workload, PolicyKind::Baseline, big);
+    EXPECT_LE(large.cycles, small.cycles);
+    EXPECT_LE(large.misses, small.misses);
+}
+
+TEST(Integration, ZooSmokeEveryWorkloadUnderLatte)
+{
+    // Cheap smoke: one truncated run per workload with verification on.
+    DriverOptions options;
+    options.tuning.verifyRoundTrip = true;
+    options.maxInstructionsPerKernel = 30000;
+    for (const auto &workload : workloadZoo()) {
+        const auto result =
+            runWorkload(workload, PolicyKind::LatteCc, options);
+        EXPECT_GT(result.instructions, 0u) << workload.abbr;
+    }
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the load/store unit: one L1 access per cycle, warp wakeup
+ * on the last outstanding access, MSHR-full back-off, and store
+ * fire-and-forget behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/lsu.hh"
+
+using namespace latte;
+
+namespace
+{
+
+class LsuFixture : public ::testing::Test
+{
+  protected:
+    LsuFixture()
+        : root("root"), noc(cfg, &root), dram(cfg, &root),
+          l2(cfg, &noc, &dram, &root), engines(cfg),
+          cache(cfg, 0, &engines, &l2, &mem, &root), lsu(&root),
+          warps(4)
+    {
+        for (unsigned i = 0; i < warps.size(); ++i) {
+            warps[i].slot = i;
+            warps[i].state = WarpState::Active;
+        }
+    }
+
+    /** Put warp @p slot into WaitMem expecting @p n accesses. */
+    void
+    startLoad(std::uint32_t slot, std::vector<Addr> lines)
+    {
+        warps[slot].state = WarpState::WaitMem;
+        warps[slot].readyAt = kNoCycle;
+        warps[slot].pendingAccesses =
+            static_cast<std::uint32_t>(lines.size());
+        warps[slot].memReady = 0;
+        lsu.enqueueLoad(slot, lines);
+    }
+
+    GpuConfig cfg;
+    StatGroup root;
+    MemoryImage mem;
+    Interconnect noc;
+    DramModel dram;
+    L2Cache l2;
+    CompressionEngines engines;
+    CompressedCache cache;
+    LoadStoreUnit lsu;
+    std::vector<Warp> warps;
+};
+
+} // namespace
+
+TEST_F(LsuFixture, OneAccessPerCycle)
+{
+    startLoad(0, {0x1000, 0x2000, 0x3000});
+    EXPECT_EQ(lsu.depth(), 3u);
+    lsu.tick(0, cache, warps);
+    EXPECT_EQ(lsu.depth(), 2u);
+    lsu.tick(1, cache, warps);
+    lsu.tick(2, cache, warps);
+    EXPECT_FALSE(lsu.busy());
+    EXPECT_EQ(lsu.accessesIssued.count(), 3u);
+}
+
+TEST_F(LsuFixture, WarpWakesAfterLastAccess)
+{
+    startLoad(0, {0x1000, 0x2000});
+    lsu.tick(0, cache, warps);
+    EXPECT_EQ(warps[0].state, WarpState::WaitMem);
+    EXPECT_EQ(warps[0].readyAt, kNoCycle);
+    lsu.tick(1, cache, warps);
+    EXPECT_EQ(warps[0].state, WarpState::Active);
+    EXPECT_NE(warps[0].readyAt, kNoCycle);
+    // Both are misses: the wakeup is the slower of the two fills.
+    EXPECT_GE(warps[0].readyAt, cfg.l2MinLatency);
+}
+
+TEST_F(LsuFixture, StoresDoNotTouchWarps)
+{
+    lsu.enqueueStore(std::vector<Addr>{0x4000});
+    lsu.tick(0, cache, warps);
+    EXPECT_FALSE(lsu.busy());
+    for (const auto &warp : warps)
+        EXPECT_EQ(warp.state, WarpState::Active);
+    EXPECT_EQ(cache.stores.count(), 1u);
+}
+
+TEST_F(LsuFixture, MshrFullBacksOffUntilFill)
+{
+    // Exhaust the MSHRs with distinct-line loads from warp 1.
+    std::vector<Addr> lines;
+    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+        lines.push_back(0x100000 + i * 128);
+    startLoad(1, lines);
+    Cycles now = 0;
+    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+        lsu.tick(now++, cache, warps);
+    EXPECT_FALSE(lsu.busy());
+
+    // The next access is rejected and the LSU must sleep, not spin.
+    startLoad(0, {0x900000});
+    lsu.tick(now, cache, warps);
+    EXPECT_TRUE(lsu.busy());
+    EXPECT_GT(lsu.nextEvent(now), now + 1)
+        << "after a rejection the LSU sleeps until the next fill";
+    EXPECT_EQ(lsu.retries.count(), 1u);
+
+    // At the fill time the retry succeeds.
+    const Cycles retry = lsu.nextEvent(now);
+    lsu.tick(retry, cache, warps);
+    EXPECT_FALSE(lsu.busy());
+}
+
+TEST_F(LsuFixture, InterleavedWarpsTrackIndependently)
+{
+    startLoad(0, {0x1000});
+    startLoad(2, {0x5000});
+    lsu.tick(0, cache, warps);
+    EXPECT_EQ(warps[0].state, WarpState::Active);
+    EXPECT_EQ(warps[2].state, WarpState::WaitMem);
+    lsu.tick(1, cache, warps);
+    EXPECT_EQ(warps[2].state, WarpState::Active);
+}
+
+TEST_F(LsuFixture, ClearDropsQueueAndBackoff)
+{
+    startLoad(0, {0x1000, 0x2000});
+    lsu.clear();
+    EXPECT_FALSE(lsu.busy());
+    EXPECT_EQ(lsu.depth(), 0u);
+}

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit and integration tests for the SIMT core model: the GTO/LRR
+ * schedulers, CTA placement, end-to-end kernel execution, idle-gap
+ * skipping, and the memory pipeline under the full GPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hh"
+#include "sim/scheduler.hh"
+#include "workloads/synthetic_kernel.hh"
+#include "workloads/value_gens.hh"
+
+using namespace latte;
+
+// ---------------------------------------------------------- scheduler
+
+namespace
+{
+
+std::vector<Warp>
+makeWarps(unsigned n, Cycles ready_at = 0)
+{
+    std::vector<Warp> warps(n);
+    for (unsigned i = 0; i < n; ++i) {
+        warps[i].slot = i;
+        warps[i].state = WarpState::Active;
+        warps[i].readyAt = ready_at;
+        warps[i].age = i;
+    }
+    return warps;
+}
+
+} // namespace
+
+TEST(Scheduler, GtoStaysGreedy)
+{
+    WarpScheduler sched(GpuConfig::SchedPolicy::GTO, 0);
+    for (unsigned i = 0; i < 4; ++i)
+        sched.addSlot(i);
+    auto warps = makeWarps(4);
+
+    std::uint32_t ready = 0;
+    int pick = sched.pick(warps, 0, ready);
+    EXPECT_EQ(ready, 4u);
+    EXPECT_EQ(pick, 0); // oldest first
+    sched.noteIssued(2); // pretend 2 became the greedy warp
+    pick = sched.pick(warps, 1, ready);
+    EXPECT_EQ(pick, 2) << "GTO sticks with the greedy warp while ready";
+}
+
+TEST(Scheduler, GtoFallsBackToOldest)
+{
+    WarpScheduler sched(GpuConfig::SchedPolicy::GTO, 0);
+    for (unsigned i = 0; i < 4; ++i)
+        sched.addSlot(i);
+    auto warps = makeWarps(4);
+    warps[0].age = 100; // make warp 1 the oldest
+    sched.noteIssued(3);
+    warps[3].readyAt = 50; // greedy stalls
+
+    std::uint32_t ready = 0;
+    const int pick = sched.pick(warps, 0, ready);
+    EXPECT_EQ(pick, 1);
+    EXPECT_EQ(ready, 3u);
+}
+
+TEST(Scheduler, NoReadyWarps)
+{
+    WarpScheduler sched(GpuConfig::SchedPolicy::GTO, 0);
+    sched.addSlot(0);
+    auto warps = makeWarps(1, /*ready_at=*/100);
+    std::uint32_t ready = 0;
+    EXPECT_EQ(sched.pick(warps, 0, ready), -1);
+    EXPECT_EQ(ready, 0u);
+    EXPECT_EQ(sched.nextWake(warps, 0), 100u);
+}
+
+TEST(Scheduler, LrrRotates)
+{
+    WarpScheduler sched(GpuConfig::SchedPolicy::LRR, 0);
+    for (unsigned i = 0; i < 3; ++i)
+        sched.addSlot(i);
+    auto warps = makeWarps(3);
+
+    std::uint32_t ready = 0;
+    int pick = sched.pick(warps, 0, ready);
+    EXPECT_EQ(pick, 0);
+    sched.noteIssued(0);
+    pick = sched.pick(warps, 1, ready);
+    EXPECT_EQ(pick, 1);
+    sched.noteIssued(1);
+    pick = sched.pick(warps, 2, ready);
+    EXPECT_EQ(pick, 2);
+}
+
+// ----------------------------------------------------- whole-GPU runs
+
+namespace
+{
+
+KernelSpec
+tinyKernel(std::uint32_t ctas, std::uint32_t wpc, std::uint32_t iters)
+{
+    KernelSpec spec;
+    spec.name = "tiny";
+    spec.ctas = ctas;
+    spec.warpsPerCta = wpc;
+    spec.seed = 42;
+    PhaseSpec phase;
+    phase.iterations = iters;
+    phase.loadsPerIter = 1;
+    phase.aluPerIter = 2;
+    phase.aluLatency = 2;
+    phase.storesPerIter = 0;
+    phase.pattern.kind = PatternKind::Streaming;
+    phase.pattern.base = 0x10000000;
+    phase.pattern.sizeBytes = 1 << 20;
+    spec.phases.push_back(phase);
+    return spec;
+}
+
+} // namespace
+
+TEST(Gpu, RunsTinyKernelToCompletion)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+
+    SyntheticKernel kernel(tinyKernel(4, 2, 5));
+    const RunResult result = gpu.runKernel(kernel);
+    EXPECT_TRUE(result.completed);
+    // 4 CTAs x 2 warps x 5 iters x 3 instructions.
+    EXPECT_EQ(result.instructions, 4u * 2 * 5 * 3);
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(Gpu, InstructionBudgetStopsEarly)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+
+    SyntheticKernel kernel(tinyKernel(64, 8, 100));
+    const RunResult result = gpu.runKernel(kernel, /*max instrs=*/1000);
+    EXPECT_FALSE(result.completed);
+    EXPECT_GE(result.instructions, 1000u);
+    EXPECT_LT(result.instructions, 64u * 8 * 100 * 3);
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    const auto run = [] {
+        MemoryImage mem;
+        GpuConfig cfg;
+        Gpu gpu(cfg, &mem);
+        SyntheticKernel kernel(tinyKernel(8, 4, 20));
+        return gpu.runKernel(kernel).cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Gpu, CtaLimitsRespected)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+
+    // 8 warps per CTA: at most 6 CTAs (48 warp slots) fit per SM even
+    // though the block limit is 8.
+    SyntheticKernel kernel(tinyKernel(200, 8, 3));
+    auto &sm = gpu.sm(0);
+    sm.startKernel(&kernel);
+    std::uint32_t placed = 0;
+    while (sm.canTakeCta()) {
+        sm.assignCta(0, placed);
+        ++placed;
+    }
+    EXPECT_EQ(placed, 6u);
+    EXPECT_EQ(sm.activeWarps(), 48u);
+}
+
+TEST(Gpu, WarpSlotLimitWithSmallCtas)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+
+    // 2 warps per CTA: the 8-block limit binds first -> 16 warps.
+    SyntheticKernel kernel(tinyKernel(200, 2, 3));
+    auto &sm = gpu.sm(0);
+    sm.startKernel(&kernel);
+    std::uint32_t placed = 0;
+    while (sm.canTakeCta()) {
+        sm.assignCta(0, placed);
+        ++placed;
+    }
+    EXPECT_EQ(placed, 8u);
+    EXPECT_EQ(sm.activeWarps(), 16u);
+}
+
+TEST(Gpu, MultipleKernelsAccumulateClock)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+    SyntheticKernel kernel(tinyKernel(4, 2, 5));
+
+    const RunResult first = gpu.runKernel(kernel);
+    const Cycles after_first = gpu.now();
+    const RunResult second = gpu.runKernel(kernel);
+    EXPECT_EQ(gpu.now(), after_first + second.cycles);
+    EXPECT_EQ(first.instructions, second.instructions);
+}
+
+TEST(Gpu, MemoryTrafficReachesL2AndDram)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+    SyntheticKernel kernel(tinyKernel(16, 4, 20));
+    gpu.runKernel(kernel);
+
+    EXPECT_GT(gpu.totalL1Misses(), 0u);
+    EXPECT_GT(gpu.l2().reads.count(), 0u);
+    EXPECT_GT(gpu.dram().accesses.count(), 0u);
+    EXPECT_GT(gpu.noc().bytesMoved.count(), 0u);
+    // Streaming has no reuse: essentially everything misses.
+    EXPECT_GT(gpu.totalL1Misses(), gpu.totalL1Hits());
+}
+
+TEST(Gpu, StoresAreWriteAvoid)
+{
+    MemoryImage mem;
+    GpuConfig cfg;
+    Gpu gpu(cfg, &mem);
+
+    KernelSpec spec = tinyKernel(8, 2, 10);
+    spec.phases[0].storesPerIter = 2;
+    SyntheticKernel kernel(spec);
+    gpu.runKernel(kernel);
+
+    std::uint64_t stores = 0;
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
+        stores += gpu.sm(i).cache().stores.count();
+    EXPECT_GT(stores, 0u);
+    EXPECT_GT(gpu.l2().writes.count(), 0u);
+}
+
+TEST(SyntheticKernel, FetchIsDeterministic)
+{
+    SyntheticKernel kernel(tinyKernel(4, 2, 8));
+    for (std::uint64_t pc = 0; pc < kernel.instructionsPerWarp(); ++pc) {
+        const auto a = kernel.fetch(3, pc);
+        const auto b = kernel.fetch(3, pc);
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.laneAddrs, b.laneAddrs);
+    }
+    EXPECT_EQ(kernel.fetch(3, kernel.instructionsPerWarp()).op,
+              Op::Exit);
+}
+
+TEST(SyntheticKernel, PhaseTransitionsChangeBody)
+{
+    KernelSpec spec = tinyKernel(1, 1, 4);
+    PhaseSpec second = spec.phases[0];
+    second.loadsPerIter = 0;
+    second.aluPerIter = 1;
+    second.iterations = 2;
+    spec.phases.push_back(second);
+    SyntheticKernel kernel(spec);
+
+    // Phase 1 bodies contain loads; phase 2 bodies are pure ALU.
+    EXPECT_EQ(kernel.fetch(0, 0).op, Op::Load);
+    const std::uint64_t phase2_start = 4 * 3;
+    EXPECT_EQ(kernel.fetch(0, phase2_start).op, Op::Alu);
+    EXPECT_EQ(kernel.instructionsPerWarp(), 4u * 3 + 2);
+}
+
+TEST(SyntheticKernel, AddressesStayInRegion)
+{
+    KernelSpec spec = tinyKernel(8, 2, 16);
+    spec.phases[0].pattern.kind = PatternKind::Irregular;
+    spec.phases[0].pattern.sliceBytes = 4096;
+    spec.phases[0].pattern.hotBytes = 1024;
+    spec.phases[0].pattern.divergentLanes = 8;
+    SyntheticKernel kernel(spec);
+
+    const Addr base = spec.phases[0].pattern.base;
+    const Addr end = base + spec.phases[0].pattern.sizeBytes;
+    for (std::uint32_t warp = 0; warp < 16; ++warp) {
+        for (std::uint64_t pc = 0; pc < 8; ++pc) {
+            const auto instr = kernel.fetch(warp, pc);
+            if (instr.op != Op::Load)
+                continue;
+            for (const Addr addr : instr.laneAddrs) {
+                EXPECT_GE(addr, base);
+                EXPECT_LT(addr, end);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the workload zoo and value generators: catalog integrity,
+ * determinism, compression affinities of the value profiles, and the
+ * kernel geometry limits the SM model depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compress/factory.hh"
+#include "compress/sc.hh"
+#include "workloads/value_gens.hh"
+#include "workloads/zoo.hh"
+
+using namespace latte;
+
+// ----------------------------------------------------------------- zoo
+
+TEST(Zoo, CatalogIsComplete)
+{
+    const auto &zoo = workloadZoo();
+    EXPECT_GE(zoo.size(), 20u) << "Table III lists 20+ workloads";
+
+    std::set<std::string> abbrs;
+    for (const auto &workload : zoo) {
+        EXPECT_TRUE(abbrs.insert(workload.abbr).second)
+            << "duplicate abbreviation " << workload.abbr;
+        EXPECT_FALSE(workload.fullName.empty());
+        EXPECT_FALSE(workload.kernels.empty());
+        EXPECT_TRUE(workload.setup != nullptr);
+    }
+
+    // The paper's headline workloads must be present.
+    for (const char *abbr : {"SS", "KM", "MM", "BC", "CLR", "FW", "PRK",
+                             "DJK", "MIS", "PF", "BFS", "HW"}) {
+        EXPECT_NE(findWorkload(abbr), nullptr) << abbr;
+    }
+    EXPECT_EQ(findWorkload("NOPE"), nullptr);
+}
+
+TEST(Zoo, CategoriesSplitBothWays)
+{
+    EXPECT_GE(workloadsByCategory(true).size(), 8u);
+    EXPECT_GE(workloadsByCategory(false).size(), 8u);
+}
+
+TEST(Zoo, KernelsInstantiateWithValidGeometry)
+{
+    const GpuConfig cfg;
+    for (const auto &workload : workloadZoo()) {
+        const auto kernels = makeKernels(workload);
+        EXPECT_EQ(kernels.size(), workload.kernels.size());
+        for (const auto &kernel : kernels) {
+            EXPECT_GE(kernel->numCtas(), 1u);
+            EXPECT_GE(kernel->warpsPerCta(), 1u);
+            EXPECT_LE(kernel->warpsPerCta(), cfg.maxWarpsPerSm);
+            EXPECT_GT(kernel->instructionsPerWarp(), 0u);
+        }
+    }
+}
+
+TEST(Zoo, SetupPopulatesMemory)
+{
+    for (const auto &workload : workloadZoo()) {
+        MemoryImage mem;
+        workload.setup(mem);
+        // The data region must generate non-trivial content lazily for
+        // at least one of a few probed lines (zeros are legal for some
+        // generators, so just check the call path works).
+        const auto &line = mem.line(0x10000000);
+        (void)line;
+        SUCCEED();
+    }
+}
+
+// ------------------------------------------------------ value profiles
+
+namespace
+{
+
+using Line = std::array<std::uint8_t, 128>;
+
+double
+ratioUnder(LineGenerator &gen, CompressorId id, unsigned n_lines = 256)
+{
+    auto engine = makeCompressor(id);
+    std::vector<Line> lines(n_lines);
+    for (unsigned i = 0; i < n_lines; ++i)
+        gen.generate(i * 128, lines[i]);
+    if (id == CompressorId::Sc) {
+        auto *sc = static_cast<ScCompressor *>(engine.get());
+        for (const auto &line : lines)
+            sc->trainLine(line);
+        sc->rebuildCodes();
+    }
+    double bits = 0;
+    for (const auto &line : lines)
+        bits += engine->compress(line).sizeBits;
+    return n_lines * 1024.0 / bits;
+}
+
+} // namespace
+
+TEST(ValueGens, Deterministic)
+{
+    IntArrayGen gen(5, 100, 3, 7);
+    Line a, b;
+    gen.generate(0x1000, a);
+    gen.generate(0x1000, b);
+    EXPECT_EQ(a, b);
+    gen.generate(0x1080, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(ValueGens, SmallDeltaIntsFavourBdi)
+{
+    IntArrayGen gen(5, 100, 3, 5);
+    EXPECT_GT(ratioUnder(gen, CompressorId::Bdi), 2.0);
+}
+
+TEST(ValueGens, LargeStrideRampsFavourBpcOverBdi)
+{
+    IntArrayGen gen(6, 100, 50000, 0);
+    const double bpc = ratioUnder(gen, CompressorId::Bpc);
+    const double bdi = ratioUnder(gen, CompressorId::Bdi);
+    EXPECT_GT(bpc, 4.0);
+    EXPECT_GT(bpc, 2.0 * bdi);
+}
+
+TEST(ValueGens, PaletteFavoursScOverBdi)
+{
+    PaletteGen gen(7, 64, true, 1.2, 0.15);
+    const double sc = ratioUnder(gen, CompressorId::Sc);
+    const double bdi = ratioUnder(gen, CompressorId::Bdi);
+    EXPECT_GT(sc, 2.0);
+    EXPECT_LT(bdi, 1.2);
+    EXPECT_GT(sc, 1.5 * bdi);
+}
+
+TEST(ValueGens, NoiseFractionCapsScRatio)
+{
+    PaletteGen clean(8, 32, true, 1.2, 0.0);
+    PaletteGen noisy(8, 32, true, 1.2, 0.4);
+    EXPECT_GT(ratioUnder(clean, CompressorId::Sc),
+              ratioUnder(noisy, CompressorId::Sc));
+}
+
+TEST(ValueGens, FloatNoiseResistsEverything)
+{
+    FloatNoiseGen gen(9, 1.0f, 1.0f);
+    for (const CompressorId id :
+         {CompressorId::Bdi, CompressorId::Fpc, CompressorId::CpackZ}) {
+        EXPECT_LT(ratioUnder(gen, id), 1.3)
+            << compressorName(id);
+    }
+}
+
+TEST(ValueGens, PointersFavourWideBaseBdi)
+{
+    PointerArrayGen gen(10, 0x7f0000000000ull, 1 << 20);
+    EXPECT_GT(ratioUnder(gen, CompressorId::Bdi), 1.4);
+}
+
+TEST(ValueGens, MixBlendsProfiles)
+{
+    auto zeros = std::make_shared<ZeroGen>();
+    auto noise = std::make_shared<FloatNoiseGen>(11, 1.0f, 1.0f);
+    MixGen mix(12, zeros, noise, 0.5);
+
+    unsigned zero_lines = 0;
+    Line line;
+    for (unsigned i = 0; i < 200; ++i) {
+        mix.generate(i * 128, line);
+        bool all_zero = true;
+        for (const auto byte : line)
+            all_zero &= byte == 0;
+        zero_lines += all_zero;
+    }
+    EXPECT_GT(zero_lines, 60u);
+    EXPECT_LT(zero_lines, 140u);
+}
+
+TEST(ValueGens, MixHashSpreads)
+{
+    std::set<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        values.insert(mixHash(1, i));
+    EXPECT_EQ(values.size(), 1000u);
+}
