@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dedicated_sets.dir/ablation_dedicated_sets.cc.o"
+  "CMakeFiles/ablation_dedicated_sets.dir/ablation_dedicated_sets.cc.o.d"
+  "ablation_dedicated_sets"
+  "ablation_dedicated_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dedicated_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

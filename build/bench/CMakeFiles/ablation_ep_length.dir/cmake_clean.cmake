@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ep_length.dir/ablation_ep_length.cc.o"
+  "CMakeFiles/ablation_ep_length.dir/ablation_ep_length.cc.o.d"
+  "ablation_ep_length"
+  "ablation_ep_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ep_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static_modes.dir/ablation_static_modes.cc.o"
+  "CMakeFiles/ablation_static_modes.dir/ablation_static_modes.cc.o.d"
+  "ablation_static_modes"
+  "ablation_static_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hit_latency_sensitivity.dir/fig01_hit_latency_sensitivity.cc.o"
+  "CMakeFiles/fig01_hit_latency_sensitivity.dir/fig01_hit_latency_sensitivity.cc.o.d"
+  "fig01_hit_latency_sensitivity"
+  "fig01_hit_latency_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hit_latency_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_capacity_upper_bound.dir/fig03_capacity_upper_bound.cc.o"
+  "CMakeFiles/fig03_capacity_upper_bound.dir/fig03_capacity_upper_bound.cc.o.d"
+  "fig03_capacity_upper_bound"
+  "fig03_capacity_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_capacity_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_decompression_penalty.dir/fig04_decompression_penalty.cc.o"
+  "CMakeFiles/fig04_decompression_penalty.dir/fig04_decompression_penalty.cc.o.d"
+  "fig04_decompression_penalty"
+  "fig04_decompression_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_decompression_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_latency_tolerance_trace.dir/fig05_latency_tolerance_trace.cc.o"
+  "CMakeFiles/fig05_latency_tolerance_trace.dir/fig05_latency_tolerance_trace.cc.o.d"
+  "fig05_latency_tolerance_trace"
+  "fig05_latency_tolerance_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_latency_tolerance_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

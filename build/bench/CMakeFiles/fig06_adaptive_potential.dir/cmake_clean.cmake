@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_adaptive_potential.dir/fig06_adaptive_potential.cc.o"
+  "CMakeFiles/fig06_adaptive_potential.dir/fig06_adaptive_potential.cc.o.d"
+  "fig06_adaptive_potential"
+  "fig06_adaptive_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_adaptive_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

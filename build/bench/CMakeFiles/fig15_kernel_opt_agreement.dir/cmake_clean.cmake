@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_kernel_opt_agreement.dir/fig15_kernel_opt_agreement.cc.o"
+  "CMakeFiles/fig15_kernel_opt_agreement.dir/fig15_kernel_opt_agreement.cc.o.d"
+  "fig15_kernel_opt_agreement"
+  "fig15_kernel_opt_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_kernel_opt_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_effective_capacity.dir/fig16_effective_capacity.cc.o"
+  "CMakeFiles/fig16_effective_capacity.dir/fig16_effective_capacity.cc.o.d"
+  "fig16_effective_capacity"
+  "fig16_effective_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_effective_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

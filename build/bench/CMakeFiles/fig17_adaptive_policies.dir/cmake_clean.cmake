@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_adaptive_policies.dir/fig17_adaptive_policies.cc.o"
+  "CMakeFiles/fig17_adaptive_policies.dir/fig17_adaptive_policies.cc.o.d"
+  "fig17_adaptive_policies"
+  "fig17_adaptive_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_adaptive_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_bdi_bpc.dir/fig18_bdi_bpc.cc.o"
+  "CMakeFiles/fig18_bdi_bpc.dir/fig18_bdi_bpc.cc.o.d"
+  "fig18_bdi_bpc"
+  "fig18_bdi_bpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_bdi_bpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_cache_size.dir/sens_cache_size.cc.o"
+  "CMakeFiles/sens_cache_size.dir/sens_cache_size.cc.o.d"
+  "sens_cache_size"
+  "sens_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

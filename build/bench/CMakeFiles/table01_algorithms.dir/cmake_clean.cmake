@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_algorithms.dir/table01_algorithms.cc.o"
+  "CMakeFiles/table01_algorithms.dir/table01_algorithms.cc.o.d"
+  "table01_algorithms"
+  "table01_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_workloads.dir/table03_workloads.cc.o"
+  "CMakeFiles/table03_workloads.dir/table03_workloads.cc.o.d"
+  "table03_workloads"
+  "table03_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

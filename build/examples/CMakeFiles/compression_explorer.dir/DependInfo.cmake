@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compression_explorer.cpp" "examples/CMakeFiles/compression_explorer.dir/compression_explorer.cpp.o" "gcc" "examples/CMakeFiles/compression_explorer.dir/compression_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/latte_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/latte_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/latte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/latte_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/latte_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latte_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/latte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tolerance_probe.dir/latency_tolerance_probe.cpp.o"
+  "CMakeFiles/latency_tolerance_probe.dir/latency_tolerance_probe.cpp.o.d"
+  "latency_tolerance_probe"
+  "latency_tolerance_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tolerance_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_sim_cli.dir/latte_sim.cpp.o"
+  "CMakeFiles/latte_sim_cli.dir/latte_sim.cpp.o.d"
+  "lattesim"
+  "lattesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_calibration.dir/zoo_calibration.cpp.o"
+  "CMakeFiles/zoo_calibration.dir/zoo_calibration.cpp.o.d"
+  "zoo_calibration"
+  "zoo_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

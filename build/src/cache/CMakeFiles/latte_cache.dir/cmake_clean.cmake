@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_cache.dir/compressed_cache.cc.o"
+  "CMakeFiles/latte_cache.dir/compressed_cache.cc.o.d"
+  "liblatte_cache.a"
+  "liblatte_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

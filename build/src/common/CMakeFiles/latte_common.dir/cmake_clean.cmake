@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_common.dir/logging.cc.o"
+  "CMakeFiles/latte_common.dir/logging.cc.o.d"
+  "CMakeFiles/latte_common.dir/stats.cc.o"
+  "CMakeFiles/latte_common.dir/stats.cc.o.d"
+  "liblatte_common.a"
+  "liblatte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

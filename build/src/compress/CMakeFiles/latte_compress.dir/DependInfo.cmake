@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cc" "src/compress/CMakeFiles/latte_compress.dir/bdi.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/bdi.cc.o.d"
+  "/root/repo/src/compress/bpc.cc" "src/compress/CMakeFiles/latte_compress.dir/bpc.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/bpc.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/latte_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/cpack.cc" "src/compress/CMakeFiles/latte_compress.dir/cpack.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/cpack.cc.o.d"
+  "/root/repo/src/compress/factory.cc" "src/compress/CMakeFiles/latte_compress.dir/factory.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/factory.cc.o.d"
+  "/root/repo/src/compress/fpc.cc" "src/compress/CMakeFiles/latte_compress.dir/fpc.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/fpc.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/latte_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/sc.cc" "src/compress/CMakeFiles/latte_compress.dir/sc.cc.o" "gcc" "src/compress/CMakeFiles/latte_compress.dir/sc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/latte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_compress.dir/bdi.cc.o"
+  "CMakeFiles/latte_compress.dir/bdi.cc.o.d"
+  "CMakeFiles/latte_compress.dir/bpc.cc.o"
+  "CMakeFiles/latte_compress.dir/bpc.cc.o.d"
+  "CMakeFiles/latte_compress.dir/compressor.cc.o"
+  "CMakeFiles/latte_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/latte_compress.dir/cpack.cc.o"
+  "CMakeFiles/latte_compress.dir/cpack.cc.o.d"
+  "CMakeFiles/latte_compress.dir/factory.cc.o"
+  "CMakeFiles/latte_compress.dir/factory.cc.o.d"
+  "CMakeFiles/latte_compress.dir/fpc.cc.o"
+  "CMakeFiles/latte_compress.dir/fpc.cc.o.d"
+  "CMakeFiles/latte_compress.dir/huffman.cc.o"
+  "CMakeFiles/latte_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/latte_compress.dir/sc.cc.o"
+  "CMakeFiles/latte_compress.dir/sc.cc.o.d"
+  "liblatte_compress.a"
+  "liblatte_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_core.dir/driver.cc.o"
+  "CMakeFiles/latte_core.dir/driver.cc.o.d"
+  "CMakeFiles/latte_core.dir/policies.cc.o"
+  "CMakeFiles/latte_core.dir/policies.cc.o.d"
+  "CMakeFiles/latte_core.dir/report.cc.o"
+  "CMakeFiles/latte_core.dir/report.cc.o.d"
+  "liblatte_core.a"
+  "liblatte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

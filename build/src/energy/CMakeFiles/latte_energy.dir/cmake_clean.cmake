@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_energy.dir/energy_model.cc.o"
+  "CMakeFiles/latte_energy.dir/energy_model.cc.o.d"
+  "liblatte_energy.a"
+  "liblatte_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

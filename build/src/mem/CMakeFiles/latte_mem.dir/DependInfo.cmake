@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/latte_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/latte_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/mem/CMakeFiles/latte_mem.dir/interconnect.cc.o" "gcc" "src/mem/CMakeFiles/latte_mem.dir/interconnect.cc.o.d"
+  "/root/repo/src/mem/l2cache.cc" "src/mem/CMakeFiles/latte_mem.dir/l2cache.cc.o" "gcc" "src/mem/CMakeFiles/latte_mem.dir/l2cache.cc.o.d"
+  "/root/repo/src/mem/memory_image.cc" "src/mem/CMakeFiles/latte_mem.dir/memory_image.cc.o" "gcc" "src/mem/CMakeFiles/latte_mem.dir/memory_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/latte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

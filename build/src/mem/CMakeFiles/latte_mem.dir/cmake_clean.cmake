@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_mem.dir/dram.cc.o"
+  "CMakeFiles/latte_mem.dir/dram.cc.o.d"
+  "CMakeFiles/latte_mem.dir/interconnect.cc.o"
+  "CMakeFiles/latte_mem.dir/interconnect.cc.o.d"
+  "CMakeFiles/latte_mem.dir/l2cache.cc.o"
+  "CMakeFiles/latte_mem.dir/l2cache.cc.o.d"
+  "CMakeFiles/latte_mem.dir/memory_image.cc.o"
+  "CMakeFiles/latte_mem.dir/memory_image.cc.o.d"
+  "liblatte_mem.a"
+  "liblatte_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_sim.dir/gpu.cc.o"
+  "CMakeFiles/latte_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/latte_sim.dir/sm.cc.o"
+  "CMakeFiles/latte_sim.dir/sm.cc.o.d"
+  "liblatte_sim.a"
+  "liblatte_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_workloads.dir/synthetic_kernel.cc.o"
+  "CMakeFiles/latte_workloads.dir/synthetic_kernel.cc.o.d"
+  "CMakeFiles/latte_workloads.dir/value_gens.cc.o"
+  "CMakeFiles/latte_workloads.dir/value_gens.cc.o.d"
+  "CMakeFiles/latte_workloads.dir/zoo.cc.o"
+  "CMakeFiles/latte_workloads.dir/zoo.cc.o.d"
+  "liblatte_workloads.a"
+  "liblatte_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblatte_workloads.a"
+)

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/latte_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/latte_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compressors.cc" "tests/CMakeFiles/latte_tests.dir/test_compressors.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_compressors.cc.o.d"
+  "/root/repo/tests/test_decomp_queue.cc" "tests/CMakeFiles/latte_tests.dir/test_decomp_queue.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_decomp_queue.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/latte_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_huffman.cc" "tests/CMakeFiles/latte_tests.dir/test_huffman.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_huffman.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/latte_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_lsu.cc" "tests/CMakeFiles/latte_tests.dir/test_lsu.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_lsu.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/latte_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/latte_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/latte_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/latte_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/latte_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/latte_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/latte_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/latte_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/latte_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/latte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/latte_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/latte_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latte_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/latte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latte_tests.dir/test_cache.cc.o"
+  "CMakeFiles/latte_tests.dir/test_cache.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_common.cc.o"
+  "CMakeFiles/latte_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_compressors.cc.o"
+  "CMakeFiles/latte_tests.dir/test_compressors.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_decomp_queue.cc.o"
+  "CMakeFiles/latte_tests.dir/test_decomp_queue.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_energy.cc.o"
+  "CMakeFiles/latte_tests.dir/test_energy.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_huffman.cc.o"
+  "CMakeFiles/latte_tests.dir/test_huffman.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_integration.cc.o"
+  "CMakeFiles/latte_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_lsu.cc.o"
+  "CMakeFiles/latte_tests.dir/test_lsu.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_mem.cc.o"
+  "CMakeFiles/latte_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_policies.cc.o"
+  "CMakeFiles/latte_tests.dir/test_policies.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_properties.cc.o"
+  "CMakeFiles/latte_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_replacement.cc.o"
+  "CMakeFiles/latte_tests.dir/test_replacement.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_sim.cc.o"
+  "CMakeFiles/latte_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/latte_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/latte_tests.dir/test_workloads.cc.o.d"
+  "latte_tests"
+  "latte_tests.pdb"
+  "latte_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latte_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
