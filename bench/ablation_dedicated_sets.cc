@@ -11,10 +11,23 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const std::uint32_t set_counts[] = {1, 2, 4, 8};
     const char *names[] = {"KM", "BC", "PRK", "STC"};
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        sweep.add(*workload, PolicyKind::Baseline);
+        for (const std::uint32_t sets : set_counts) {
+            DriverOptions options;
+            options.cfg.latte.dedicatedSetsPerMode = sets;
+            sweep.add(*workload, PolicyKind::LatteCc, options);
+        }
+    }
 
     std::cout << "=== Ablation: dedicated sets per mode (LATTE-CC "
                  "speedup vs baseline) ===\n";
@@ -24,14 +37,14 @@ main()
         const Workload *workload = findWorkload(name);
         if (!workload)
             continue;
-        const auto base = runWorkload(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
 
         std::vector<double> row;
         for (const std::uint32_t sets : set_counts) {
             DriverOptions options;
             options.cfg.latte.dedicatedSetsPerMode = sets;
-            const auto result =
-                runWorkload(*workload, PolicyKind::LatteCc, options);
+            const auto &result =
+                sweep.get(*workload, PolicyKind::LatteCc, options);
             row.push_back(speedupOver(base, result));
         }
         printRow(name, row);

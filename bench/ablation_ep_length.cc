@@ -13,10 +13,23 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const std::uint32_t ep_lengths[] = {64, 128, 256, 512, 1024};
     const char *names[] = {"KM", "SS", "VM", "BC"};
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        sweep.add(*workload, PolicyKind::Baseline);
+        for (const std::uint32_t ep : ep_lengths) {
+            DriverOptions options;
+            options.cfg.latte.epAccesses = ep;
+            sweep.add(*workload, PolicyKind::LatteCc, options);
+        }
+    }
 
     std::cout << "=== Ablation: EP length (LATTE-CC speedup vs "
                  "baseline) ===\n";
@@ -26,14 +39,14 @@ main()
         const Workload *workload = findWorkload(name);
         if (!workload)
             continue;
-        const auto base = runWorkload(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
 
         std::vector<double> row;
         for (const std::uint32_t ep : ep_lengths) {
             DriverOptions options;
             options.cfg.latte.epAccesses = ep;
-            const auto result =
-                runWorkload(*workload, PolicyKind::LatteCc, options);
+            const auto &result =
+                sweep.get(*workload, PolicyKind::LatteCc, options);
             row.push_back(speedupOver(base, result));
         }
         printRow(name, row);

@@ -12,8 +12,9 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const char *names[] = {"KM", "BC", "PRK", "DJK"};
     const struct
     {
@@ -24,6 +25,18 @@ main()
         {"FIFO", GpuConfig::ReplPolicy::FIFO},
         {"SRRIP", GpuConfig::ReplPolicy::SRRIP},
     };
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        for (const auto &entry : policies) {
+            DriverOptions options;
+            options.cfg.l1Repl = entry.policy;
+            sweep.add(*workload, PolicyKind::Baseline, options);
+            sweep.add(*workload, PolicyKind::LatteCc, options);
+        }
+    }
 
     std::cout << "=== Ablation: replacement policy (LATTE-CC speedup "
                  "vs same-policy baseline) ===\n";
@@ -38,10 +51,10 @@ main()
         for (const auto &entry : policies) {
             DriverOptions options;
             options.cfg.l1Repl = entry.policy;
-            const auto base =
-                runWorkload(*workload, PolicyKind::Baseline, options);
-            const auto latte =
-                runWorkload(*workload, PolicyKind::LatteCc, options);
+            const auto &base =
+                sweep.get(*workload, PolicyKind::Baseline, options);
+            const auto &latte =
+                sweep.get(*workload, PolicyKind::LatteCc, options);
             row.push_back(speedupOver(base, latte));
         }
         printRow(name, row);

@@ -12,9 +12,24 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const char *names[] = {"KM", "SS", "BC", "PRK", "HOT"};
+
+    DriverOptions gto;
+    DriverOptions lrr;
+    lrr.cfg.schedPolicy = GpuConfig::SchedPolicy::LRR;
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        for (const auto &options : {gto, lrr}) {
+            sweep.add(*workload, PolicyKind::Baseline, options);
+            sweep.add(*workload, PolicyKind::LatteCc, options);
+        }
+    }
 
     std::cout << "=== Ablation: GTO vs LRR scheduling (cycles, and "
                  "LATTE-CC speedup under each) ===\n";
@@ -28,18 +43,14 @@ main()
         if (!workload)
             continue;
 
-        DriverOptions gto;
-        DriverOptions lrr;
-        lrr.cfg.schedPolicy = GpuConfig::SchedPolicy::LRR;
-
-        const auto gto_base =
-            runWorkload(*workload, PolicyKind::Baseline, gto);
-        const auto lrr_base =
-            runWorkload(*workload, PolicyKind::Baseline, lrr);
-        const auto gto_latte =
-            runWorkload(*workload, PolicyKind::LatteCc, gto);
-        const auto lrr_latte =
-            runWorkload(*workload, PolicyKind::LatteCc, lrr);
+        const auto &gto_base =
+            sweep.get(*workload, PolicyKind::Baseline, gto);
+        const auto &lrr_base =
+            sweep.get(*workload, PolicyKind::Baseline, lrr);
+        const auto &gto_latte =
+            sweep.get(*workload, PolicyKind::LatteCc, gto);
+        const auto &lrr_latte =
+            sweep.get(*workload, PolicyKind::LatteCc, lrr);
 
         std::cout << std::left << std::setw(6) << name << std::right
                   << std::setw(12) << gto_base.cycles << std::setw(12)

@@ -3,7 +3,9 @@
  * Ablation: every compression algorithm as a static L1 mode — including
  * FPC and C-PACK+Z, which the paper characterises (Figure 2) but does
  * not deploy, because their ratios trail BDI/BPC/SC on GPU data. This
- * run quantifies that choice end-to-end.
+ * run quantifies that choice end-to-end. Uses RunRequest with a custom
+ * PolicyFactory (and a per-mode label) for the modes that have no
+ * PolicyKind of their own.
  */
 
 #include "bench_util.hh"
@@ -11,12 +13,36 @@
 using namespace latte;
 using namespace latte::bench;
 
-int
-main()
+namespace
 {
+
+RunRequest
+staticModeRequest(const Workload &workload, CompressorId mode)
+{
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = [mode](const GpuConfig &cfg) {
+        return std::make_unique<StaticPolicy>(cfg, mode);
+    };
+    request.label = std::string("Static-") + compressorName(mode);
+    return request;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Sweep sweep(argc, argv);
     const CompressorId modes[] = {CompressorId::Bdi, CompressorId::Fpc,
                                   CompressorId::CpackZ, CompressorId::Bpc,
                                   CompressorId::Sc};
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        for (const CompressorId mode : modes)
+            sweep.add(staticModeRequest(*workload, mode));
+    }
 
     std::cout << "=== Ablation: all five algorithms as static L1 modes "
                  "(speedup vs baseline, C-Sens) ===\n";
@@ -24,13 +50,11 @@ main()
 
     std::map<CompressorId, std::vector<double>> all;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto base = runWorkload(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         std::vector<double> row;
         for (const CompressorId mode : modes) {
-            const auto result = runWorkloadCustom(
-                *workload, [mode](const GpuConfig &cfg) {
-                    return std::make_unique<StaticPolicy>(cfg, mode);
-                });
+            const auto &result =
+                sweep.get(staticModeRequest(*workload, mode));
             const double speedup = speedupOver(base, result);
             row.push_back(speedup);
             all[mode].push_back(speedup);

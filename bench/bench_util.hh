@@ -1,13 +1,16 @@
 /**
  * @file
- * Shared helpers for the per-figure benchmark harnesses: cached workload
- * runs, geometric means and table formatting.
+ * Shared helpers for the per-figure benchmark harnesses: the parallel
+ * sweep harness (latte::runner::Sweep), geometric means and table
+ * formatting. A typical figure binary declares its whole
+ * (workload x policy) grid with Sweep::add() and then reads cells with
+ * Sweep::get(); the first get() executes everything pending across the
+ * -j worker threads, consulting the --cache-dir result cache if given.
  */
 
 #ifndef LATTE_BENCH_BENCH_UTIL_HH
 #define LATTE_BENCH_BENCH_UTIL_HH
 
-#include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -15,51 +18,55 @@
 #include <vector>
 
 #include "core/driver.hh"
+#include "runner/sweep.hh"
 #include "workloads/zoo.hh"
 
 namespace latte::bench
 {
 
-/** Run (workload, policy) once per binary invocation; cache the result. */
+using runner::Sweep;
+
+/**
+ * Geometric mean of a vector of ratios (latte::geomean: non-positive
+ * entries are skipped with a warning instead of poisoning the mean).
+ */
+using latte::geomean;
+
+/**
+ * Run (workload, policy) once per binary invocation; cache the result.
+ * @deprecated Thin wrapper over runner::Sweep kept for source
+ * compatibility: cells are keyed by the full RunKey (workload, policy
+ * and DriverOptions hash), so two RunCaches with different tunings no
+ * longer alias, but every get() is serial. New code should declare its
+ * grid on a Sweep and let the thread pool run it.
+ */
 class RunCache
 {
   public:
     explicit RunCache(DriverOptions options = {})
-        : options_(std::move(options))
+        : sweep_(serialCli(), std::move(options))
     {}
 
     const WorkloadRunResult &
     get(const Workload &workload, PolicyKind kind)
     {
-        const std::string key =
-            workload.abbr + "/" + policyName(kind);
-        auto it = cache_.find(key);
-        if (it == cache_.end()) {
-            it = cache_.emplace(key,
-                                runWorkload(workload, kind, options_))
-                     .first;
-        }
-        return it->second;
+        return sweep_.get(workload, kind);
     }
 
-    const DriverOptions &options() const { return options_; }
+    const DriverOptions &options() const { return sweep_.defaults(); }
 
   private:
-    DriverOptions options_;
-    std::map<std::string, WorkloadRunResult> cache_;
-};
+    static runner::SweepCliOptions
+    serialCli()
+    {
+        runner::SweepCliOptions cli;
+        cli.jobs = 1;
+        cli.progress = false;
+        return cli;
+    }
 
-/** Geometric mean of a vector of ratios. */
-inline double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        return 0.0;
-    double log_sum = 0;
-    for (const double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
-}
+    runner::Sweep sweep_;
+};
 
 /** Print one row of right-aligned numeric cells. */
 inline void

@@ -12,10 +12,22 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const char *names[] = {"PRK", "CLR", "MIS", "BC", "FW"};
     const Cycles extra_latencies[] = {0, 2, 5, 9, 14};
+
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        for (const Cycles extra : extra_latencies) {
+            DriverOptions options;
+            options.cfg.l1HitLatency = 1 + extra;
+            sweep.add(*workload, PolicyKind::Baseline, options);
+        }
+    }
 
     std::cout << "=== Figure 1: IPC vs added L1 hit latency "
                  "(normalised to +0) ===\n";
@@ -31,8 +43,8 @@ main()
         for (const Cycles extra : extra_latencies) {
             DriverOptions options;
             options.cfg.l1HitLatency = 1 + extra;
-            const auto result =
-                runWorkload(*workload, PolicyKind::Baseline, options);
+            const auto &result =
+                sweep.get(*workload, PolicyKind::Baseline, options);
             const double ipc =
                 static_cast<double>(result.instructions) /
                 static_cast<double>(result.cycles);

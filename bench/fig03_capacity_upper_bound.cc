@@ -11,12 +11,17 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     DriverOptions free_latency;
     free_latency.tuning.chargeDecompression = false;
-    RunCache upper(free_latency);
-    RunCache base;
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        sweep.add(workload, PolicyKind::StaticBdi, free_latency);
+        sweep.add(workload, PolicyKind::StaticSc, free_latency);
+    }
 
     std::cout << "=== Figure 3: speedup upper bound (capacity only, "
                  "zero decompression latency) ===\n";
@@ -24,11 +29,13 @@ main()
 
     std::vector<double> bdi_all, sc_all;
     for (const auto &workload : workloadZoo()) {
-        const auto &baseline = base.get(workload, PolicyKind::Baseline);
+        const auto &baseline = sweep.get(workload, PolicyKind::Baseline);
         const double bdi = speedupOver(
-            baseline, upper.get(workload, PolicyKind::StaticBdi));
+            baseline,
+            sweep.get(workload, PolicyKind::StaticBdi, free_latency));
         const double sc = speedupOver(
-            baseline, upper.get(workload, PolicyKind::StaticSc));
+            baseline,
+            sweep.get(workload, PolicyKind::StaticSc, free_latency));
         bdi_all.push_back(bdi);
         sc_all.push_back(sc);
         printRow(workload.abbr, {bdi, sc});

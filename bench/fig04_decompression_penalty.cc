@@ -12,12 +12,17 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     DriverOptions no_capacity;
     no_capacity.tuning.capacityBenefit = false;
-    RunCache penalty(no_capacity);
-    RunCache base;
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        sweep.add(workload, PolicyKind::StaticBdi, no_capacity);
+        sweep.add(workload, PolicyKind::StaticSc, no_capacity);
+    }
 
     std::cout << "=== Figure 4: slowdown from decompression latency "
                  "alone (no capacity benefit) ===\n";
@@ -25,11 +30,13 @@ main()
 
     std::vector<double> bdi_all, sc_all;
     for (const auto &workload : workloadZoo()) {
-        const auto &baseline = base.get(workload, PolicyKind::Baseline);
+        const auto &baseline = sweep.get(workload, PolicyKind::Baseline);
         const double bdi = speedupOver(
-            baseline, penalty.get(workload, PolicyKind::StaticBdi));
+            baseline,
+            sweep.get(workload, PolicyKind::StaticBdi, no_capacity));
         const double sc = speedupOver(
-            baseline, penalty.get(workload, PolicyKind::StaticSc));
+            baseline,
+            sweep.get(workload, PolicyKind::StaticSc, no_capacity));
         bdi_all.push_back(bdi);
         sc_all.push_back(sc);
         printRow(workload.abbr, {bdi, sc});

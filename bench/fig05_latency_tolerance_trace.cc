@@ -12,13 +12,14 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const Workload *workload = findWorkload("SS");
     if (!workload)
         return 1;
 
-    const auto result = runWorkload(*workload, PolicyKind::Baseline);
+    const auto &result = sweep.get(*workload, PolicyKind::Baseline);
 
     std::cout << "=== Figure 5: latency tolerance over time (SS, SM 0, "
                  "one point per EP) ===\n";

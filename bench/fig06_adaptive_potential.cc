@@ -13,22 +13,29 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        sweep.add(*workload, PolicyKind::StaticBdi);
+        sweep.add(*workload, PolicyKind::StaticSc);
+        sweep.add(*workload, PolicyKind::LatteCc);
+    }
 
     std::cout << "=== Figure 6(a): speedup — Static-BDI / Static-SC / "
                  "LATTE-CC (C-Sens) ===\n";
     printHeader({"BDI", "SC", "LATTE"});
     std::vector<double> b, s, l;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         const double bdi = speedupOver(
-            base, cache.get(*workload, PolicyKind::StaticBdi));
+            base, sweep.get(*workload, PolicyKind::StaticBdi));
         const double sc = speedupOver(
-            base, cache.get(*workload, PolicyKind::StaticSc));
+            base, sweep.get(*workload, PolicyKind::StaticSc));
         const double latte = speedupOver(
-            base, cache.get(*workload, PolicyKind::LatteCc));
+            base, sweep.get(*workload, PolicyKind::LatteCc));
         b.push_back(bdi);
         s.push_back(sc);
         l.push_back(latte);
@@ -40,16 +47,16 @@ main()
     printHeader({"BDI", "SC", "LATTE"});
     std::vector<double> be, se, le;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         const double base_mj = base.energy.totalMj();
         const double bdi =
-            cache.get(*workload, PolicyKind::StaticBdi)
+            sweep.get(*workload, PolicyKind::StaticBdi)
                 .energy.totalMj() / base_mj;
         const double sc =
-            cache.get(*workload, PolicyKind::StaticSc)
+            sweep.get(*workload, PolicyKind::StaticSc)
                 .energy.totalMj() / base_mj;
         const double latte =
-            cache.get(*workload, PolicyKind::LatteCc)
+            sweep.get(*workload, PolicyKind::LatteCc)
                 .energy.totalMj() / base_mj;
         be.push_back(bdi);
         se.push_back(sc);

@@ -13,12 +13,18 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
     const PolicyKind kinds[] = {
         PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
         PolicyKind::KernelOpt};
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        for (const PolicyKind kind : kinds)
+            sweep.add(workload, kind);
+    }
 
     std::cout << "=== Figure 11: speedup over the uncompressed baseline "
                  "===\n";
@@ -28,11 +34,11 @@ main()
         std::map<PolicyKind, std::vector<double>> per_policy;
         for (const auto *workload : workloadsByCategory(sensitive)) {
             const auto &base =
-                cache.get(*workload, PolicyKind::Baseline);
+                sweep.get(*workload, PolicyKind::Baseline);
             std::vector<double> row;
             for (const PolicyKind kind : kinds) {
                 const double speedup =
-                    speedupOver(base, cache.get(*workload, kind));
+                    speedupOver(base, sweep.get(*workload, kind));
                 row.push_back(speedup);
                 per_policy[kind].push_back(speedup);
             }

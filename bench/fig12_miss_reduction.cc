@@ -12,12 +12,18 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
     const PolicyKind kinds[] = {
         PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
         PolicyKind::KernelOpt};
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        for (const PolicyKind kind : kinds)
+            sweep.add(workload, kind);
+    }
 
     std::cout << "=== Figure 12: L1 miss reduction (%) vs baseline ===\n";
     printHeader({"BDI", "SC", "LATTE", "K-OPT"});
@@ -26,10 +32,10 @@ main()
         std::map<PolicyKind, std::vector<double>> per_policy;
         for (const auto *workload : workloadsByCategory(sensitive)) {
             const auto &base =
-                cache.get(*workload, PolicyKind::Baseline);
+                sweep.get(*workload, PolicyKind::Baseline);
             std::vector<double> row;
             for (const PolicyKind kind : kinds) {
-                const auto &result = cache.get(*workload, kind);
+                const auto &result = sweep.get(*workload, kind);
                 const double reduction =
                     base.misses == 0
                         ? 0.0

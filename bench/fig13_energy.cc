@@ -11,12 +11,18 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
     const PolicyKind kinds[] = {
         PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
         PolicyKind::KernelOpt};
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        for (const PolicyKind kind : kinds)
+            sweep.add(workload, kind);
+    }
 
     std::cout << "=== Figure 13: normalised GPU energy ===\n";
     printHeader({"BDI", "SC", "LATTE", "K-OPT"});
@@ -25,12 +31,12 @@ main()
         std::map<PolicyKind, std::vector<double>> per_policy;
         for (const auto *workload : workloadsByCategory(sensitive)) {
             const auto &base =
-                cache.get(*workload, PolicyKind::Baseline);
+                sweep.get(*workload, PolicyKind::Baseline);
             const double base_mj = base.energy.totalMj();
             std::vector<double> row;
             for (const PolicyKind kind : kinds) {
                 const double ratio =
-                    cache.get(*workload, kind).energy.totalMj() /
+                    sweep.get(*workload, kind).energy.totalMj() /
                     base_mj;
                 row.push_back(ratio);
                 per_policy[kind].push_back(ratio);

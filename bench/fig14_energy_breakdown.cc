@@ -14,9 +14,14 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        sweep.add(*workload, PolicyKind::LatteCc);
+    }
 
     std::cout << "=== Figure 14: LATTE-CC energy-saving breakdown "
                  "(% of baseline GPU energy) ===\n";
@@ -24,8 +29,8 @@ main()
 
     std::vector<double> s_all, d_all, c_all, o_all, n_all;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
-        const auto &latte = cache.get(*workload, PolicyKind::LatteCc);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
+        const auto &latte = sweep.get(*workload, PolicyKind::LatteCc);
         const double base_mj = base.energy.totalMj();
 
         const double static_saving =

@@ -24,19 +24,25 @@ modeIndex(CompressorId mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        sweep.add(*workload, PolicyKind::LatteCc);
+        sweep.add(*workload, PolicyKind::KernelOpt);
+    }
 
     std::cout << "=== Figure 15: LATTE-CC vs Kernel-OPT — decision "
                  "agreement and performance delta ===\n";
     printHeader({"agree%", "latte", "k-opt", "delta%"});
 
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
-        const auto &latte = cache.get(*workload, PolicyKind::LatteCc);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
+        const auto &latte = sweep.get(*workload, PolicyKind::LatteCc);
         const auto &oracle =
-            cache.get(*workload, PolicyKind::KernelOpt);
+            sweep.get(*workload, PolicyKind::KernelOpt);
 
         // Access-weighted agreement: per kernel, the fraction of
         // LATTE's accesses spent in the oracle's chosen mode.

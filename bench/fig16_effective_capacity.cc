@@ -41,11 +41,16 @@ printTrace(const char *label, const WorkloadRunResult &result,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Sweep sweep(argc, argv);
     const Workload *workload = findWorkload("SS");
     if (!workload)
         return 1;
+
+    for (const PolicyKind kind :
+         {PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc})
+        sweep.add(*workload, kind);
 
     const GpuConfig cfg;
     const double base_kb = cfg.l1SizeBytes / 1024.0;
@@ -53,11 +58,11 @@ main()
     std::cout << "=== Figure 16: effective cache capacity over time "
                  "(SS, SM 0) ===\n";
     printTrace("Static-BDI",
-               runWorkload(*workload, PolicyKind::StaticBdi), base_kb);
+               sweep.get(*workload, PolicyKind::StaticBdi), base_kb);
     printTrace("Static-SC",
-               runWorkload(*workload, PolicyKind::StaticSc), base_kb);
+               sweep.get(*workload, PolicyKind::StaticSc), base_kb);
     printTrace("LATTE-CC",
-               runWorkload(*workload, PolicyKind::LatteCc), base_kb);
+               sweep.get(*workload, PolicyKind::LatteCc), base_kb);
 
     std::cout << "Expected shape (paper): BDI ~1x throughout; SC the "
                  "highest; LATTE-CC in between, rising during "

@@ -13,12 +13,18 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
     const PolicyKind kinds[] = {PolicyKind::AdaptiveHitCount,
                                 PolicyKind::AdaptiveCmp,
                                 PolicyKind::LatteCc};
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        for (const PolicyKind kind : kinds)
+            sweep.add(*workload, kind);
+    }
 
     std::cout << "=== Figure 17: adaptive policies — speedup (left) and "
                  "miss reduction % (right) ===\n";
@@ -28,16 +34,16 @@ main()
     std::map<PolicyKind, std::vector<double>> speedups;
     std::map<PolicyKind, std::vector<double>> reductions;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         std::vector<double> row;
         for (const PolicyKind kind : kinds) {
             const double speedup =
-                speedupOver(base, cache.get(*workload, kind));
+                speedupOver(base, sweep.get(*workload, kind));
             row.push_back(speedup);
             speedups[kind].push_back(speedup);
         }
         for (const PolicyKind kind : kinds) {
-            const auto &result = cache.get(*workload, kind);
+            const auto &result = sweep.get(*workload, kind);
             const double reduction =
                 base.misses == 0
                     ? 0.0

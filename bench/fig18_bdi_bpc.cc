@@ -12,9 +12,15 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache cache;
+    Sweep sweep(argc, argv);
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        sweep.add(*workload, PolicyKind::LatteCc);
+        sweep.add(*workload, PolicyKind::LatteCcBdiBpc);
+    }
 
     std::cout << "=== Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens) "
                  "===\n";
@@ -22,11 +28,11 @@ main()
 
     std::vector<double> latte_all, bpc_all;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         const double latte = speedupOver(
-            base, cache.get(*workload, PolicyKind::LatteCc));
+            base, sweep.get(*workload, PolicyKind::LatteCc));
         const double bdi_bpc = speedupOver(
-            base, cache.get(*workload, PolicyKind::LatteCcBdiBpc));
+            base, sweep.get(*workload, PolicyKind::LatteCcBdiBpc));
         latte_all.push_back(latte);
         bpc_all.push_back(bdi_bpc);
         printRow(workload->abbr, {latte, bdi_bpc});

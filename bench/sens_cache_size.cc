@@ -12,12 +12,19 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     DriverOptions big;
     big.cfg.l1SizeBytes = 48 * 1024;
     big.cfg.sharedMemBytes = 16 * 1024;
-    RunCache cache(big);
+    Sweep sweep(argc, argv, big);
+
+    for (const auto *workload : workloadsByCategory(true)) {
+        sweep.add(*workload, PolicyKind::Baseline);
+        sweep.add(*workload, PolicyKind::StaticBdi);
+        sweep.add(*workload, PolicyKind::StaticSc);
+        sweep.add(*workload, PolicyKind::LatteCc);
+    }
 
     std::cout << "=== Sensitivity: 48 KB L1 / 16 KB shared memory "
                  "(C-Sens) ===\n";
@@ -25,13 +32,13 @@ main()
 
     std::vector<double> b, s, l;
     for (const auto *workload : workloadsByCategory(true)) {
-        const auto &base = cache.get(*workload, PolicyKind::Baseline);
+        const auto &base = sweep.get(*workload, PolicyKind::Baseline);
         const double bdi = speedupOver(
-            base, cache.get(*workload, PolicyKind::StaticBdi));
+            base, sweep.get(*workload, PolicyKind::StaticBdi));
         const double sc = speedupOver(
-            base, cache.get(*workload, PolicyKind::StaticSc));
+            base, sweep.get(*workload, PolicyKind::StaticSc));
         const double latte = speedupOver(
-            base, cache.get(*workload, PolicyKind::LatteCc));
+            base, sweep.get(*workload, PolicyKind::LatteCc));
         b.push_back(bdi);
         s.push_back(sc);
         l.push_back(latte);

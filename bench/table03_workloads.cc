@@ -10,12 +10,16 @@ using namespace latte;
 using namespace latte::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    RunCache base;
+    Sweep sweep(argc, argv);
     DriverOptions big_opts;
     big_opts.cfg.l1SizeBytes = 64 * 1024;
-    RunCache big(big_opts);
+
+    for (const auto &workload : workloadZoo()) {
+        sweep.add(workload, PolicyKind::Baseline);
+        sweep.add(workload, PolicyKind::Baseline, big_opts);
+    }
 
     std::cout << "=== Table III: benchmarks (4x-L1 speedup is the "
                  "classification criterion, Sec IV-B) ===\n";
@@ -27,8 +31,8 @@ main()
     bool all_consistent = true;
     for (const auto &workload : workloadZoo()) {
         const double speedup = speedupOver(
-            base.get(workload, PolicyKind::Baseline),
-            big.get(workload, PolicyKind::Baseline));
+            sweep.get(workload, PolicyKind::Baseline),
+            sweep.get(workload, PolicyKind::Baseline, big_opts));
         const bool measured_sensitive = speedup >= 1.2;
         if (measured_sensitive != workload.cacheSensitive)
             all_consistent = false;

@@ -11,10 +11,12 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/driver.hh"
+#include "runner/json.hh"
 #include "workloads/zoo.hh"
 
 using namespace latte;
@@ -41,6 +43,7 @@ usage()
         "  --scheduler <gto|lrr>  warp scheduler\n"
         "  --max-instr <n>        per-kernel instruction budget\n"
         "  --trace                print the per-EP policy trace\n"
+        "  --json <path>          write the full run result as JSON\n"
         "  --help                 this text\n";
 }
 
@@ -76,6 +79,7 @@ main(int argc, char **argv)
     PolicyKind kind = PolicyKind::LatteCc;
     DriverOptions options;
     bool trace = false;
+    std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -125,6 +129,8 @@ main(int argc, char **argv)
             options.maxInstructionsPerKernel = std::stoull(next());
         } else if (arg == "--trace") {
             trace = true;
+        } else if (arg == "--json") {
+            json_path = next();
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             usage();
@@ -139,8 +145,20 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const WorkloadRunResult result =
-        runWorkload(*workload, kind, options);
+    RunRequest request;
+    request.workload = workload;
+    request.policy = kind;
+    request.options = options;
+    const WorkloadRunResult result = run(request);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot write '" << json_path << "'\n";
+            return 1;
+        }
+        out << runner::toJson(result).dump(2) << "\n";
+    }
 
     std::cout << "workload      : " << workload->fullName << " ("
               << workload->abbr << ")\n";

@@ -2,7 +2,8 @@
  * @file
  * Policy comparison: run one workload (default KM, or the abbreviation
  * given on the command line) under every compression management policy
- * and print a side-by-side table.
+ * and print a side-by-side table. The runs go through runner::Sweep, so
+ * -j N parallelises across policies and --json dumps the raw results.
  */
 
 #include <iomanip>
@@ -10,12 +11,15 @@
 #include <string>
 
 #include "core/driver.hh"
+#include "runner/sweep.hh"
 #include "workloads/zoo.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace latte;
+
+    runner::Sweep sweep(argc, argv);
 
     const std::string abbr = argc > 1 ? argv[1] : "KM";
     const Workload *workload = findWorkload(abbr);
@@ -33,6 +37,8 @@ main(int argc, char **argv)
         PolicyKind::AdaptiveCmp,    PolicyKind::LatteCc,
         PolicyKind::LatteCcBdiBpc,  PolicyKind::KernelOpt,
     };
+    for (const PolicyKind kind : kinds)
+        sweep.add(*workload, kind);
 
     std::cout << "Workload: " << workload->fullName << " ("
               << (workload->cacheSensitive ? "C-Sens" : "C-InSens")
@@ -43,11 +49,10 @@ main(int argc, char **argv)
               << std::setw(12) << "energy(mJ)" << std::setw(9) << "norm.E"
               << "\n";
 
-    WorkloadRunResult base;
+    const WorkloadRunResult &base =
+        sweep.get(*workload, PolicyKind::Baseline);
     for (const PolicyKind kind : kinds) {
-        const WorkloadRunResult r = runWorkload(*workload, kind);
-        if (kind == PolicyKind::Baseline)
-            base = r;
+        const WorkloadRunResult &r = sweep.get(*workload, kind);
         std::cout << std::left << std::setw(20) << policyName(kind)
                   << std::right << std::fixed << std::setprecision(3)
                   << std::setw(12) << r.cycles

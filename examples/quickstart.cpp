@@ -3,6 +3,7 @@
  * Quickstart: build a GPU, run one cache-sensitive workload under the
  * uncompressed baseline and under LATTE-CC, and print the headline
  * metrics the paper reports (speedup, L1 miss reduction, energy).
+ * Demonstrates the single run(RunRequest) entrypoint.
  */
 
 #include <iomanip>
@@ -25,10 +26,13 @@ main()
     std::cout << "Running " << workload->fullName << " ("
               << workload->abbr << ") ...\n";
 
-    const WorkloadRunResult base =
-        runWorkload(*workload, PolicyKind::Baseline);
-    const WorkloadRunResult latte =
-        runWorkload(*workload, PolicyKind::LatteCc);
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::Baseline;
+    const WorkloadRunResult base = run(request);
+
+    request.policy = PolicyKind::LatteCc;
+    const WorkloadRunResult latte = run(request);
 
     const double speedup = speedupOver(base, latte);
     const double miss_reduction =

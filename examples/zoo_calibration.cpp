@@ -4,7 +4,9 @@
  * criterion (speedup with a 4x L1, Section IV-B) plus the headline
  * behaviours each experiment depends on: miss rates, static BDI/SC
  * speedups and the measured latency tolerance. Used to keep the
- * synthetic workloads aligned with their Table III roles.
+ * synthetic workloads aligned with their Table III roles. Runs through
+ * runner::Sweep: `zoo_calibration -j 8` calibrates the whole zoo in
+ * parallel.
  */
 
 #include <iomanip>
@@ -12,6 +14,7 @@
 #include <string>
 
 #include "core/driver.hh"
+#include "runner/sweep.hh"
 #include "workloads/zoo.hh"
 
 int
@@ -19,7 +22,23 @@ main(int argc, char **argv)
 {
     using namespace latte;
 
+    runner::Sweep sweep(argc, argv);
+
     const std::string only = argc > 1 ? argv[1] : "";
+
+    DriverOptions base_opts;
+    DriverOptions big_opts;
+    big_opts.cfg.l1SizeBytes = 64 * 1024;
+
+    for (const auto &workload : workloadZoo()) {
+        if (!only.empty() && workload.abbr != only)
+            continue;
+        sweep.add(workload, PolicyKind::Baseline, base_opts);
+        sweep.add(workload, PolicyKind::Baseline, big_opts);
+        sweep.add(workload, PolicyKind::StaticBdi, base_opts);
+        sweep.add(workload, PolicyKind::StaticSc, base_opts);
+        sweep.add(workload, PolicyKind::LatteCc, base_opts);
+    }
 
     std::cout << std::left << std::setw(5) << "wl" << std::setw(9)
               << "want" << std::right << std::setw(10) << "cycles"
@@ -32,21 +51,16 @@ main(int argc, char **argv)
         if (!only.empty() && workload.abbr != only)
             continue;
 
-        DriverOptions base_opts;
-        const auto base =
-            runWorkload(workload, PolicyKind::Baseline, base_opts);
-
-        DriverOptions big_opts;
-        big_opts.cfg.l1SizeBytes = 64 * 1024;
-        const auto big =
-            runWorkload(workload, PolicyKind::Baseline, big_opts);
-
-        const auto bdi =
-            runWorkload(workload, PolicyKind::StaticBdi, base_opts);
-        const auto sc =
-            runWorkload(workload, PolicyKind::StaticSc, base_opts);
-        const auto latte =
-            runWorkload(workload, PolicyKind::LatteCc, base_opts);
+        const auto &base =
+            sweep.get(workload, PolicyKind::Baseline, base_opts);
+        const auto &big =
+            sweep.get(workload, PolicyKind::Baseline, big_opts);
+        const auto &bdi =
+            sweep.get(workload, PolicyKind::StaticBdi, base_opts);
+        const auto &sc =
+            sweep.get(workload, PolicyKind::StaticSc, base_opts);
+        const auto &latte =
+            sweep.get(workload, PolicyKind::LatteCc, base_opts);
 
         std::cout << std::left << std::setw(5) << workload.abbr
                   << std::setw(9)

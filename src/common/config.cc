@@ -1,0 +1,77 @@
+#include "config.hh"
+
+#include "logging.hh"
+
+namespace latte
+{
+
+std::optional<std::string>
+GpuConfig::validationError() const
+{
+    if (numSms == 0)
+        return "numSms must be nonzero";
+    if (warpSize == 0)
+        return "warpSize must be nonzero";
+    if (maxWarpsPerSm == 0)
+        return "maxWarpsPerSm must be nonzero";
+
+    if (l1LineBytes == 0)
+        return "l1LineBytes must be nonzero";
+    if (l1Assoc == 0)
+        return "l1Assoc must be nonzero";
+    if (l1SizeBytes == 0 || l1SizeBytes % (l1LineBytes * l1Assoc) != 0) {
+        return strfmt("l1SizeBytes ({}) must be a nonzero multiple of "
+                      "l1LineBytes * l1Assoc ({})",
+                      l1SizeBytes, l1LineBytes * l1Assoc);
+    }
+    if (l1SubBlockBytes == 0 || l1LineBytes % l1SubBlockBytes != 0) {
+        return strfmt("l1SubBlockBytes ({}) must be nonzero and divide "
+                      "l1LineBytes ({})",
+                      l1SubBlockBytes, l1LineBytes);
+    }
+    if (l1TagFactor == 0)
+        return "l1TagFactor must be nonzero";
+    if (l1MshrEntries == 0)
+        return "l1MshrEntries must be nonzero";
+
+    if (l2LineBytes == 0)
+        return "l2LineBytes must be nonzero";
+    if (l2Assoc == 0)
+        return "l2Assoc must be nonzero";
+    if (l2SizeBytes == 0 || l2SizeBytes % (l2LineBytes * l2Assoc) != 0) {
+        return strfmt("l2SizeBytes ({}) must be a nonzero multiple of "
+                      "l2LineBytes * l2Assoc ({})",
+                      l2SizeBytes, l2LineBytes * l2Assoc);
+    }
+    if (l2Banks == 0)
+        return "l2Banks must be nonzero";
+
+    if (decompQueueEntries == 0)
+        return "decompQueueEntries must be nonzero";
+
+    if (latte.epAccesses == 0)
+        return "latte.epAccesses must be nonzero";
+    if (latte.periodEps == 0 || latte.learningEps == 0 ||
+        latte.learningEps > latte.periodEps) {
+        return strfmt("latte learning/period EP counts are inconsistent "
+                      "({} of {})",
+                      latte.learningEps, latte.periodEps);
+    }
+    // Three candidate modes is the largest set any shipped policy uses;
+    // the dedicated sample sets of all modes must leave follower sets.
+    if (latte.dedicatedSetsPerMode * 3 >= l1NumSets()) {
+        return strfmt("latte.dedicatedSetsPerMode ({}) leaves no "
+                      "follower sets in a {}-set L1",
+                      latte.dedicatedSetsPerMode, l1NumSets());
+    }
+    return std::nullopt;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (const auto error = validationError())
+        latte_fatal("invalid GpuConfig: {}", *error);
+}
+
+} // namespace latte

@@ -9,6 +9,8 @@
 #define LATTE_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "types.hh"
 
@@ -117,6 +119,18 @@ struct GpuConfig
     {
         return l2SizeBytes / (l2LineBytes * l2Assoc);
     }
+
+    /**
+     * First structural inconsistency in the configuration, or nullopt
+     * if the configuration is sound. Checked: nonzero organisation
+     * parameters, line sizes dividing cache sizes, the sub-block
+     * granule dividing the L1 line, and the LATTE controller's
+     * dedicated sample sets fitting in the L1.
+     */
+    std::optional<std::string> validationError() const;
+
+    /** latte_fatal() with the validation error, if any. */
+    void validate() const;
 };
 
 } // namespace latte

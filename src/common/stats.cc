@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace latte
@@ -154,6 +155,22 @@ StatGroup::collect(std::map<std::string, double> &out,
         out[path + "." + stat->name()] = stat->value();
     for (const auto *child : children_)
         child->collect(out, path);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0;
+    std::size_t n = 0;
+    for (const double v : values) {
+        if (v <= 0.0) {
+            latte_warn("geomean: skipping non-positive value {}", v);
+            continue;
+        }
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
 }
 
 } // namespace latte

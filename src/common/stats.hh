@@ -169,6 +169,13 @@ class StatGroup
     std::vector<StatGroup *> children_;
 };
 
+/**
+ * Geometric mean of a vector of ratios. Non-positive entries have no
+ * geometric mean; they are skipped with a warning (std::log would
+ * silently produce -inf/NaN). Returns 0 if no positive entry remains.
+ */
+double geomean(const std::vector<double> &values);
+
 } // namespace latte
 
 #endif // LATTE_COMMON_STATS_HH

@@ -7,50 +7,110 @@
 namespace latte
 {
 
+namespace
+{
+
+/** The policy catalogue: name and constructor per PolicyKind. */
+struct PolicyEntry
+{
+    PolicyKind kind;
+    const char *name;
+    /** nullptr for composed policies (Kernel-OPT). */
+    std::unique_ptr<Policy> (*make)(const GpuConfig &cfg);
+};
+
+template <CompressorId mode>
+std::unique_ptr<Policy>
+makeStatic(const GpuConfig &cfg)
+{
+    return std::make_unique<StaticPolicy>(cfg, mode);
+}
+
+std::unique_ptr<Policy>
+makeAdaptiveHitCount(const GpuConfig &cfg)
+{
+    return std::make_unique<AdaptiveHitCountPolicy>(cfg);
+}
+
+std::unique_ptr<Policy>
+makeAdaptiveCmp(const GpuConfig &cfg)
+{
+    return std::make_unique<AdaptiveCmpPolicy>(cfg);
+}
+
+std::unique_ptr<Policy>
+makeLatteCc(const GpuConfig &cfg)
+{
+    return std::make_unique<LatteCcPolicy>(cfg);
+}
+
+std::unique_ptr<Policy>
+makeLatteCcBdiBpc(const GpuConfig &cfg)
+{
+    return std::make_unique<LatteCcPolicy>(
+        cfg, std::vector<CompressorId>{CompressorId::None,
+                                       CompressorId::Bdi,
+                                       CompressorId::Bpc});
+}
+
+constexpr PolicyEntry kPolicyTable[] = {
+    {PolicyKind::Baseline, "Baseline", makeStatic<CompressorId::None>},
+    {PolicyKind::StaticBdi, "Static-BDI", makeStatic<CompressorId::Bdi>},
+    {PolicyKind::StaticSc, "Static-SC", makeStatic<CompressorId::Sc>},
+    {PolicyKind::StaticBpc, "Static-BPC", makeStatic<CompressorId::Bpc>},
+    {PolicyKind::AdaptiveHitCount, "Adaptive-Hit-Count",
+     makeAdaptiveHitCount},
+    {PolicyKind::AdaptiveCmp, "Adaptive-CMP", makeAdaptiveCmp},
+    {PolicyKind::LatteCc, "LATTE-CC", makeLatteCc},
+    {PolicyKind::LatteCcBdiBpc, "LATTE-CC-BDI-BPC", makeLatteCcBdiBpc},
+    {PolicyKind::KernelOpt, "Kernel-OPT", nullptr},
+};
+
+const PolicyEntry &
+policyEntry(PolicyKind kind)
+{
+    for (const PolicyEntry &entry : kPolicyTable) {
+        if (entry.kind == kind)
+            return entry;
+    }
+    latte_panic("unknown policy kind");
+}
+
+} // namespace
+
 const char *
 policyName(PolicyKind kind)
 {
-    switch (kind) {
-      case PolicyKind::Baseline: return "Baseline";
-      case PolicyKind::StaticBdi: return "Static-BDI";
-      case PolicyKind::StaticSc: return "Static-SC";
-      case PolicyKind::StaticBpc: return "Static-BPC";
-      case PolicyKind::AdaptiveHitCount: return "Adaptive-Hit-Count";
-      case PolicyKind::AdaptiveCmp: return "Adaptive-CMP";
-      case PolicyKind::LatteCc: return "LATTE-CC";
-      case PolicyKind::LatteCcBdiBpc: return "LATTE-CC-BDI-BPC";
-      case PolicyKind::KernelOpt: return "Kernel-OPT";
+    return policyEntry(kind).name;
+}
+
+const PolicyKind *
+policyKindFromName(const std::string &name)
+{
+    for (const PolicyEntry &entry : kPolicyTable) {
+        if (name == entry.name)
+            return &entry.kind;
     }
-    latte_panic("unknown policy kind");
+    return nullptr;
 }
 
 std::unique_ptr<Policy>
 makePolicy(PolicyKind kind, const GpuConfig &cfg)
 {
-    switch (kind) {
-      case PolicyKind::Baseline:
-        return std::make_unique<StaticPolicy>(cfg, CompressorId::None);
-      case PolicyKind::StaticBdi:
-        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bdi);
-      case PolicyKind::StaticSc:
-        return std::make_unique<StaticPolicy>(cfg, CompressorId::Sc);
-      case PolicyKind::StaticBpc:
-        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bpc);
-      case PolicyKind::AdaptiveHitCount:
-        return std::make_unique<AdaptiveHitCountPolicy>(cfg);
-      case PolicyKind::AdaptiveCmp:
-        return std::make_unique<AdaptiveCmpPolicy>(cfg);
-      case PolicyKind::LatteCc:
-        return std::make_unique<LatteCcPolicy>(cfg);
-      case PolicyKind::LatteCcBdiBpc:
-        return std::make_unique<LatteCcPolicy>(
-            cfg, std::vector<CompressorId>{CompressorId::None,
-                                           CompressorId::Bdi,
-                                           CompressorId::Bpc});
-      case PolicyKind::KernelOpt:
-        break;
+    const PolicyEntry &entry = policyEntry(kind);
+    if (!entry.make) {
+        latte_panic("{} is composed by the driver, not a provider",
+                    entry.name);
     }
-    latte_panic("Kernel-OPT is composed by the driver, not a provider");
+    return entry.make(cfg);
+}
+
+std::string
+runRequestLabel(const RunRequest &request)
+{
+    if (const auto *kind = std::get_if<PolicyKind>(&request.policy))
+        return policyName(*kind);
+    return request.label.empty() ? "Custom" : request.label;
 }
 
 double
@@ -69,10 +129,12 @@ namespace
 
 /** One concrete (non-oracle) run. */
 WorkloadRunResult
-runConcrete(const Workload &workload,
-            const PolicyFactory &factory, PolicyKind kind,
-            const DriverOptions &options)
+runConcrete(const RunRequest &request, const PolicyFactory &factory,
+            PolicyKind kind)
 {
+    const Workload &workload = *request.workload;
+    const DriverOptions &options = request.options;
+
     MemoryImage mem;
     workload.setup(mem);
 
@@ -101,8 +163,10 @@ runConcrete(const Workload &workload,
     WorkloadRunResult result;
     result.workload = workload.abbr;
     result.policy = kind;
+    result.policyLabel = runRequestLabel(request);
+    result.seed = request.seed;
 
-    auto kernels = makeKernels(workload);
+    auto kernels = makeKernels(workload, request.seed);
     UsageCounts prev_usage = harvestUsage(gpu);
     std::uint64_t prev_hits = 0, prev_misses = 0;
     auto prev_modes = sum_mode_accesses();
@@ -138,6 +202,7 @@ runConcrete(const Workload &workload,
     result.misses = gpu.totalL1Misses();
     result.modeAccesses = sum_mode_accesses();
     result.trace = policies[0]->trace();
+    gpu.collect(result.stats);
 
     const EnergyModel energy_model(gpu.config());
     result.energy = energy_model.compute(harvestUsage(gpu));
@@ -146,7 +211,7 @@ runConcrete(const Workload &workload,
 
 /** Kernel-OPT: per-kernel best of the three static modes. */
 WorkloadRunResult
-runKernelOpt(const Workload &workload, const DriverOptions &options)
+runKernelOpt(const RunRequest &request)
 {
     const PolicyKind static_kinds[] = {
         PolicyKind::Baseline, PolicyKind::StaticBdi, PolicyKind::StaticSc};
@@ -156,15 +221,19 @@ runKernelOpt(const Workload &workload, const DriverOptions &options)
     std::vector<WorkloadRunResult> runs;
     runs.reserve(3);
     for (const PolicyKind kind : static_kinds) {
+        RunRequest leg = request;
+        leg.policy = kind;
         runs.push_back(runConcrete(
-            workload,
+            leg,
             [kind](const GpuConfig &cfg) { return makePolicy(kind, cfg); },
-            kind, options));
+            kind));
     }
 
     WorkloadRunResult result;
-    result.workload = workload.abbr;
+    result.workload = request.workload->abbr;
     result.policy = PolicyKind::KernelOpt;
+    result.policyLabel = policyName(PolicyKind::KernelOpt);
+    result.seed = request.seed;
 
     const std::size_t n_kernels = runs[0].kernels.size();
     UsageCounts total_usage;
@@ -195,7 +264,7 @@ runKernelOpt(const Workload &workload, const DriverOptions &options)
         total_usage.bpcDecompressions += snap.usage.bpcDecompressions;
     }
 
-    const EnergyModel energy_model(options.cfg);
+    const EnergyModel energy_model(request.options.cfg);
     result.energy = energy_model.compute(total_usage);
     return result;
 }
@@ -203,22 +272,44 @@ runKernelOpt(const Workload &workload, const DriverOptions &options)
 } // namespace
 
 WorkloadRunResult
+run(const RunRequest &request)
+{
+    latte_assert(request.workload != nullptr,
+                 "RunRequest needs a workload");
+    request.options.cfg.validate();
+
+    if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {
+        if (*kind == PolicyKind::KernelOpt)
+            return runKernelOpt(request);
+        const PolicyKind k = *kind;
+        return runConcrete(
+            request,
+            [k](const GpuConfig &cfg) { return makePolicy(k, cfg); }, k);
+    }
+    return runConcrete(request, std::get<PolicyFactory>(request.policy),
+                       PolicyKind::Baseline);
+}
+
+WorkloadRunResult
 runWorkload(const Workload &workload, PolicyKind kind,
             const DriverOptions &options)
 {
-    if (kind == PolicyKind::KernelOpt)
-        return runKernelOpt(workload, options);
-    return runConcrete(
-        workload,
-        [kind](const GpuConfig &cfg) { return makePolicy(kind, cfg); },
-        kind, options);
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = kind;
+    request.options = options;
+    return run(request);
 }
 
 WorkloadRunResult
 runWorkloadCustom(const Workload &workload, const PolicyFactory &factory,
                   const DriverOptions &options)
 {
-    return runConcrete(workload, factory, PolicyKind::Baseline, options);
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = factory;
+    request.options = options;
+    return run(request);
 }
 
 double

@@ -5,6 +5,12 @@
  * experiment in the paper needs (cycles, misses, energy, per-kernel
  * snapshots, per-EP traces). Also implements the Kernel-OPT oracle of
  * Section V-B by composing per-kernel-best static runs.
+ *
+ * The single entrypoint is `run(RunRequest)`; a request names a
+ * workload, a policy (either a catalogued PolicyKind or a custom
+ * PolicyFactory) and the machine configuration. The older
+ * runWorkload()/runWorkloadCustom() pair survives as thin deprecated
+ * wrappers.
  */
 
 #ifndef LATTE_CORE_DRIVER_HH
@@ -12,8 +18,10 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "energy/energy_model.hh"
@@ -39,8 +47,15 @@ enum class PolicyKind
 
 const char *policyName(PolicyKind kind);
 
+/** Reverse of policyName(); nullptr if @p name is not a known kind. */
+const PolicyKind *policyKindFromName(const std::string &name);
+
 /** Construct a policy instance of @p kind (not valid for KernelOpt). */
 std::unique_ptr<Policy> makePolicy(PolicyKind kind, const GpuConfig &cfg);
+
+/** Builds one policy instance per SM. */
+using PolicyFactory =
+    std::function<std::unique_ptr<Policy>(const GpuConfig &)>;
 
 /** Metrics of one kernel launch within a run. */
 struct KernelSnapshot
@@ -59,6 +74,14 @@ struct WorkloadRunResult
 {
     std::string workload;
     PolicyKind policy = PolicyKind::Baseline;
+    /**
+     * Display name of the policy that produced this result: the
+     * policyName() of `policy` for catalogued runs, or the RunRequest
+     * label for custom-factory runs.
+     */
+    std::string policyLabel;
+    /** The RunRequest seed the run was produced with (0 = defaults). */
+    std::uint64_t seed = 0;
     Cycles cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t hits = 0;
@@ -70,6 +93,8 @@ struct WorkloadRunResult
     /** Per-EP trace from SM 0's policy (tolerance, mode, capacity). */
     std::vector<PolicyTracePoint> trace;
     std::array<std::uint64_t, kNumModes> modeAccesses{};
+    /** Full stat dump (StatGroup::collect); empty for Kernel-OPT. */
+    std::map<std::string, double> stats;
 
     double
     missRate() const
@@ -91,18 +116,56 @@ struct DriverOptions
     std::uint64_t maxInstructionsPerKernel = 50'000'000;
 };
 
-/** Run @p workload under @p kind. */
+/** A policy selection: a catalogued kind or a custom per-SM factory. */
+using PolicySpec = std::variant<PolicyKind, PolicyFactory>;
+
+/**
+ * One cell of an experiment sweep: workload x policy x configuration.
+ * Self-contained and copyable so sweeps can be queued, hashed for the
+ * on-disk result cache, and executed on any thread in any order.
+ */
+struct RunRequest
+{
+    /** Workload to run; must outlive the request (zoo entries do). */
+    const Workload *workload = nullptr;
+    PolicySpec policy = PolicyKind::Baseline;
+    DriverOptions options{};
+    /**
+     * Result/cache label for custom-factory runs (e.g. "Static-FPC").
+     * Ignored for PolicyKind runs, which are labelled by policyName().
+     */
+    std::string label;
+    /**
+     * Deterministic per-request seed. 0 keeps the workload's baked-in
+     * kernel seeds; any other value remixes every kernel's RNG stream
+     * so replicated cells draw independent access patterns while
+     * remaining bit-reproducible.
+     */
+    std::uint64_t seed = 0;
+};
+
+/** The label a request's result will carry (policy name or label). */
+std::string runRequestLabel(const RunRequest &request);
+
+/**
+ * Run one request. Validates the GpuConfig, dispatches Kernel-OPT
+ * composition, and fills every WorkloadRunResult field including the
+ * flattened stat dump.
+ */
+WorkloadRunResult run(const RunRequest &request);
+
+/**
+ * Run @p workload under @p kind.
+ * @deprecated Thin wrapper over run(); prefer building a RunRequest.
+ */
 WorkloadRunResult runWorkload(const Workload &workload, PolicyKind kind,
                               const DriverOptions &options = {});
-
-/** Builds one policy instance per SM. */
-using PolicyFactory =
-    std::function<std::unique_ptr<Policy>(const GpuConfig &)>;
 
 /**
  * Run @p workload under a custom policy (e.g. a StaticPolicy over FPC,
  * or a LatteCcPolicy with a non-standard mode set). The result's
  * `policy` field is meaningless for custom runs.
+ * @deprecated Thin wrapper over run(); prefer building a RunRequest.
  */
 WorkloadRunResult runWorkloadCustom(const Workload &workload,
                                     const PolicyFactory &factory,

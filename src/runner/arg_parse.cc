@@ -1,0 +1,62 @@
+#include "arg_parse.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace latte::runner
+{
+
+const char *
+sweepArgsUsage()
+{
+    return "  -j, --jobs <n>     worker threads (0 = all cores)\n"
+           "  --cache-dir <dir>  reuse/persist results on disk\n"
+           "  --json <path>      write sweep results as a JSON array\n"
+           "  --no-progress      suppress stderr progress lines\n";
+}
+
+SweepCliOptions
+parseSweepArgs(int &argc, char **argv)
+{
+    SweepCliOptions options;
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                latte_fatal("{} needs a value\n{}", flag,
+                            sweepArgsUsage());
+            return argv[++i];
+        };
+
+        if (arg == "-j" || arg == "--jobs") {
+            char *end = nullptr;
+            const char *text = value(arg.c_str());
+            const unsigned long jobs = std::strtoul(text, &end, 10);
+            if (!end || *end != '\0')
+                latte_fatal("bad job count '{}'", text);
+            options.jobs = static_cast<unsigned>(jobs);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+                   std::isdigit(static_cast<unsigned char>(arg[2]))) {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 2, nullptr, 10));
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value("--cache-dir");
+        } else if (arg == "--json") {
+            options.jsonPath = value("--json");
+        } else if (arg == "--no-progress") {
+            options.progress = false;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return options;
+}
+
+} // namespace latte::runner

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The tiny shared command-line parser every bench binary and example
+ * uses for the sweep-runner flags:
+ *
+ *   -j N, --jobs N     worker threads (0 = hardware concurrency)
+ *   --cache-dir DIR    on-disk result cache directory
+ *   --json PATH        write all sweep results as a JSON array
+ *   --no-progress      suppress the stderr progress/ETA lines
+ *
+ * Recognised flags are consumed (argc/argv are compacted in place);
+ * everything else — positional workload names, google-benchmark flags —
+ * is left for the caller.
+ */
+
+#ifndef LATTE_RUNNER_ARG_PARSE_HH
+#define LATTE_RUNNER_ARG_PARSE_HH
+
+#include <string>
+
+namespace latte::runner
+{
+
+struct SweepCliOptions
+{
+    unsigned jobs = 0;       //!< 0 = hardware concurrency
+    std::string cacheDir;    //!< empty = no persistent cache
+    std::string jsonPath;    //!< empty = no JSON export
+    bool progress = true;
+};
+
+/**
+ * Strip the sweep flags out of @p argv, returning the parsed options.
+ * Malformed values (e.g. a missing argument) latte_fatal() with usage.
+ */
+SweepCliOptions parseSweepArgs(int &argc, char **argv);
+
+/** One-line usage text for the shared flags (for --help output). */
+const char *sweepArgsUsage();
+
+} // namespace latte::runner
+
+#endif // LATTE_RUNNER_ARG_PARSE_HH

@@ -1,0 +1,104 @@
+#include "experiment_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "progress.hh"
+#include "result_cache.hh"
+
+namespace latte::runner
+{
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(std::move(options))
+{}
+
+unsigned
+ExperimentRunner::effectiveThreads(std::size_t cells) const
+{
+    unsigned threads = options_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (cells < threads)
+        threads = static_cast<unsigned>(cells);
+    return threads ? threads : 1;
+}
+
+std::vector<WorkloadRunResult>
+ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
+{
+    stats_ = Stats{};
+    std::vector<WorkloadRunResult> results(requests.size());
+    if (requests.empty())
+        return results;
+
+    std::unique_ptr<ResultCache> cache;
+    if (!options_.cacheDir.empty())
+        cache = std::make_unique<ResultCache>(options_.cacheDir);
+
+    const unsigned threads = effectiveThreads(requests.size());
+    ProgressReporter progress(requests.size(), threads,
+                              options_.progress);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> cache_hits{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= requests.size())
+                return;
+            const RunRequest &request = requests[i];
+            const auto start = std::chrono::steady_clock::now();
+
+            bool cached = false;
+            if (cache) {
+                const RunKey key = RunKey::of(request);
+                if (auto hit = cache->lookup(key)) {
+                    results[i] = std::move(*hit);
+                    cached = true;
+                    cache_hits.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    results[i] = run(request);
+                    cache->store(key, results[i]);
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                }
+            } else {
+                results[i] = run(request);
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }
+
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            progress.completed(request.workload->abbr + "/" +
+                                   runRequestLabel(request),
+                               seconds, cached);
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    stats_.executed = executed.load();
+    stats_.cacheHits = cache_hits.load();
+    return results;
+}
+
+} // namespace latte::runner

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ExperimentRunner: executes a declarative sweep — a vector of
+ * RunRequest cells — across a fixed-size thread pool.
+ *
+ * Determinism: results are returned in request order, each cell is a
+ * pure function of its RunRequest (the simulator has no global mutable
+ * state and every stochastic stream is seeded from the request), and
+ * the worker threads only race on *which* index they pull next — so
+ * the output is bit-identical for any thread count and any completion
+ * order.
+ *
+ * With a cache directory set, each cell is first looked up in the
+ * on-disk ResultCache and only simulated on a miss; fresh results are
+ * persisted for the next invocation.
+ */
+
+#ifndef LATTE_RUNNER_EXPERIMENT_RUNNER_HH
+#define LATTE_RUNNER_EXPERIMENT_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+
+namespace latte::runner
+{
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** On-disk result cache directory; empty = no persistent cache. */
+    std::string cacheDir;
+    /** Progress/ETA lines on stderr. */
+    bool progress = true;
+};
+
+class ExperimentRunner
+{
+  public:
+    /** Per-runAll execution counters. */
+    struct Stats
+    {
+        std::size_t executed = 0;  //!< cells actually simulated
+        std::size_t cacheHits = 0; //!< cells served from disk
+    };
+
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /**
+     * Execute every request; results()[i] corresponds to requests[i].
+     * Blocks until the whole sweep is done.
+     */
+    std::vector<WorkloadRunResult>
+    runAll(const std::vector<RunRequest> &requests);
+
+    /** Counters from the most recent runAll(). */
+    const Stats &stats() const { return stats_; }
+
+    /** The worker count a sweep of @p cells would actually use. */
+    unsigned effectiveThreads(std::size_t cells) const;
+
+    const RunnerOptions &options() const { return options_; }
+
+  private:
+    RunnerOptions options_;
+    Stats stats_;
+};
+
+} // namespace latte::runner
+
+#endif // LATTE_RUNNER_EXPERIMENT_RUNNER_HH

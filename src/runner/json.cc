@@ -1,0 +1,785 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "compress/compressor.hh"
+
+namespace latte::runner
+{
+
+// --- Accessors ---------------------------------------------------------
+
+bool
+Json::asBool() const
+{
+    latte_assert(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (type_ == Type::Double) {
+        latte_assert(double_ >= 0 &&
+                         double_ == static_cast<double>(
+                                        static_cast<std::uint64_t>(double_)),
+                     "JSON number is not an unsigned integer");
+        return static_cast<std::uint64_t>(double_);
+    }
+    latte_assert(type_ == Type::Uint, "JSON value is not a number");
+    return uint_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ == Type::Uint)
+        return static_cast<double>(uint_);
+    latte_assert(type_ == Type::Double, "JSON value is not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    latte_assert(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    latte_assert(type_ == Type::Array, "JSON value is not an array");
+    return array_;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    latte_assert(type_ == Type::Object, "JSON value is not an object");
+    return object_;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Object &obj = asObject();
+    const auto it = obj.find(key);
+    latte_assert(it != obj.end(), "JSON object lacks key {}", key);
+    return it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return type_ == Type::Object && object_.count(key) != 0;
+}
+
+// --- Serialization -----------------------------------------------------
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double d)
+{
+    char buf[32];
+    // max_digits10 for a binary64: the text parses back to the same bits.
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+    // Bare integers-looking text would re-parse as Uint; keep the type.
+    if (!std::strpbrk(buf, ".eEn"))
+        out += ".0";
+}
+
+void
+dumpTo(const Json &json, std::string &out, int indent, int depth)
+{
+    const auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (json.type()) {
+      case Json::Type::Null:
+        out += "null";
+        break;
+      case Json::Type::Bool:
+        out += json.asBool() ? "true" : "false";
+        break;
+      case Json::Type::Uint: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, json.asUint());
+        out += buf;
+        break;
+      }
+      case Json::Type::Double:
+        appendDouble(out, json.asDouble());
+        break;
+      case Json::Type::String:
+        appendEscaped(out, json.asString());
+        break;
+      case Json::Type::Array: {
+        const auto &array = json.asArray();
+        if (array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &elem : array) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            dumpTo(elem, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Json::Type::Object: {
+        const auto &object = json.asObject();
+        if (object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : object) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            appendEscaped(out, key);
+            out += indent < 0 ? ":" : ": ";
+            dumpTo(value, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(*this, out, indent, 0);
+    return out;
+}
+
+// --- Parsing -----------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *text)
+    {
+        const std::size_t n = std::strlen(text);
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::strncmp(p, text, n) != 0)
+            return fail(strfmt("expected '{}'", text));
+        p += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                if (++p >= end)
+                    return fail("dangling escape");
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (end - p < 5)
+                        return fail("short \\u escape");
+                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
+                    const long code = std::strtol(hex, nullptr, 16);
+                    // Only the control-character range is ever emitted.
+                    out += static_cast<char>(code & 0x7f);
+                    p += 4;
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end &&
+               (std::isdigit(static_cast<unsigned char>(*p)) ||
+                *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                *p == '-'))
+            ++p;
+        const std::string text(start, p);
+        if (text.empty())
+            return fail("expected number");
+        if (text.find_first_of(".eE-") == std::string::npos) {
+            errno = 0;
+            char *parse_end = nullptr;
+            const std::uint64_t u =
+                std::strtoull(text.c_str(), &parse_end, 10);
+            if (errno == 0 && parse_end && *parse_end == '\0') {
+                out = Json(u);
+                return true;
+            }
+        }
+        char *parse_end = nullptr;
+        const double d = std::strtod(text.c_str(), &parse_end);
+        if (!parse_end || *parse_end != '\0')
+            return fail(strfmt("bad number '{}'", text));
+        out = Json(d);
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case 'n':
+            out = Json();
+            return literal("null");
+          case 't':
+            out = Json(true);
+            return literal("true");
+          case 'f':
+            out = Json(false);
+            return literal("false");
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+          }
+          case '[': {
+            ++p;
+            Json::Array array;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                out = Json(std::move(array));
+                return true;
+            }
+            for (;;) {
+                Json elem;
+                if (!parseValue(elem))
+                    return false;
+                array.push_back(std::move(elem));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    out = Json(std::move(array));
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '{': {
+            ++p;
+            Json::Object object;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                out = Json(std::move(object));
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                object.emplace(std::move(key), std::move(value));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    out = Json(std::move(object));
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    Json out;
+    if (!parser.parseValue(out)) {
+        if (error)
+            *error = parser.error;
+        return Json();
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (error)
+            *error = "trailing characters after JSON value";
+        return Json();
+    }
+    return out;
+}
+
+// --- Result serialization ----------------------------------------------
+
+namespace
+{
+
+const char *
+modeName(CompressorId id)
+{
+    return compressorName(id);
+}
+
+bool
+modeFromName(const std::string &name, CompressorId &id)
+{
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+        const auto candidate = static_cast<CompressorId>(m);
+        if (name == compressorName(candidate)) {
+            id = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+Json
+modeAccessesJson(const std::array<std::uint64_t, kNumModes> &counts)
+{
+    Json::Array array;
+    for (const std::uint64_t count : counts)
+        array.emplace_back(count);
+    return Json(std::move(array));
+}
+
+bool
+modeAccessesFromJson(const Json &json,
+                     std::array<std::uint64_t, kNumModes> &counts)
+{
+    if (json.type() != Json::Type::Array ||
+        json.asArray().size() != kNumModes)
+        return false;
+    for (std::size_t m = 0; m < kNumModes; ++m)
+        counts[m] = json.asArray()[m].asUint();
+    return true;
+}
+
+} // namespace
+
+Json
+toJson(const UsageCounts &usage)
+{
+    return Json(Json::Object{
+        {"cycles", Json(usage.cycles)},
+        {"instructions", Json(usage.instructions)},
+        {"l1Accesses", Json(usage.l1Accesses)},
+        {"l2Accesses", Json(usage.l2Accesses)},
+        {"nocBytes", Json(usage.nocBytes)},
+        {"dramBytes", Json(usage.dramBytes)},
+        {"bdiCompressions", Json(usage.bdiCompressions)},
+        {"scCompressions", Json(usage.scCompressions)},
+        {"bpcCompressions", Json(usage.bpcCompressions)},
+        {"bdiDecompressions", Json(usage.bdiDecompressions)},
+        {"scDecompressions", Json(usage.scDecompressions)},
+        {"bpcDecompressions", Json(usage.bpcDecompressions)},
+    });
+}
+
+bool
+fromJson(const Json &json, UsageCounts &usage)
+{
+    if (json.type() != Json::Type::Object)
+        return false;
+    for (const char *key :
+         {"cycles", "instructions", "l1Accesses", "l2Accesses",
+          "nocBytes", "dramBytes", "bdiCompressions", "scCompressions",
+          "bpcCompressions", "bdiDecompressions", "scDecompressions",
+          "bpcDecompressions"}) {
+        if (!json.contains(key))
+            return false;
+    }
+    usage.cycles = json.at("cycles").asUint();
+    usage.instructions = json.at("instructions").asUint();
+    usage.l1Accesses = json.at("l1Accesses").asUint();
+    usage.l2Accesses = json.at("l2Accesses").asUint();
+    usage.nocBytes = json.at("nocBytes").asUint();
+    usage.dramBytes = json.at("dramBytes").asUint();
+    usage.bdiCompressions = json.at("bdiCompressions").asUint();
+    usage.scCompressions = json.at("scCompressions").asUint();
+    usage.bpcCompressions = json.at("bpcCompressions").asUint();
+    usage.bdiDecompressions = json.at("bdiDecompressions").asUint();
+    usage.scDecompressions = json.at("scDecompressions").asUint();
+    usage.bpcDecompressions = json.at("bpcDecompressions").asUint();
+    return true;
+}
+
+Json
+toJson(const EnergyReport &energy)
+{
+    return Json(Json::Object{
+        {"coreDynamicMj", Json(energy.coreDynamicMj)},
+        {"l1Mj", Json(energy.l1Mj)},
+        {"l2Mj", Json(energy.l2Mj)},
+        {"nocMj", Json(energy.nocMj)},
+        {"dramMj", Json(energy.dramMj)},
+        {"compressionMj", Json(energy.compressionMj)},
+        {"staticMj", Json(energy.staticMj)},
+    });
+}
+
+bool
+fromJson(const Json &json, EnergyReport &energy)
+{
+    if (json.type() != Json::Type::Object)
+        return false;
+    for (const char *key : {"coreDynamicMj", "l1Mj", "l2Mj", "nocMj",
+                            "dramMj", "compressionMj", "staticMj"}) {
+        if (!json.contains(key))
+            return false;
+    }
+    energy.coreDynamicMj = json.at("coreDynamicMj").asDouble();
+    energy.l1Mj = json.at("l1Mj").asDouble();
+    energy.l2Mj = json.at("l2Mj").asDouble();
+    energy.nocMj = json.at("nocMj").asDouble();
+    energy.dramMj = json.at("dramMj").asDouble();
+    energy.compressionMj = json.at("compressionMj").asDouble();
+    energy.staticMj = json.at("staticMj").asDouble();
+    return true;
+}
+
+Json
+toJson(const KernelSnapshot &snapshot)
+{
+    return Json(Json::Object{
+        {"name", Json(snapshot.name)},
+        {"cycles", Json(snapshot.cycles)},
+        {"instructions", Json(snapshot.instructions)},
+        {"hits", Json(snapshot.hits)},
+        {"misses", Json(snapshot.misses)},
+        {"usage", toJson(snapshot.usage)},
+        {"modeAccesses", modeAccessesJson(snapshot.modeAccesses)},
+    });
+}
+
+bool
+fromJson(const Json &json, KernelSnapshot &snapshot)
+{
+    if (json.type() != Json::Type::Object || !json.contains("name") ||
+        !json.contains("usage") || !json.contains("modeAccesses"))
+        return false;
+    snapshot.name = json.at("name").asString();
+    snapshot.cycles = json.at("cycles").asUint();
+    snapshot.instructions = json.at("instructions").asUint();
+    snapshot.hits = json.at("hits").asUint();
+    snapshot.misses = json.at("misses").asUint();
+    return fromJson(json.at("usage"), snapshot.usage) &&
+           modeAccessesFromJson(json.at("modeAccesses"),
+                                snapshot.modeAccesses);
+}
+
+Json
+toJson(const PolicyTracePoint &point)
+{
+    return Json(Json::Object{
+        {"cycle", Json(point.cycle)},
+        {"tolerance", Json(point.latencyTolerance)},
+        {"mode", Json(modeName(point.mode))},
+        {"capacityBytes", Json(point.effectiveCapacityBytes)},
+    });
+}
+
+bool
+fromJson(const Json &json, PolicyTracePoint &point)
+{
+    if (json.type() != Json::Type::Object || !json.contains("cycle") ||
+        !json.contains("tolerance") || !json.contains("mode") ||
+        !json.contains("capacityBytes"))
+        return false;
+    point.cycle = json.at("cycle").asUint();
+    point.latencyTolerance = json.at("tolerance").asDouble();
+    point.effectiveCapacityBytes = json.at("capacityBytes").asUint();
+    return modeFromName(json.at("mode").asString(), point.mode);
+}
+
+Json
+toJson(const WorkloadRunResult &result)
+{
+    Json::Array kernels;
+    for (const KernelSnapshot &snapshot : result.kernels)
+        kernels.push_back(toJson(snapshot));
+
+    Json::Array best_modes;
+    for (const CompressorId mode : result.kernelBestModes)
+        best_modes.emplace_back(modeName(mode));
+
+    Json::Array trace;
+    for (const PolicyTracePoint &point : result.trace)
+        trace.push_back(toJson(point));
+
+    Json::Object stats;
+    for (const auto &[name, value] : result.stats)
+        stats.emplace(name, Json(value));
+
+    return Json(Json::Object{
+        {"schema", Json(std::uint64_t{1})},
+        {"workload", Json(result.workload)},
+        {"policyKind", Json(policyName(result.policy))},
+        {"policyLabel", Json(result.policyLabel)},
+        {"seed", Json(result.seed)},
+        {"cycles", Json(result.cycles)},
+        {"instructions", Json(result.instructions)},
+        {"hits", Json(result.hits)},
+        {"misses", Json(result.misses)},
+        {"energy", toJson(result.energy)},
+        {"kernels", Json(std::move(kernels))},
+        {"kernelBestModes", Json(std::move(best_modes))},
+        {"trace", Json(std::move(trace))},
+        {"modeAccesses", modeAccessesJson(result.modeAccesses)},
+        {"stats", Json(std::move(stats))},
+    });
+}
+
+bool
+fromJson(const Json &json, WorkloadRunResult &result)
+{
+    if (json.type() != Json::Type::Object)
+        return false;
+    for (const char *key :
+         {"schema", "workload", "policyKind", "policyLabel", "seed",
+          "cycles", "instructions", "hits", "misses", "energy",
+          "kernels", "kernelBestModes", "trace", "modeAccesses",
+          "stats"}) {
+        if (!json.contains(key))
+            return false;
+    }
+    if (json.at("schema").asUint() != 1)
+        return false;
+
+    result = WorkloadRunResult{};
+    result.workload = json.at("workload").asString();
+    const PolicyKind *kind =
+        policyKindFromName(json.at("policyKind").asString());
+    if (!kind)
+        return false;
+    result.policy = *kind;
+    result.policyLabel = json.at("policyLabel").asString();
+    result.seed = json.at("seed").asUint();
+    result.cycles = json.at("cycles").asUint();
+    result.instructions = json.at("instructions").asUint();
+    result.hits = json.at("hits").asUint();
+    result.misses = json.at("misses").asUint();
+    if (!fromJson(json.at("energy"), result.energy))
+        return false;
+
+    for (const Json &elem : json.at("kernels").asArray()) {
+        KernelSnapshot snapshot;
+        if (!fromJson(elem, snapshot))
+            return false;
+        result.kernels.push_back(std::move(snapshot));
+    }
+    for (const Json &elem : json.at("kernelBestModes").asArray()) {
+        CompressorId mode;
+        if (!modeFromName(elem.asString(), mode))
+            return false;
+        result.kernelBestModes.push_back(mode);
+    }
+    for (const Json &elem : json.at("trace").asArray()) {
+        PolicyTracePoint point;
+        if (!fromJson(elem, point))
+            return false;
+        result.trace.push_back(point);
+    }
+    if (!modeAccessesFromJson(json.at("modeAccesses"),
+                              result.modeAccesses))
+        return false;
+    for (const auto &[name, value] : json.at("stats").asObject())
+        result.stats[name] = value.asDouble();
+    return true;
+}
+
+Json
+toJson(const DriverOptions &options)
+{
+    const GpuConfig &cfg = options.cfg;
+    const CompressorTimings &t = cfg.timings;
+    const LatteParams &lp = cfg.latte;
+    return Json(Json::Object{
+        {"cfg",
+         Json(Json::Object{
+             {"numSms", Json(cfg.numSms)},
+             {"maxWarpsPerSm", Json(cfg.maxWarpsPerSm)},
+             {"maxBlocksPerSm", Json(cfg.maxBlocksPerSm)},
+             {"schedulersPerSm", Json(cfg.schedulersPerSm)},
+             {"warpSize", Json(cfg.warpSize)},
+             {"registersPerSm", Json(cfg.registersPerSm)},
+             {"sharedMemBytes", Json(cfg.sharedMemBytes)},
+             {"l1SizeBytes", Json(cfg.l1SizeBytes)},
+             {"l1LineBytes", Json(cfg.l1LineBytes)},
+             {"l1Assoc", Json(cfg.l1Assoc)},
+             {"l1HitLatency", Json(cfg.l1HitLatency)},
+             {"l1TagFactor", Json(cfg.l1TagFactor)},
+             {"l1SubBlockBytes", Json(cfg.l1SubBlockBytes)},
+             {"l1MshrEntries", Json(cfg.l1MshrEntries)},
+             {"l1iSizeBytes", Json(cfg.l1iSizeBytes)},
+             {"l2SizeBytes", Json(cfg.l2SizeBytes)},
+             {"l2LineBytes", Json(cfg.l2LineBytes)},
+             {"l2Assoc", Json(cfg.l2Assoc)},
+             {"l2Banks", Json(cfg.l2Banks)},
+             {"l2MinLatency", Json(cfg.l2MinLatency)},
+             {"dramMinLatency", Json(cfg.dramMinLatency)},
+             {"dramBytesPerCycle", Json(cfg.dramBytesPerCycle)},
+             {"nocBytesPerCycle", Json(cfg.nocBytesPerCycle)},
+             {"schedPolicy",
+              Json(static_cast<std::uint64_t>(cfg.schedPolicy))},
+             {"l1Repl", Json(static_cast<std::uint64_t>(cfg.l1Repl))},
+             {"decompQueueEntries", Json(cfg.decompQueueEntries)},
+         })},
+        {"timings",
+         Json(Json::Object{
+             {"bdiCompress", Json(t.bdiCompress)},
+             {"bdiDecompress", Json(t.bdiDecompress)},
+             {"fpcDecompress", Json(t.fpcDecompress)},
+             {"cpackDecompress", Json(t.cpackDecompress)},
+             {"bpcCompress", Json(t.bpcCompress)},
+             {"bpcDecompress", Json(t.bpcDecompress)},
+             {"scCompress", Json(t.scCompress)},
+             {"scDecompress", Json(t.scDecompress)},
+             {"bdiCompressNj", Json(t.bdiCompressNj)},
+             {"bdiDecompressNj", Json(t.bdiDecompressNj)},
+             {"scCompressNj", Json(t.scCompressNj)},
+             {"scDecompressNj", Json(t.scDecompressNj)},
+             {"bpcCompressNj", Json(t.bpcCompressNj)},
+             {"bpcDecompressNj", Json(t.bpcDecompressNj)},
+         })},
+        {"latte",
+         Json(Json::Object{
+             {"epAccesses", Json(lp.epAccesses)},
+             {"periodEps", Json(lp.periodEps)},
+             {"learningEps", Json(lp.learningEps)},
+             {"dedicatedSetsPerMode", Json(lp.dedicatedSetsPerMode)},
+             {"vftEntries", Json(lp.vftEntries)},
+             {"vftCounterBits", Json(lp.vftCounterBits)},
+         })},
+        {"tuning",
+         Json(Json::Object{
+             {"capacityBenefit", Json(options.tuning.capacityBenefit)},
+             {"chargeDecompression",
+              Json(options.tuning.chargeDecompression)},
+             {"verifyRoundTrip", Json(options.tuning.verifyRoundTrip)},
+         })},
+        {"maxInstructionsPerKernel",
+         Json(options.maxInstructionsPerKernel)},
+    });
+}
+
+} // namespace latte::runner

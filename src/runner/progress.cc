@@ -1,0 +1,43 @@
+#include "progress.hh"
+
+#include <cstdio>
+
+namespace latte::runner
+{
+
+ProgressReporter::ProgressReporter(std::size_t total, unsigned workers,
+                                   bool enabled)
+    : total_(total), workers_(workers ? workers : 1), enabled_(enabled)
+{}
+
+void
+ProgressReporter::completed(const std::string &label, double seconds,
+                            bool cached)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (!cached) {
+        busySeconds_ += seconds;
+        ++executed_;
+    }
+    if (!enabled_)
+        return;
+
+    const std::size_t remaining = total_ - done_;
+    std::string eta = "?";
+    if (executed_ > 0) {
+        const double mean = busySeconds_ / static_cast<double>(executed_);
+        const double estimate =
+            mean * static_cast<double>(remaining) /
+            static_cast<double>(workers_);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0fs", estimate);
+        eta = buf;
+    }
+    std::fprintf(stderr, "[%zu/%zu] %-28s %6.2fs%s  eta %s\n", done_,
+                 total_, label.c_str(), seconds,
+                 cached ? " (cached)" : "         ", eta.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace latte::runner

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Thread-safe sweep progress/ETA reporting on stderr. One line per
+ * completed cell: counter, label, wall time, cache-hit marker and a
+ * remaining-time estimate from the mean completed-cell duration scaled
+ * by the worker count.
+ */
+
+#ifndef LATTE_RUNNER_PROGRESS_HH
+#define LATTE_RUNNER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace latte::runner
+{
+
+class ProgressReporter
+{
+  public:
+    /** @p enabled false silences all output (tests, --json pipelines). */
+    ProgressReporter(std::size_t total, unsigned workers, bool enabled);
+
+    /** Record one finished cell. @p cached marks disk-cache hits. */
+    void completed(const std::string &label, double seconds, bool cached);
+
+  private:
+    std::mutex mutex_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    unsigned workers_;
+    bool enabled_;
+    double busySeconds_ = 0; //!< summed wall time of executed cells
+    std::size_t executed_ = 0;
+};
+
+} // namespace latte::runner
+
+#endif // LATTE_RUNNER_PROGRESS_HH

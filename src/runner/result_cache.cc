@@ -1,0 +1,127 @@
+#include "result_cache.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "json.hh"
+
+namespace latte::runner
+{
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+RunKey
+RunKey::of(const RunRequest &request)
+{
+    latte_assert(request.workload != nullptr);
+    return RunKey{
+        .workload = request.workload->abbr,
+        .policyLabel = runRequestLabel(request),
+        .seed = request.seed,
+        .configHash = fnv1a(toJson(request.options).dump()),
+    };
+}
+
+std::string
+RunKey::fingerprint() const
+{
+    std::string safe_label;
+    for (const char c : policyLabel) {
+        safe_label += (std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '-' || c == '_')
+                          ? c
+                          : '_';
+    }
+    char tail[40];
+    std::snprintf(tail, sizeof(tail), "%016llx-%llu",
+                  static_cast<unsigned long long>(configHash),
+                  static_cast<unsigned long long>(seed));
+    return workload + "-" + safe_label + "-" + tail;
+}
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory))
+{
+    latte_assert(!directory_.empty(),
+                 "ResultCache needs a directory path");
+}
+
+std::string
+ResultCache::path(const RunKey &key) const
+{
+    return directory_ + "/" + key.fingerprint() + ".json";
+}
+
+std::optional<WorkloadRunResult>
+ResultCache::lookup(const RunKey &key) const
+{
+    std::ifstream in(path(key));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::string error;
+    const Json json = Json::parse(text.str(), &error);
+    if (!error.empty()) {
+        latte_warn("result cache: ignoring unparsable {} ({})",
+                   path(key), error);
+        return std::nullopt;
+    }
+    WorkloadRunResult result;
+    if (!fromJson(json, result)) {
+        latte_warn("result cache: ignoring stale-schema {}", path(key));
+        return std::nullopt;
+    }
+    return result;
+}
+
+void
+ResultCache::store(const RunKey &key, const WorkloadRunResult &result) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        latte_warn("result cache: cannot create {} ({})", directory_,
+                   ec.message());
+        return;
+    }
+
+    const std::string final_path = path(key);
+    // Unique temp name per thread; rename makes the publish atomic, so
+    // concurrent writers of the same cell cannot interleave bytes.
+    const std::string tmp_path = strfmt(
+        "{}.tmp{}", final_path,
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+
+    {
+        std::ofstream out(tmp_path);
+        if (!out) {
+            latte_warn("result cache: cannot write {}", tmp_path);
+            return;
+        }
+        out << toJson(result).dump(2) << "\n";
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        latte_warn("result cache: cannot publish {} ({})", final_path,
+                   ec.message());
+        std::filesystem::remove(tmp_path, ec);
+    }
+}
+
+} // namespace latte::runner

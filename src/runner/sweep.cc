@@ -1,0 +1,146 @@
+#include "sweep.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "json.hh"
+
+namespace latte::runner
+{
+
+namespace
+{
+
+RunnerOptions
+toRunnerOptions(const SweepCliOptions &cli)
+{
+    return RunnerOptions{
+        .threads = cli.jobs,
+        .cacheDir = cli.cacheDir,
+        .progress = cli.progress,
+    };
+}
+
+} // namespace
+
+Sweep::Sweep(int &argc, char **argv, DriverOptions defaults)
+    : Sweep(parseSweepArgs(argc, argv), std::move(defaults))
+{}
+
+Sweep::Sweep(SweepCliOptions cli, DriverOptions defaults)
+    : defaults_(std::move(defaults)), runner_(toRunnerOptions(cli)),
+      jsonPath_(cli.jsonPath)
+{}
+
+Sweep::~Sweep()
+{
+    writeJson();
+}
+
+void
+Sweep::add(const Workload &workload, PolicyKind kind)
+{
+    add(workload, kind, defaults_);
+}
+
+void
+Sweep::add(const Workload &workload, PolicyKind kind,
+           const DriverOptions &options)
+{
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = kind;
+    request.options = options;
+    add(std::move(request));
+}
+
+void
+Sweep::add(RunRequest request)
+{
+    indexOf(request);
+}
+
+std::size_t
+Sweep::indexOf(const RunRequest &request)
+{
+    const RunKey key = RunKey::of(request);
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second;
+
+    const std::size_t slot = requests_.size();
+    requests_.push_back(request);
+    results_.emplace_back();
+    done_.push_back(false);
+    pending_.push_back(slot);
+    index_.emplace(key, slot);
+    return slot;
+}
+
+void
+Sweep::run()
+{
+    if (pending_.empty())
+        return;
+
+    std::vector<RunRequest> batch;
+    batch.reserve(pending_.size());
+    for (const std::size_t slot : pending_)
+        batch.push_back(requests_[slot]);
+
+    std::vector<WorkloadRunResult> batch_results =
+        runner_.runAll(batch);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        results_[pending_[i]] = std::move(batch_results[i]);
+        done_[pending_[i]] = true;
+    }
+    pending_.clear();
+}
+
+const WorkloadRunResult &
+Sweep::get(const Workload &workload, PolicyKind kind)
+{
+    return get(workload, kind, defaults_);
+}
+
+const WorkloadRunResult &
+Sweep::get(const Workload &workload, PolicyKind kind,
+           const DriverOptions &options)
+{
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = kind;
+    request.options = options;
+    return get(request);
+}
+
+const WorkloadRunResult &
+Sweep::get(const RunRequest &request)
+{
+    const std::size_t slot = indexOf(request);
+    if (!done_[slot])
+        run();
+    return results_[slot];
+}
+
+void
+Sweep::writeJson() const
+{
+    if (jsonPath_.empty())
+        return;
+
+    Json::Array array;
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (done_[i])
+            array.push_back(toJson(results_[i]));
+    }
+
+    std::ofstream out(jsonPath_);
+    if (!out) {
+        latte_warn("cannot write --json file {}", jsonPath_);
+        return;
+    }
+    out << Json(std::move(array)).dump(2) << "\n";
+}
+
+} // namespace latte::runner

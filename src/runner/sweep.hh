@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sweep: the declarative front door of the experiment runner, used by
+ * every per-figure bench binary and the grid-shaped examples.
+ *
+ *   Sweep sweep(argc, argv);                  // parses -j/--cache-dir/--json
+ *   for (...) sweep.add(workload, kind);      // declare the grid
+ *   const auto &r = sweep.get(workload, kind);// first get() runs ALL
+ *                                             // pending cells in parallel
+ *
+ * get() on a cell that was never add()ed simulates it on the spot, so
+ * incremental/lazy callers still work — they just forgo parallelism for
+ * that cell. Cells are keyed by RunKey (workload x policy label x seed
+ * x full DriverOptions hash), so the same Sweep can hold multiple
+ * configurations of the same workload/policy pair without aliasing.
+ */
+
+#ifndef LATTE_RUNNER_SWEEP_HH
+#define LATTE_RUNNER_SWEEP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arg_parse.hh"
+#include "experiment_runner.hh"
+#include "result_cache.hh"
+
+namespace latte::runner
+{
+
+class Sweep
+{
+  public:
+    /** Parse and strip the shared sweep flags from argc/argv. */
+    Sweep(int &argc, char **argv, DriverOptions defaults = {});
+
+    /** Use pre-parsed options (tests, embedding). */
+    explicit Sweep(SweepCliOptions cli, DriverOptions defaults = {});
+
+    /** Destructor writes the --json export of everything executed. */
+    ~Sweep();
+
+    Sweep(const Sweep &) = delete;
+    Sweep &operator=(const Sweep &) = delete;
+
+    // --- Declaring the grid -------------------------------------------
+
+    /** Queue one cell under the sweep's default DriverOptions. */
+    void add(const Workload &workload, PolicyKind kind);
+
+    /** Queue one cell under cell-specific options. */
+    void add(const Workload &workload, PolicyKind kind,
+             const DriverOptions &options);
+
+    /** Queue an arbitrary request (custom factory, seed, label). */
+    void add(RunRequest request);
+
+    // --- Executing and reading ----------------------------------------
+
+    /** Run every queued-but-unfinished cell across the thread pool. */
+    void run();
+
+    /** Result lookup; runs pending cells (or the missing cell) first. */
+    const WorkloadRunResult &get(const Workload &workload,
+                                 PolicyKind kind);
+    const WorkloadRunResult &get(const Workload &workload,
+                                 PolicyKind kind,
+                                 const DriverOptions &options);
+    const WorkloadRunResult &get(const RunRequest &request);
+
+    /** Every finished result, in add() order. */
+    const std::vector<WorkloadRunResult> &results() const
+    {
+        return results_;
+    }
+
+    /** Write the --json export now (no-op without --json). */
+    void writeJson() const;
+
+    const DriverOptions &defaults() const { return defaults_; }
+    const ExperimentRunner &runner() const { return runner_; }
+
+  private:
+    /** Slot of @p request's cell, queueing it if new. */
+    std::size_t indexOf(const RunRequest &request);
+
+    DriverOptions defaults_;
+    ExperimentRunner runner_;
+    std::string jsonPath_;
+
+    std::vector<RunRequest> requests_;        //!< all cells, add() order
+    std::vector<WorkloadRunResult> results_;  //!< parallel to requests_
+    std::vector<bool> done_;                  //!< parallel to requests_
+    std::vector<std::size_t> pending_;        //!< slots not yet executed
+    std::map<RunKey, std::size_t> index_;     //!< cell key -> slot
+};
+
+} // namespace latte::runner
+
+#endif // LATTE_RUNNER_SWEEP_HH

@@ -402,12 +402,23 @@ workloadsByCategory(bool cache_sensitive)
 }
 
 std::vector<std::unique_ptr<SyntheticKernel>>
-makeKernels(const Workload &workload)
+makeKernels(const Workload &workload, std::uint64_t seed_mix)
 {
     std::vector<std::unique_ptr<SyntheticKernel>> kernels;
     kernels.reserve(workload.kernels.size());
-    for (const auto &spec : workload.kernels)
-        kernels.push_back(std::make_unique<SyntheticKernel>(spec));
+    for (const auto &spec : workload.kernels) {
+        if (seed_mix == 0) {
+            kernels.push_back(std::make_unique<SyntheticKernel>(spec));
+            continue;
+        }
+        KernelSpec mixed = spec;
+        // splitmix64 finalizer keeps remixed seeds well-distributed.
+        std::uint64_t z = mixed.seed ^ seed_mix;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        mixed.seed = z ^ (z >> 31);
+        kernels.push_back(std::make_unique<SyntheticKernel>(mixed));
+    }
     return kernels;
 }
 

@@ -48,9 +48,14 @@ const Workload *findWorkload(const std::string &abbr);
 /** Only the cache-sensitive (or only the insensitive) workloads. */
 std::vector<const Workload *> workloadsByCategory(bool cache_sensitive);
 
-/** Instantiate fresh KernelProgram objects for a workload. */
+/**
+ * Instantiate fresh KernelProgram objects for a workload. A nonzero
+ * @p seed_mix is splitmix-folded into every kernel's baked-in seed so
+ * a sweep can draw per-request independent (but still deterministic)
+ * access streams; 0 keeps the zoo's canonical seeds.
+ */
 std::vector<std::unique_ptr<SyntheticKernel>>
-makeKernels(const Workload &workload);
+makeKernels(const Workload &workload, std::uint64_t seed_mix = 0);
 
 } // namespace latte
 

@@ -248,3 +248,26 @@ TEST(Stats, DumpContainsNamesAndValues)
     EXPECT_NE(os.str().find("gpu.cycles"), std::string::npos);
     EXPECT_NE(os.str().find("42"), std::string::npos);
 }
+
+// ------------------------------------------------------------- geomean
+
+TEST(Stats, GeomeanOfPositives)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0}), 1.0);
+}
+
+TEST(Stats, GeomeanSkipsNonPositiveEntries)
+{
+    // Zero and negative ratios (failed/degenerate runs) must not poison
+    // the mean with -inf or NaN; they are skipped with a warning.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0, -3.0, 1.0}), 2.0);
+}
+
+TEST(Stats, GeomeanOfNothingIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}

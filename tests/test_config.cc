@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for GpuConfig::validationError / validate: the driver rejects
+ * inconsistent machine descriptions (sizes that don't divide, zero
+ * counts, LATTE sampling parameters that exceed the cache) instead of
+ * simulating garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace latte;
+
+namespace
+{
+
+TEST(Config, DefaultConfigIsValid)
+{
+    const GpuConfig cfg;
+    EXPECT_FALSE(cfg.validationError().has_value());
+    cfg.validate(); // must not die
+}
+
+TEST(Config, RejectsL1SizeNotMultipleOfLineTimesAssoc)
+{
+    GpuConfig cfg;
+    cfg.l1SizeBytes = 16 * 1024 + 100;
+    ASSERT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsZeroL1Size)
+{
+    GpuConfig cfg;
+    cfg.l1SizeBytes = 0;
+    ASSERT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsSubBlockNotDividingLine)
+{
+    GpuConfig cfg;
+    cfg.l1SubBlockBytes = 24;
+    ASSERT_TRUE(cfg.validationError().has_value());
+
+    cfg.l1SubBlockBytes = 0;
+    ASSERT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsZeroCores)
+{
+    GpuConfig cfg;
+    cfg.numSms = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+
+    cfg = GpuConfig{};
+    cfg.warpSize = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+
+    cfg = GpuConfig{};
+    cfg.maxWarpsPerSm = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsZeroAssocOrMshrs)
+{
+    GpuConfig cfg;
+    cfg.l1Assoc = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+
+    cfg = GpuConfig{};
+    cfg.l1MshrEntries = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+
+    cfg = GpuConfig{};
+    cfg.l1TagFactor = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsLatteSamplingWiderThanCache)
+{
+    GpuConfig cfg;
+    // 3 modes x dedicated sets must leave room in the L1's set count.
+    cfg.latte.dedicatedSetsPerMode = cfg.l1NumSets();
+    EXPECT_TRUE(cfg.validationError().has_value());
+
+    cfg = GpuConfig{};
+    cfg.latte.epAccesses = 0;
+    EXPECT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(Config, RejectsLearningLongerThanPeriod)
+{
+    GpuConfig cfg;
+    cfg.latte.learningEps = cfg.latte.periodEps + 1;
+    EXPECT_TRUE(cfg.validationError().has_value());
+}
+
+TEST(ConfigDeathTest, ValidateDiesOnBrokenConfig)
+{
+    GpuConfig cfg;
+    cfg.l1SubBlockBytes = 24;
+    EXPECT_DEATH(cfg.validate(), "invalid GpuConfig");
+}
+
+} // namespace

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the experiment runner subsystem: JSON round-trips, thread
+ * count invariance (bit-identical sweeps at -j 1/2/8), the on-disk
+ * result cache, RunKey config-hash separation, the policy catalogue
+ * and the deprecated runWorkload / runWorkloadCustom wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+#include "runner/arg_parse.hh"
+#include "runner/experiment_runner.hh"
+#include "runner/json.hh"
+#include "runner/result_cache.hh"
+#include "runner/sweep.hh"
+#include "workloads/zoo.hh"
+
+using namespace latte;
+using namespace latte::runner;
+
+namespace
+{
+
+/** A cut-down machine so each simulated cell costs milliseconds. */
+DriverOptions
+tinyOptions()
+{
+    DriverOptions options;
+    options.cfg.numSms = 2;
+    options.maxInstructionsPerKernel = 20'000;
+    return options;
+}
+
+/** A small mixed grid: 3 workloads x {Baseline, LATTE-CC}. */
+std::vector<RunRequest>
+smallGrid()
+{
+    std::vector<RunRequest> requests;
+    const char *names[] = {"KM", "PRK", "SS"};
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        if (!workload)
+            continue;
+        for (const PolicyKind kind :
+             {PolicyKind::Baseline, PolicyKind::LatteCc}) {
+            RunRequest &request = requests.emplace_back();
+            request.workload = workload;
+            request.policy = kind;
+            request.options = tinyOptions();
+        }
+    }
+    return requests;
+}
+
+std::vector<std::string>
+dumpAll(const std::vector<WorkloadRunResult> &results)
+{
+    std::vector<std::string> dumps;
+    dumps.reserve(results.size());
+    for (const auto &result : results)
+        dumps.push_back(toJson(result).dump());
+    return dumps;
+}
+
+TEST(Runner, ThreadCountInvariance)
+{
+    const auto requests = smallGrid();
+    ASSERT_FALSE(requests.empty());
+
+    std::vector<std::vector<std::string>> dumps;
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        RunnerOptions options;
+        options.threads = threads;
+        options.progress = false;
+        ExperimentRunner runner(options);
+        dumps.push_back(dumpAll(runner.runAll(requests)));
+    }
+
+    for (std::size_t i = 1; i < dumps.size(); ++i)
+        EXPECT_EQ(dumps[0], dumps[i]) << "thread set #" << i;
+
+    // The serialization survives a parse/re-dump cycle byte-identically
+    // (numbers, including uint64 counters, round-trip exactly).
+    for (const std::string &dump : dumps[0]) {
+        std::string error;
+        const Json parsed = Json::parse(dump, &error);
+        ASSERT_TRUE(error.empty()) << error;
+        WorkloadRunResult restored;
+        ASSERT_TRUE(fromJson(parsed, restored));
+        EXPECT_EQ(toJson(restored).dump(), dump);
+    }
+}
+
+TEST(Runner, DiskCacheHitsOnSecondInvocation)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/latte_runner_cache_test";
+    std::filesystem::remove_all(dir);
+
+    const auto requests = smallGrid();
+    RunnerOptions options;
+    options.threads = 2;
+    options.progress = false;
+    options.cacheDir = dir;
+
+    ExperimentRunner first(options);
+    const auto cold = first.runAll(requests);
+    EXPECT_EQ(first.stats().executed, requests.size());
+    EXPECT_EQ(first.stats().cacheHits, 0u);
+
+    ExperimentRunner second(options);
+    const auto warm = second.runAll(requests);
+    EXPECT_EQ(second.stats().executed, 0u);
+    EXPECT_EQ(second.stats().cacheHits, requests.size());
+
+    EXPECT_EQ(dumpAll(cold), dumpAll(warm));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, RunKeySeparatesDriverOptions)
+{
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+
+    RunRequest a;
+    a.workload = workload;
+    a.policy = PolicyKind::StaticBdi;
+    a.options = tinyOptions();
+
+    // The old string key (abbr + policy name) aliased these three.
+    RunRequest b = a;
+    b.options.tuning.chargeDecompression = false;
+    RunRequest c = a;
+    c.options.cfg.l1SizeBytes = 64 * 1024;
+
+    const RunKey ka = RunKey::of(a);
+    const RunKey kb = RunKey::of(b);
+    const RunKey kc = RunKey::of(c);
+    EXPECT_NE(ka, kb);
+    EXPECT_NE(ka, kc);
+    EXPECT_NE(kb, kc);
+    EXPECT_NE(ka.fingerprint(), kb.fingerprint());
+
+    // Seed participates in the key too.
+    RunRequest d = a;
+    d.seed = 42;
+    EXPECT_NE(RunKey::of(d), ka);
+
+    // Identical requests agree.
+    const RunRequest a_copy = a;
+    EXPECT_EQ(RunKey::of(a), RunKey::of(a_copy));
+}
+
+TEST(Runner, DeprecatedWrappersDelegate)
+{
+    const Workload *workload = findWorkload("PRK");
+    ASSERT_NE(workload, nullptr);
+    const DriverOptions options = tinyOptions();
+
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::StaticSc;
+    request.options = options;
+    const auto via_run = run(request);
+    const auto via_wrapper =
+        runWorkload(*workload, PolicyKind::StaticSc, options);
+    EXPECT_EQ(toJson(via_run).dump(), toJson(via_wrapper).dump());
+
+    const PolicyFactory factory = [](const GpuConfig &cfg) {
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bdi);
+    };
+    RunRequest custom;
+    custom.workload = workload;
+    custom.policy = factory;
+    custom.options = options;
+    const auto via_run_custom = run(custom);
+    const auto via_wrapper_custom =
+        runWorkloadCustom(*workload, factory, options);
+    EXPECT_EQ(toJson(via_run_custom).dump(),
+              toJson(via_wrapper_custom).dump());
+}
+
+TEST(Runner, PolicyCatalogueRoundTrip)
+{
+    const PolicyKind kinds[] = {
+        PolicyKind::Baseline,        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,        PolicyKind::StaticBpc,
+        PolicyKind::AdaptiveHitCount, PolicyKind::AdaptiveCmp,
+        PolicyKind::LatteCc,         PolicyKind::LatteCcBdiBpc,
+        PolicyKind::KernelOpt,
+    };
+    const GpuConfig cfg;
+    for (const PolicyKind kind : kinds) {
+        const char *name = policyName(kind);
+        ASSERT_NE(name, nullptr);
+        const PolicyKind *back = policyKindFromName(name);
+        ASSERT_NE(back, nullptr) << name;
+        EXPECT_EQ(*back, kind);
+        if (kind != PolicyKind::KernelOpt) {
+            EXPECT_NE(makePolicy(kind, cfg), nullptr) << name;
+        }
+    }
+    EXPECT_EQ(policyKindFromName("no-such-policy"), nullptr);
+}
+
+TEST(Runner, SeedMixingChangesResults)
+{
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::Baseline;
+    request.options = tinyOptions();
+
+    const auto canonical = run(request);
+    request.seed = 1234;
+    const auto reseeded = run(request);
+
+    EXPECT_EQ(reseeded.seed, 1234u);
+    // A different seed perturbs the stochastic access streams.
+    EXPECT_NE(toJson(canonical).dump(), toJson(reseeded).dump());
+
+    // And the same seed reproduces bit-identically.
+    const auto reseeded_again = run(request);
+    EXPECT_EQ(toJson(reseeded).dump(), toJson(reseeded_again).dump());
+}
+
+TEST(Runner, SweepArgParsing)
+{
+    const char *raw[] = {"prog",        "-j",     "4",    "positional",
+                         "--cache-dir", "/tmp/x", "--no-progress",
+                         "--json",      "out.json"};
+    std::vector<char *> argv;
+    for (const char *arg : raw)
+        argv.push_back(const_cast<char *>(arg));
+    int argc = static_cast<int>(argv.size());
+
+    const SweepCliOptions cli = parseSweepArgs(argc, argv.data());
+    EXPECT_EQ(cli.jobs, 4u);
+    EXPECT_EQ(cli.cacheDir, "/tmp/x");
+    EXPECT_EQ(cli.jsonPath, "out.json");
+    EXPECT_FALSE(cli.progress);
+
+    // Consumed flags are compacted away; positionals survive.
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "positional");
+}
+
+TEST(Runner, SweepDedupesAndRunsPending)
+{
+    const Workload *workload = findWorkload("PRK");
+    ASSERT_NE(workload, nullptr);
+
+    SweepCliOptions cli;
+    cli.jobs = 2;
+    cli.progress = false;
+    Sweep sweep(cli, tinyOptions());
+
+    sweep.add(*workload, PolicyKind::Baseline);
+    sweep.add(*workload, PolicyKind::Baseline); // duplicate, one cell
+    sweep.add(*workload, PolicyKind::StaticBdi);
+
+    const auto &base = sweep.get(*workload, PolicyKind::Baseline);
+    const auto &bdi = sweep.get(*workload, PolicyKind::StaticBdi);
+    EXPECT_GT(base.cycles, 0u);
+    EXPECT_GT(bdi.cycles, 0u);
+    EXPECT_EQ(sweep.results().size(), 2u);
+
+    // get() on an undeclared cell simulates it on demand.
+    const auto &sc = sweep.get(*workload, PolicyKind::StaticSc);
+    EXPECT_GT(sc.cycles, 0u);
+    EXPECT_EQ(sweep.results().size(), 3u);
+}
+
+TEST(Runner, SweepRunsCustomFactoryCells)
+{
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+
+    SweepCliOptions cli;
+    cli.jobs = 2;
+    cli.progress = false;
+    Sweep sweep(cli, tinyOptions());
+
+    auto fpc_request = [&]() {
+        RunRequest request;
+        request.workload = workload;
+        request.policy = [](const GpuConfig &cfg) {
+            return std::make_unique<StaticPolicy>(cfg, CompressorId::Fpc);
+        };
+        request.label = "Static-FPC";
+        request.options = tinyOptions();
+        return request;
+    };
+
+    sweep.add(fpc_request());
+    // A second request with the same label dedupes onto the same cell
+    // even though the std::function object differs.
+    const auto &first = sweep.get(fpc_request());
+    EXPECT_EQ(sweep.results().size(), 1u);
+    EXPECT_EQ(first.policyLabel, "Static-FPC");
+    EXPECT_GT(first.cycles, 0u);
+}
+
+TEST(Runner, JsonParsesPrimitives)
+{
+    std::string error;
+    const Json parsed = Json::parse(
+        R"({"a": [1, 2.5, true, null, "s\n"], "b": 18446744073709551615})",
+        &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed.at("a").asArray().size(), 5u);
+    EXPECT_EQ(parsed.at("a").asArray()[0].asUint(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.at("a").asArray()[1].asDouble(), 2.5);
+    EXPECT_TRUE(parsed.at("a").asArray()[2].asBool());
+    EXPECT_EQ(parsed.at("a").asArray()[3].type(), Json::Type::Null);
+    EXPECT_EQ(parsed.at("a").asArray()[4].asString(), "s\n");
+    EXPECT_EQ(parsed.at("b").asUint(), 18446744073709551615ull);
+
+    Json::parse("{broken", &error);
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
