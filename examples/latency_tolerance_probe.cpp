@@ -24,8 +24,10 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const WorkloadRunResult latte =
-        runWorkload(*workload, PolicyKind::LatteCc);
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::LatteCc;
+    const WorkloadRunResult latte = run(request);
 
     std::cout << "# " << workload->fullName
               << " — per-EP trace from SM 0 under LATTE-CC\n";

@@ -13,10 +13,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/driver.hh"
 #include "runner/json.hh"
+#include "trace/sink.hh"
 #include "workloads/zoo.hh"
 
 using namespace latte;
@@ -44,6 +46,9 @@ usage()
         "  --max-instr <n>        per-kernel instruction budget\n"
         "  --trace                print the per-EP policy trace\n"
         "  --json <path>          write the full run result as JSON\n"
+        "  --trace-out <path>     write a Chrome trace-event JSON\n"
+        "                         (chrome://tracing, ui.perfetto.dev)\n"
+        "  --timeline-out <path>  write the per-EP time series as JSON\n"
         "  --help                 this text\n";
 }
 
@@ -80,6 +85,8 @@ main(int argc, char **argv)
     DriverOptions options;
     bool trace = false;
     std::string json_path;
+    std::string trace_out;
+    std::string timeline_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -131,6 +138,10 @@ main(int argc, char **argv)
             trace = true;
         } else if (arg == "--json") {
             json_path = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--timeline-out") {
+            timeline_out = next();
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             usage();
@@ -149,6 +160,13 @@ main(int argc, char **argv)
     request.workload = workload;
     request.policy = kind;
     request.options = options;
+
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_out.empty()) {
+        tracer = std::make_unique<Tracer>(std::size_t{1} << 20);
+        request.tracer = tracer.get();
+    }
+
     const WorkloadRunResult result = run(request);
 
     if (!json_path.empty()) {
@@ -158,6 +176,27 @@ main(int argc, char **argv)
             return 1;
         }
         out << runner::toJson(result).dump(2) << "\n";
+    }
+
+    if (tracer) {
+        std::ofstream out(trace_out);
+        if (!out) {
+            std::cerr << "cannot write '" << trace_out << "'\n";
+            return 1;
+        }
+        ChromeTraceSink sink(out);
+        sink.writeRun(result.workload + "/" + result.policyLabel,
+                      *tracer);
+        sink.finish();
+    }
+
+    if (!timeline_out.empty()) {
+        std::ofstream out(timeline_out);
+        if (!out) {
+            std::cerr << "cannot write '" << timeline_out << "'\n";
+            return 1;
+        }
+        out << runner::timelineToJson({result}).dump(2) << "\n";
     }
 
     std::cout << "workload      : " << workload->fullName << " ("

@@ -38,7 +38,8 @@ CompressedCache::CompressedCache(const GpuConfig &cfg, SmId sm_id,
       missLatency(this, "miss_latency",
                   "observed miss service time (cycles)"),
       mshrs(cfg.l1MshrEntries, this),
-      cfg_(cfg), tuning_(tuning), engines_(engines), l2_(l2), mem_(mem),
+      cfg_(cfg), tuning_(tuning), smId_(static_cast<std::uint16_t>(sm_id)),
+      engines_(engines), l2_(l2), mem_(mem),
       provider_(&defaultProvider_),
       numSets_(cfg.l1NumSets()),
       tagsPerSet_(cfg.l1Assoc * cfg.l1TagFactor),
@@ -213,15 +214,23 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
         ++stores;
         TagEntry *entry = findLine(line_addr);
         const bool was_hit = entry != nullptr;
+        const CompressorId old_mode =
+            was_hit ? entry->mode : CompressorId::None;
         if (entry) {
             // Write-avoid: drop the copy instead of recompressing it.
             entry->valid = false;
             ++writeInvalidations;
+            if (tracer_) {
+                TraceEvent ev =
+                    makeTraceEvent(now, TraceEventKind::L1WriteInval, smId_);
+                ev.arg0 = line_addr;
+                ev.arg1 = set;
+                ev.mode = static_cast<std::uint8_t>(old_mode);
+                tracer_->record(ev);
+            }
         }
         l2_->access(now, line_addr, true);
-        provider_->observeAccess(now, set, was_hit, true,
-                                 was_hit ? entry->mode
-                                         : CompressorId::None);
+        provider_->observeAccess({now, set, was_hit, true, old_mode});
         return {was_hit, now + 1, false, false};
     }
 
@@ -235,8 +244,17 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             entry->encoding != kRawEncoding &&
             tuning_.chargeDecompression) {
             Compressor *engine = engines_->get(entry->mode);
-            ready = queueFor(entry->mode)
-                        .enqueue(ready, engine->decompressLatency());
+            DecompressionQueue &queue = queueFor(entry->mode);
+            ready = queue.enqueue(ready, engine->decompressLatency());
+            if (tracer_) {
+                TraceEvent ev = makeTraceEvent(
+                    now, TraceEventKind::DecompEnqueue, smId_);
+                ev.arg0 = line_addr;
+                ev.arg1 = static_cast<std::uint32_t>(queue.depth(now));
+                ev.mode = static_cast<std::uint8_t>(entry->mode);
+                ev.value = static_cast<double>(ready - now);
+                tracer_->record(ev);
+            }
         }
         if (tuning_.verifyRoundTrip && entry->mode != CompressorId::None) {
             CompressedLine line;
@@ -251,7 +269,15 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
                                     truth.begin()),
                          "round-trip mismatch at line {}", line_addr);
         }
-        provider_->observeAccess(now, set, true, false, entry->mode);
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Hit, smId_);
+            ev.arg0 = line_addr;
+            ev.arg1 = set;
+            ev.mode = static_cast<std::uint8_t>(entry->mode);
+            ev.value = static_cast<double>(ready - now);
+            tracer_->record(ev);
+        }
+        provider_->observeAccess({now, set, true, false, entry->mode});
         return {true, ready, false, false};
     }
 
@@ -259,14 +285,31 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
     if (mshrs.outstanding(line_addr)) {
         ++mergedMisses;
         const Cycles ready = mshrs.merge(line_addr);
-        provider_->observeAccess(now, set, false, false,
-                                 CompressorId::None);
+        if (tracer_) {
+            TraceEvent ev =
+                makeTraceEvent(now, TraceEventKind::L1MissMerged, smId_);
+            ev.arg0 = line_addr;
+            ev.arg1 = set;
+            ev.value = static_cast<double>(ready - now);
+            tracer_->record(ev);
+        }
+        provider_->observeAccess({now, set, false, false,
+                                  CompressorId::None});
         return {false, ready, true, false};
     }
 
     if (!mshrs.hasFree()) {
         ++mshrs.stallsFull;
         ++rejections;
+        if (tracer_) {
+            TraceEvent ev =
+                makeTraceEvent(now, TraceEventKind::MshrFull, smId_);
+            ev.arg0 = line_addr;
+            ev.arg1 = set;
+            tracer_->record(ev);
+            ev.kind = TraceEventKind::L1Reject;
+            tracer_->record(ev);
+        }
         return {false, now, false, true};
     }
 
@@ -276,7 +319,17 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
     mshrs.allocate(line_addr, res.readyCycle);
     pendingFills_.push_back({line_addr, res.readyCycle});
     nextFillCycle_ = std::min(nextFillCycle_, res.readyCycle);
-    provider_->observeAccess(now, set, false, false, CompressorId::None);
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Miss, smId_);
+        ev.arg0 = line_addr;
+        ev.arg1 = set;
+        ev.value = static_cast<double>(res.readyCycle - now);
+        tracer_->record(ev);
+        ev.kind = TraceEventKind::MshrAlloc;
+        ev.arg1 = static_cast<std::uint32_t>(mshrs.inUse());
+        tracer_->record(ev);
+    }
+    provider_->observeAccess({now, set, false, false, CompressorId::None});
     return {false, res.readyCycle, false, false};
 }
 
@@ -340,6 +393,14 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
         victim->valid = false;
         victim->payload.clear();
         ++evictions;
+        if (tracer_) {
+            TraceEvent ev =
+                makeTraceEvent(now, TraceEventKind::L1Evict, smId_);
+            ev.arg0 = victim->tag;
+            ev.arg1 = set;
+            ev.mode = static_cast<std::uint8_t>(victim->mode);
+            tracer_->record(ev);
+        }
         if (!slot)
             slot = victim;
     }
@@ -361,6 +422,15 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
     if (line.compressed() && line.encoding != kRawEncoding)
         ++compressedInsertions;
     insertionRatio.sample(line.ratio());
+
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Insert, smId_);
+        ev.arg0 = line_addr;
+        ev.arg1 = need;
+        ev.mode = static_cast<std::uint8_t>(line.algo);
+        ev.value = line.ratio();
+        tracer_->record(ev);
+    }
 
     provider_->observeInsertion(now, set, mode, bytes);
 }

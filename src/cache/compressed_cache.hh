@@ -27,6 +27,7 @@
 #include "mem/memory_image.hh"
 #include "mem/mshr.hh"
 #include "mode_provider.hh"
+#include "trace/tracer.hh"
 
 namespace latte
 {
@@ -74,6 +75,9 @@ class CompressedCache : public StatGroup
 
     /** Install the compression management policy (not owned). */
     void setModeProvider(CompressionModeProvider *provider);
+
+    /** Attach the event tracer (not owned; nullptr disables tracing). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     /** Perform a (coalesced) line access. */
     L1AccessResult access(Cycles now, Addr addr, bool is_write);
@@ -167,6 +171,8 @@ class CompressedCache : public StatGroup
 
     const GpuConfig &cfg_;
     CacheTuning tuning_;
+    std::uint16_t smId_;
+    Tracer *tracer_ = nullptr;
     CompressionEngines *engines_;
     L2Cache *l2_;
     MemoryImage *mem_;

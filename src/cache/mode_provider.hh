@@ -4,6 +4,9 @@
  * management policy (LATTE-CC or one of the baselines). The cache asks
  * the provider which mode to use for each insertion and reports every
  * access/insertion so set-sampling policies can maintain their counters.
+ * Accesses are described by the trace layer's AccessEvent struct — the
+ * same record the tracer hooks consume — so the cache builds the
+ * description of an access exactly once.
  */
 
 #ifndef LATTE_CACHE_MODE_PROVIDER_HH
@@ -14,6 +17,7 @@
 
 #include "common/types.hh"
 #include "compress/compressor.hh"
+#include "trace/events.hh"
 
 namespace latte
 {
@@ -27,16 +31,11 @@ class CompressionModeProvider
     /** Mode for a line about to be inserted into @p set_index. */
     virtual CompressorId modeForInsertion(std::uint32_t set_index) = 0;
 
-    /**
-     * Called on every L1 access.
-     * @param line_mode mode of the line that hit (None on a miss).
-     */
+    /** Called on every L1 access. */
     virtual void
-    observeAccess(Cycles now, std::uint32_t set_index, bool hit,
-                  bool is_write, CompressorId line_mode)
+    observeAccess(const AccessEvent &event)
     {
-        (void)now; (void)set_index; (void)hit; (void)is_write;
-        (void)line_mode;
+        (void)event;
     }
 
     /** Called when a fill inserts a line (after modeForInsertion). */

@@ -133,28 +133,77 @@ StatGroup::resetStats()
 }
 
 void
-StatGroup::dump(std::ostream &os, const std::string &prefix) const
+StatGroup::visit(StatVisitor &visitor, const std::string &prefix) const
 {
     const std::string path =
         prefix.empty() ? name_ : prefix + "." + name_;
-    for (const auto *stat : stats_) {
-        os << path << ".";
-        stat->print(os);
-    }
+    visitor.beginGroup(*this, path);
+    for (const auto *stat : stats_)
+        visitor.visitStat(*stat, path);
     for (const auto *child : children_)
-        child->dump(os, path);
+        child->visit(visitor, path);
+    visitor.endGroup(*this, path);
+}
+
+namespace
+{
+
+/** visit() adapter behind StatGroup::dump(). */
+class PrintVisitor : public StatVisitor
+{
+  public:
+    explicit PrintVisitor(std::ostream &os) : os_(os) {}
+
+    void beginGroup(const StatGroup &, const std::string &) override {}
+    void endGroup(const StatGroup &, const std::string &) override {}
+
+    void
+    visitStat(const StatBase &stat, const std::string &path) override
+    {
+        os_ << path << ".";
+        stat.print(os_);
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+/** visit() adapter behind StatGroup::collect(). */
+class CollectVisitor : public StatVisitor
+{
+  public:
+    explicit CollectVisitor(std::map<std::string, double> &out)
+        : out_(out)
+    {}
+
+    void beginGroup(const StatGroup &, const std::string &) override {}
+    void endGroup(const StatGroup &, const std::string &) override {}
+
+    void
+    visitStat(const StatBase &stat, const std::string &path) override
+    {
+        out_[path + "." + stat.name()] = stat.value();
+    }
+
+  private:
+    std::map<std::string, double> &out_;
+};
+
+} // namespace
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    PrintVisitor visitor(os);
+    visit(visitor, prefix);
 }
 
 void
 StatGroup::collect(std::map<std::string, double> &out,
                    const std::string &prefix) const
 {
-    const std::string path =
-        prefix.empty() ? name_ : prefix + "." + name_;
-    for (const auto *stat : stats_)
-        out[path + "." + stat->name()] = stat->value();
-    for (const auto *child : children_)
-        child->collect(out, path);
+    CollectVisitor visitor(out);
+    visit(visitor, prefix);
 }
 
 double

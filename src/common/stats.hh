@@ -128,6 +128,30 @@ class Histogram : public StatBase
 };
 
 /**
+ * Structured walk over a StatGroup tree. All consumers of the stat
+ * hierarchy (text dump, flat map, JSON serialisation) are visitors, so
+ * the traversal logic lives in exactly one place
+ * (StatGroup::visit()).
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    /** Entering @p group; @p path is its dotted path from the root. */
+    virtual void beginGroup(const StatGroup &group,
+                            const std::string &path) = 0;
+
+    /** One stat of the group entered last; @p path is the group path. */
+    virtual void visitStat(const StatBase &stat,
+                           const std::string &path) = 0;
+
+    /** Leaving @p group. */
+    virtual void endGroup(const StatGroup &group,
+                          const std::string &path) = 0;
+};
+
+/**
  * A named collection of statistics with optional child groups, mirroring
  * the gem5 Stats::Group hierarchy.
  */
@@ -155,10 +179,23 @@ class StatGroup
     /** Reset all stats in this group and its children. */
     void resetStats();
 
-    /** Dump all stats, prefixed by the group path. */
+    /** Registered stats of this group (not descendants). */
+    const std::vector<StatBase *> &statList() const { return stats_; }
+
+    /** Registered child groups. */
+    const std::vector<StatGroup *> &childList() const { return children_; }
+
+    /**
+     * Walk this group and its descendants depth-first, calling
+     * @p visitor's hooks with dotted paths rooted at @p prefix.
+     */
+    void visit(StatVisitor &visitor,
+               const std::string &prefix = "") const;
+
+    /** Dump all stats, prefixed by the group path (visit() based). */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
-    /** Flatten all stats into a name -> value map. */
+    /** Flatten all stats into a name -> value map (visit() based). */
     void collect(std::map<std::string, double> &out,
                  const std::string &prefix = "") const;
 

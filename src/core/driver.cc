@@ -138,7 +138,7 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
     MemoryImage mem;
     workload.setup(mem);
 
-    Gpu gpu(options.cfg, &mem, options.tuning);
+    Gpu gpu(options.cfg, &mem, options.tuning, request.tracer);
 
     std::vector<std::unique_ptr<Policy>> policies;
     policies.reserve(gpu.numSms());
@@ -146,6 +146,8 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
         auto policy = factory(gpu.config());
         auto &sm = gpu.sm(i);
         policy->bind(&sm.cache(), &sm.engines(), &sm.meter());
+        policy->setTracer(request.tracer,
+                          static_cast<std::uint16_t>(i));
         sm.cache().setModeProvider(policy.get());
         policies.push_back(std::move(policy));
     }
@@ -288,28 +290,6 @@ run(const RunRequest &request)
     }
     return runConcrete(request, std::get<PolicyFactory>(request.policy),
                        PolicyKind::Baseline);
-}
-
-WorkloadRunResult
-runWorkload(const Workload &workload, PolicyKind kind,
-            const DriverOptions &options)
-{
-    RunRequest request;
-    request.workload = &workload;
-    request.policy = kind;
-    request.options = options;
-    return run(request);
-}
-
-WorkloadRunResult
-runWorkloadCustom(const Workload &workload, const PolicyFactory &factory,
-                  const DriverOptions &options)
-{
-    RunRequest request;
-    request.workload = &workload;
-    request.policy = factory;
-    request.options = options;
-    return run(request);
 }
 
 double

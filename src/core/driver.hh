@@ -8,9 +8,8 @@
  *
  * The single entrypoint is `run(RunRequest)`; a request names a
  * workload, a policy (either a catalogued PolicyKind or a custom
- * PolicyFactory) and the machine configuration. The older
- * runWorkload()/runWorkloadCustom() pair survives as thin deprecated
- * wrappers.
+ * PolicyFactory), the machine configuration, and optionally a Tracer
+ * that records structured events for the observability layer.
  */
 
 #ifndef LATTE_CORE_DRIVER_HH
@@ -142,6 +141,13 @@ struct RunRequest
      * remaining bit-reproducible.
      */
     std::uint64_t seed = 0;
+    /**
+     * Optional event recorder (not owned; must outlive the run). The
+     * driver wires it through every SM, the L2, the DRAM model and the
+     * per-SM policies. Purely observational: it never alters results
+     * and is NOT part of the result-cache key.
+     */
+    Tracer *tracer = nullptr;
 };
 
 /** The label a request's result will carry (policy name or label). */
@@ -153,23 +159,6 @@ std::string runRequestLabel(const RunRequest &request);
  * flattened stat dump.
  */
 WorkloadRunResult run(const RunRequest &request);
-
-/**
- * Run @p workload under @p kind.
- * @deprecated Thin wrapper over run(); prefer building a RunRequest.
- */
-WorkloadRunResult runWorkload(const Workload &workload, PolicyKind kind,
-                              const DriverOptions &options = {});
-
-/**
- * Run @p workload under a custom policy (e.g. a StaticPolicy over FPC,
- * or a LatteCcPolicy with a non-standard mode set). The result's
- * `policy` field is meaningless for custom runs.
- * @deprecated Thin wrapper over run(); prefer building a RunRequest.
- */
-WorkloadRunResult runWorkloadCustom(const Workload &workload,
-                                    const PolicyFactory &factory,
-                                    const DriverOptions &options = {});
 
 /** Speedup of @p result over @p baseline (cycles ratio). */
 double speedupOver(const WorkloadRunResult &baseline,

@@ -10,7 +10,7 @@ namespace latte
 // ---------------------------------------------------------------- Static
 
 void
-StaticPolicy::onEpBoundary(Cycles, double, bool period_end)
+StaticPolicy::onEpBoundary(Cycles now, double, bool period_end)
 {
     if (mode_ != CompressorId::Sc)
         return;
@@ -18,10 +18,10 @@ StaticPolicy::onEpBoundary(Cycles, double, bool period_end)
     // first code book as soon as that EP closes, then reconsider at
     // every period boundary (the VFT retrains during each final EP).
     if (!firstScBuildDone_) {
-        rebuildScCodes();
+        rebuildScCodes(now);
         firstScBuildDone_ = true;
     } else if (period_end) {
-        maybeRebuildScCodes();
+        maybeRebuildScCodes(now);
     }
 }
 
@@ -105,18 +105,27 @@ LatteCcPolicy::modeForInsertion(std::uint32_t set_index)
 }
 
 void
-LatteCcPolicy::onAccess(Cycles, std::uint32_t set_index, bool hit,
-                        bool is_write, CompressorId)
+LatteCcPolicy::onAccess(const AccessEvent &event)
 {
-    if (is_write || !samplingActive())
+    if (event.isWrite || !samplingActive())
         return;
-    const int k = dedicatedModeIndex(set_index);
+    const int k = dedicatedModeIndex(event.setIndex);
     if (k < 0)
         return;
-    if (hit)
+    if (event.hit)
         ++nHit_[k];
     else
         ++nMiss_[k];
+}
+
+void
+LatteCcPolicy::annotateTracePoint(PolicyTracePoint &point)
+{
+    for (std::size_t k = 0; k < modes_.size(); ++k) {
+        const auto mode = static_cast<std::size_t>(modes_[k]);
+        point.samplerHits[mode] = nHit_[k];
+        point.samplerMisses[mode] = nMiss_[k];
+    }
 }
 
 void
@@ -174,10 +183,10 @@ LatteCcPolicy::onEpBoundary(Cycles now, double tolerance, bool period_end)
 
     if (usesSc_) {
         if (!firstScBuildDone_) {
-            rebuildScCodes();
+            rebuildScCodes(now);
             firstScBuildDone_ = true;
         } else if (period_end) {
-            maybeRebuildScCodes();
+            maybeRebuildScCodes(now);
         }
     }
 }
@@ -221,6 +230,15 @@ LatteCcPolicy::chooseWinner(Cycles now, double tolerance)
                        static_cast<double>(total);
         amat[k] = exposed[k] +
                   miss_rate[k] * (miss_latency - exposed[k]);
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(
+                now, TraceEventKind::SamplerVote, traceSmId_);
+            ev.arg0 = hits;
+            ev.arg1 = static_cast<std::uint32_t>(misses);
+            ev.mode = static_cast<std::uint8_t>(modes_[k]);
+            ev.value = amat[k];
+            tracer_->record(ev);
+        }
         if (best < 0 || amat[k] < amat[best])
             best = static_cast<int>(k);
     }
@@ -251,12 +269,19 @@ LatteCcPolicy::chooseWinner(Cycles now, double tolerance)
 
     winner_ = modes_[best];
     winnerChanged_ = true;
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(
+            now, TraceEventKind::ModeChange, traceSmId_);
+        ev.mode = static_cast<std::uint8_t>(winner_);
+        ev.value = amat[best];
+        tracer_->record(ev);
+    }
 }
 
 // ----------------------------------------------------- AdaptiveHitCount
 
 void
-AdaptiveHitCountPolicy::chooseWinner(Cycles, double)
+AdaptiveHitCountPolicy::chooseWinner(Cycles now, double)
 {
     std::uint64_t best_hits = 0;
     int best = -1;
@@ -271,6 +296,12 @@ AdaptiveHitCountPolicy::chooseWinner(Cycles, double)
     if (best >= 0 && modes_[best] != winner_) {
         winner_ = modes_[best];
         winnerChanged_ = true;
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(
+                now, TraceEventKind::ModeChange, traceSmId_);
+            ev.mode = static_cast<std::uint8_t>(winner_);
+            tracer_->record(ev);
+        }
     }
 }
 

@@ -83,10 +83,10 @@ class LatteCcPolicy : public Policy
     }
 
   protected:
-    void onAccess(Cycles now, std::uint32_t set_index, bool hit,
-                  bool is_write, CompressorId line_mode) override;
+    void onAccess(const AccessEvent &event) override;
     void onEpBoundary(Cycles now, double tolerance,
                       bool period_end) override;
+    void annotateTracePoint(PolicyTracePoint &point) override;
     bool scTrainingActive() const override;
 
     /** Pick the AMAT_GPU-minimising mode; overridable by baselines. */

@@ -18,6 +18,7 @@
 #include "common/config.hh"
 #include "ep_clock.hh"
 #include "sim/lt_meter.hh"
+#include "trace/tracer.hh"
 
 namespace latte
 {
@@ -25,13 +26,23 @@ namespace latte
 /** Number of CompressorId values (for per-mode arrays). */
 constexpr std::size_t kNumModes = 6;
 
-/** Per-EP sample of policy state, for the time-series figures. */
+/**
+ * Per-EP sample of policy state, for the time-series figures and the
+ * --timeline-out export. Recorded unconditionally (it is cheap — one
+ * entry per 256 L1 accesses) so results stay bit-identical whether or
+ * not event tracing is enabled.
+ */
 struct PolicyTracePoint
 {
     Cycles cycle = 0;
     double latencyTolerance = 0;
     CompressorId mode = CompressorId::None;
     std::uint64_t effectiveCapacityBytes = 0;
+    /** Entries draining in this SM's decompression queues. */
+    std::uint32_t decompQueueDepth = 0;
+    /** Dedicated-set sampling counters, indexed by CompressorId. */
+    std::array<std::uint64_t, kNumModes> samplerHits{};
+    std::array<std::uint64_t, kNumModes> samplerMisses{};
 };
 
 /** Compression management policy bound to one SM. */
@@ -54,21 +65,46 @@ class Policy : public CompressionModeProvider
         meter_ = meter;
     }
 
+    /** Attach the event tracer (not owned) as SM @p sm_id. */
+    void
+    setTracer(Tracer *tracer, std::uint16_t sm_id)
+    {
+        tracer_ = tracer;
+        traceSmId_ = sm_id;
+    }
+
     // --- CompressionModeProvider ---
     void
-    observeAccess(Cycles now, std::uint32_t set_index, bool hit,
-                  bool is_write, CompressorId line_mode) override
+    observeAccess(const AccessEvent &event) override
     {
         ++modeAccesses_[static_cast<std::size_t>(currentMode())];
-        onAccess(now, set_index, hit, is_write, line_mode);
+        onAccess(event);
         const EpClock::Events events = clock_.onAccess();
         if (events.epBoundary) {
+            const Cycles now = event.now;
             const double tolerance = meter_ ? meter_->harvest() : 0.0;
             lastTolerance_ = tolerance;
             onEpBoundary(now, tolerance, events.periodBoundary);
-            trace_.push_back({now, tolerance, currentMode(),
-                              cache_ ? cache_->effectiveCapacityBytes()
-                                     : 0});
+
+            PolicyTracePoint point;
+            point.cycle = now;
+            point.latencyTolerance = tolerance;
+            point.mode = currentMode();
+            point.effectiveCapacityBytes =
+                cache_ ? cache_->effectiveCapacityBytes() : 0;
+            point.decompQueueDepth = totalDecompDepth(now);
+            annotateTracePoint(point);
+            trace_.push_back(point);
+
+            if (tracer_) {
+                TraceEvent ev = makeTraceEvent(
+                    now, TraceEventKind::EpBoundary, traceSmId_);
+                ev.arg0 = point.effectiveCapacityBytes;
+                ev.arg1 = point.decompQueueDepth;
+                ev.mode = static_cast<std::uint8_t>(point.mode);
+                ev.value = tolerance;
+                tracer_->record(ev);
+            }
         }
     }
 
@@ -103,7 +139,12 @@ class Policy : public CompressionModeProvider
   protected:
     /** Policy-specific access hook (before EP accounting). */
     virtual void
-    onAccess(Cycles, std::uint32_t, bool, bool, CompressorId)
+    onAccess(const AccessEvent &)
+    {}
+
+    /** Fill policy-specific fields of a freshly recorded trace point. */
+    virtual void
+    annotateTracePoint(PolicyTracePoint &)
     {}
 
     /** Policy-specific insertion hook. */
@@ -128,10 +169,31 @@ class Policy : public CompressionModeProvider
 
     /** Rebuild SC codes and invalidate lines of retired generations. */
     void
-    rebuildScCodes()
+    rebuildScCodes(Cycles now)
     {
         const std::uint32_t generation = engines_->sc.rebuildCodes();
         cache_->invalidateScGeneration(generation);
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(
+                now, TraceEventKind::ScRebuild, traceSmId_);
+            ev.arg0 = generation;
+            tracer_->record(ev);
+        }
+    }
+
+    /** Entries draining across all decompression queues at @p now. */
+    std::uint32_t
+    totalDecompDepth(Cycles now) const
+    {
+        if (!cache_)
+            return 0;
+        std::size_t depth = 0;
+        for (const CompressorId mode :
+             {CompressorId::Bdi, CompressorId::Sc, CompressorId::Bpc,
+              CompressorId::Fpc, CompressorId::CpackZ}) {
+            depth += cache_->queueFor(mode).depth(now);
+        }
+        return static_cast<std::uint32_t>(depth);
     }
 
     /**
@@ -141,7 +203,7 @@ class Policy : public CompressionModeProvider
      * when the palette is stable costs capacity for nothing.
      */
     void
-    maybeRebuildScCodes()
+    maybeRebuildScCodes(Cycles now)
     {
         auto &sc = engines_->sc;
         if (sc.vft().samples() < 256) {
@@ -149,7 +211,7 @@ class Policy : public CompressionModeProvider
             return;
         }
         if (!sc.hasCodes() || sc.codeDivergence() > 0.3)
-            rebuildScCodes();
+            rebuildScCodes(now);
         else
             sc.discardVft();
     }
@@ -199,6 +261,8 @@ class Policy : public CompressionModeProvider
     CompressedCache *cache_ = nullptr;
     CompressionEngines *engines_ = nullptr;
     LatencyToleranceMeter *meter_ = nullptr;
+    Tracer *tracer_ = nullptr;
+    std::uint16_t traceSmId_ = kNoTraceSm;
 
   private:
     std::array<std::uint64_t, kNumModes> modeAccesses_{};

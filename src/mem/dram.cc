@@ -27,6 +27,13 @@ DramModel::access(Cycles now, std::uint32_t bytes)
     const double queue = start - static_cast<double>(now);
     queueDelay.sample(queue);
 
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(now, TraceEventKind::DramAccess);
+        ev.arg0 = bytes;
+        ev.value = queue;
+        tracer_->record(ev);
+    }
+
     return now + extraLatency_ + static_cast<Cycles>(queue + service);
 }
 

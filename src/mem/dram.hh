@@ -12,6 +12,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/tracer.hh"
 
 namespace latte
 {
@@ -31,11 +32,15 @@ class DramModel : public StatGroup
     /** Reset queue state between runs (stats reset separately). */
     void flushQueues() { nextFree_ = 0; }
 
+    /** Attach the event tracer (not owned; nullptr disables tracing). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
     Counter accesses;
     Counter bytesTransferred;
     Average queueDelay;
 
   private:
+    Tracer *tracer_ = nullptr;
     /** Extra latency DRAM adds beyond the L2 round trip. */
     Cycles extraLatency_;
     double bytesPerCycle_;

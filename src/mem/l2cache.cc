@@ -84,6 +84,13 @@ L2Cache::access(Cycles now, Addr line_addr, bool is_write)
     if (entry) {
         ++hits;
         entry->lruStamp = ++lruClock_;
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(now, TraceEventKind::L2Hit);
+            ev.arg0 = line_addr;
+            ev.arg1 = bank;
+            ev.value = queue;
+            tracer_->record(ev);
+        }
     } else {
         ++misses;
         // Fetch from DRAM, then fill.
@@ -100,6 +107,13 @@ L2Cache::access(Cycles now, Addr line_addr, bool is_write)
         victim->valid = true;
         victim->tag = tag;
         victim->lruStamp = ++lruClock_;
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(now, TraceEventKind::L2Miss);
+            ev.arg0 = line_addr;
+            ev.arg1 = bank;
+            ev.value = static_cast<double>(data_at_l2 - now);
+            tracer_->record(ev);
+        }
     }
 
     // Response traverses the network back (data payload for reads).

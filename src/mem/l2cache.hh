@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "dram.hh"
 #include "interconnect.hh"
+#include "trace/tracer.hh"
 
 namespace latte
 {
@@ -45,6 +46,9 @@ class L2Cache : public StatGroup
     /** Drop all cached lines and bank queues (between runs). */
     void invalidateAll();
 
+    /** Attach the event tracer (not owned; nullptr disables tracing). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
     Counter reads;
     Counter writes;
     Counter hits;
@@ -65,6 +69,7 @@ class L2Cache : public StatGroup
     const GpuConfig &cfg_;
     Interconnect *noc_;
     DramModel *dram_;
+    Tracer *tracer_ = nullptr;
 
     std::uint32_t numSets_;
     std::vector<Way> ways_;              //!< numSets_ x assoc

@@ -15,6 +15,10 @@ sweepArgsUsage()
     return "  -j, --jobs <n>     worker threads (0 = all cores)\n"
            "  --cache-dir <dir>  reuse/persist results on disk\n"
            "  --json <path>      write sweep results as a JSON array\n"
+           "  --trace-out <path> write a Chrome trace-event JSON "
+           "(chrome://tracing, Perfetto)\n"
+           "  --timeline-out <path> write the per-EP time series "
+           "(tolerance, mode, capacity)\n"
            "  --no-progress      suppress stderr progress lines\n";
 }
 
@@ -48,6 +52,10 @@ parseSweepArgs(int &argc, char **argv)
             options.cacheDir = value("--cache-dir");
         } else if (arg == "--json") {
             options.jsonPath = value("--json");
+        } else if (arg == "--trace-out") {
+            options.traceOut = value("--trace-out");
+        } else if (arg == "--timeline-out") {
+            options.timelineOut = value("--timeline-out");
         } else if (arg == "--no-progress") {
             options.progress = false;
         } else {

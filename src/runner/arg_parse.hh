@@ -6,6 +6,8 @@
  *   -j N, --jobs N     worker threads (0 = hardware concurrency)
  *   --cache-dir DIR    on-disk result cache directory
  *   --json PATH        write all sweep results as a JSON array
+ *   --trace-out PATH   write a Chrome trace-event JSON of all runs
+ *   --timeline-out PATH write the per-EP time series of all runs
  *   --no-progress      suppress the stderr progress/ETA lines
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
@@ -26,6 +28,8 @@ struct SweepCliOptions
     unsigned jobs = 0;       //!< 0 = hardware concurrency
     std::string cacheDir;    //!< empty = no persistent cache
     std::string jsonPath;    //!< empty = no JSON export
+    std::string traceOut;    //!< empty = no Chrome trace export
+    std::string timelineOut; //!< empty = no per-EP time-series export
     bool progress = true;
 };
 

@@ -59,7 +59,12 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
             const auto start = std::chrono::steady_clock::now();
 
             bool cached = false;
-            if (cache) {
+            // A traced request must actually simulate — a disk hit
+            // would return the result without producing any events —
+            // so the cache is bypassed entirely (the tracer is not
+            // part of RunKey, and a traced result must not shadow an
+            // untraced one).
+            if (cache && request.tracer == nullptr) {
                 const RunKey key = RunKey::of(request);
                 if (auto hit = cache->lookup(key)) {
                     results[i] = std::move(*hit);

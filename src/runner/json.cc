@@ -595,6 +595,9 @@ toJson(const PolicyTracePoint &point)
         {"tolerance", Json(point.latencyTolerance)},
         {"mode", Json(modeName(point.mode))},
         {"capacityBytes", Json(point.effectiveCapacityBytes)},
+        {"decompQueueDepth", Json(point.decompQueueDepth)},
+        {"samplerHits", modeAccessesJson(point.samplerHits)},
+        {"samplerMisses", modeAccessesJson(point.samplerMisses)},
     });
 }
 
@@ -603,11 +606,20 @@ fromJson(const Json &json, PolicyTracePoint &point)
 {
     if (json.type() != Json::Type::Object || !json.contains("cycle") ||
         !json.contains("tolerance") || !json.contains("mode") ||
-        !json.contains("capacityBytes"))
+        !json.contains("capacityBytes") ||
+        !json.contains("decompQueueDepth") ||
+        !json.contains("samplerHits") || !json.contains("samplerMisses"))
         return false;
     point.cycle = json.at("cycle").asUint();
     point.latencyTolerance = json.at("tolerance").asDouble();
     point.effectiveCapacityBytes = json.at("capacityBytes").asUint();
+    point.decompQueueDepth =
+        static_cast<std::uint32_t>(json.at("decompQueueDepth").asUint());
+    if (!modeAccessesFromJson(json.at("samplerHits"),
+                              point.samplerHits) ||
+        !modeAccessesFromJson(json.at("samplerMisses"),
+                              point.samplerMisses))
+        return false;
     return modeFromName(json.at("mode").asString(), point.mode);
 }
 
@@ -631,7 +643,9 @@ toJson(const WorkloadRunResult &result)
         stats.emplace(name, Json(value));
 
     return Json(Json::Object{
-        {"schema", Json(std::uint64_t{1})},
+        // Bumped 1 -> 2 when PolicyTracePoint grew decompQueueDepth and
+        // the sampler counters; stale cache entries degrade to misses.
+        {"schema", Json(std::uint64_t{2})},
         {"workload", Json(result.workload)},
         {"policyKind", Json(policyName(result.policy))},
         {"policyLabel", Json(result.policyLabel)},
@@ -662,7 +676,7 @@ fromJson(const Json &json, WorkloadRunResult &result)
         if (!json.contains(key))
             return false;
     }
-    if (json.at("schema").asUint() != 1)
+    if (json.at("schema").asUint() != 2)
         return false;
 
     result = WorkloadRunResult{};
@@ -705,6 +719,75 @@ fromJson(const Json &json, WorkloadRunResult &result)
     for (const auto &[name, value] : json.at("stats").asObject())
         result.stats[name] = value.asDouble();
     return true;
+}
+
+namespace
+{
+
+/** StatVisitor building one nested Json object per StatGroup. */
+class JsonStatVisitor : public StatVisitor
+{
+  public:
+    void
+    beginGroup(const StatGroup &, const std::string &) override
+    {
+        stack_.emplace_back();
+    }
+
+    void
+    visitStat(const StatBase &stat, const std::string &) override
+    {
+        stack_.back().emplace(stat.name(), Json(stat.value()));
+    }
+
+    void
+    endGroup(const StatGroup &group, const std::string &) override
+    {
+        Json::Object done = std::move(stack_.back());
+        stack_.pop_back();
+        if (stack_.empty())
+            root_ = Json(std::move(done));
+        else
+            stack_.back().emplace(group.groupName(),
+                                  Json(std::move(done)));
+    }
+
+    Json take() { return std::move(root_); }
+
+  private:
+    std::vector<Json::Object> stack_;
+    Json root_;
+};
+
+} // namespace
+
+Json
+toJson(const StatGroup &group)
+{
+    JsonStatVisitor visitor;
+    group.visit(visitor);
+    return visitor.take();
+}
+
+Json
+timelineToJson(const std::vector<WorkloadRunResult> &results)
+{
+    Json::Array runs;
+    for (const WorkloadRunResult &result : results) {
+        Json::Array points;
+        for (const PolicyTracePoint &point : result.trace)
+            points.push_back(toJson(point));
+        runs.push_back(Json(Json::Object{
+            {"workload", Json(result.workload)},
+            {"policy", Json(result.policyLabel)},
+            {"seed", Json(result.seed)},
+            {"points", Json(std::move(points))},
+        }));
+    }
+    return Json(Json::Object{
+        {"schema", Json(std::uint64_t{1})},
+        {"runs", Json(std::move(runs))},
+    });
 }
 
 Json

@@ -100,8 +100,22 @@ Json toJson(const KernelSnapshot &snapshot);
 Json toJson(const PolicyTracePoint &point);
 Json toJson(const WorkloadRunResult &result);
 
+/**
+ * Serialize a whole stat hierarchy as nested objects, one per
+ * StatGroup, via StatGroup::visit() — the one traversal shared with
+ * dump() and collect().
+ */
+Json toJson(const StatGroup &group);
+
 /** Canonical dump of every DriverOptions field (cache-key material). */
 Json toJson(const DriverOptions &options);
+
+/**
+ * The --timeline-out document: per-EP time series (latency tolerance,
+ * chosen mode, effective capacity, decompression-queue occupancy,
+ * sampler counters) of every run in @p results.
+ */
+Json timelineToJson(const std::vector<WorkloadRunResult> &results);
 
 /** Reconstruction, for disk-cache hits. False on schema mismatch. */
 bool fromJson(const Json &json, UsageCounts &usage);

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "json.hh"
+#include "trace/sink.hh"
 
 namespace latte::runner
 {
@@ -29,12 +30,15 @@ Sweep::Sweep(int &argc, char **argv, DriverOptions defaults)
 
 Sweep::Sweep(SweepCliOptions cli, DriverOptions defaults)
     : defaults_(std::move(defaults)), runner_(toRunnerOptions(cli)),
-      jsonPath_(cli.jsonPath)
+      jsonPath_(cli.jsonPath), traceOut_(cli.traceOut),
+      timelineOut_(cli.timelineOut)
 {}
 
 Sweep::~Sweep()
 {
     writeJson();
+    writeTrace();
+    writeTimeline();
 }
 
 void
@@ -72,6 +76,13 @@ Sweep::indexOf(const RunRequest &request)
     requests_.push_back(request);
     results_.emplace_back();
     done_.push_back(false);
+    // Under --trace-out every cell records into its own flight
+    // recorder; a non-null tracer also makes the runner bypass the
+    // disk cache, so events are always produced.
+    tracers_.push_back(traceOut_.empty()
+                           ? nullptr
+                           : std::make_unique<Tracer>(kCellTraceCapacity));
+    requests_.back().tracer = tracers_.back().get();
     pending_.push_back(slot);
     index_.emplace(key, slot);
     return slot;
@@ -141,6 +152,50 @@ Sweep::writeJson() const
         return;
     }
     out << Json(std::move(array)).dump(2) << "\n";
+}
+
+void
+Sweep::writeTrace() const
+{
+    if (traceOut_.empty())
+        return;
+
+    std::ofstream out(traceOut_);
+    if (!out) {
+        latte_warn("cannot write --trace-out file {}", traceOut_);
+        return;
+    }
+    ChromeTraceSink sink(out);
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (!done_[i] || !tracers_[i])
+            continue;
+        const WorkloadRunResult &result = results_[i];
+        std::string label = result.workload + "/" + result.policyLabel;
+        if (result.seed != 0)
+            label += strfmt("/seed{}", result.seed);
+        sink.writeRun(label, *tracers_[i]);
+    }
+    sink.finish();
+}
+
+void
+Sweep::writeTimeline() const
+{
+    if (timelineOut_.empty())
+        return;
+
+    std::vector<WorkloadRunResult> finished;
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (done_[i])
+            finished.push_back(results_[i]);
+    }
+
+    std::ofstream out(timelineOut_);
+    if (!out) {
+        latte_warn("cannot write --timeline-out file {}", timelineOut_);
+        return;
+    }
+    out << timelineToJson(finished).dump(2) << "\n";
 }
 
 } // namespace latte::runner

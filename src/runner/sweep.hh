@@ -20,12 +20,14 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arg_parse.hh"
 #include "experiment_runner.hh"
 #include "result_cache.hh"
+#include "trace/tracer.hh"
 
 namespace latte::runner
 {
@@ -39,7 +41,10 @@ class Sweep
     /** Use pre-parsed options (tests, embedding). */
     explicit Sweep(SweepCliOptions cli, DriverOptions defaults = {});
 
-    /** Destructor writes the --json export of everything executed. */
+    /**
+     * Destructor writes the --json, --trace-out and --timeline-out
+     * exports of everything executed.
+     */
     ~Sweep();
 
     Sweep(const Sweep &) = delete;
@@ -79,6 +84,12 @@ class Sweep
     /** Write the --json export now (no-op without --json). */
     void writeJson() const;
 
+    /** Write the Chrome trace export now (no-op without --trace-out). */
+    void writeTrace() const;
+
+    /** Write the per-EP export now (no-op without --timeline-out). */
+    void writeTimeline() const;
+
     const DriverOptions &defaults() const { return defaults_; }
     const ExperimentRunner &runner() const { return runner_; }
 
@@ -86,13 +97,20 @@ class Sweep
     /** Slot of @p request's cell, queueing it if new. */
     std::size_t indexOf(const RunRequest &request);
 
+    /** Ring capacity of each per-cell tracer under --trace-out. */
+    static constexpr std::size_t kCellTraceCapacity = std::size_t{1} << 16;
+
     DriverOptions defaults_;
     ExperimentRunner runner_;
     std::string jsonPath_;
+    std::string traceOut_;
+    std::string timelineOut_;
 
     std::vector<RunRequest> requests_;        //!< all cells, add() order
     std::vector<WorkloadRunResult> results_;  //!< parallel to requests_
     std::vector<bool> done_;                  //!< parallel to requests_
+    /** Parallel to requests_; null entries unless --trace-out is set. */
+    std::vector<std::unique_ptr<Tracer>> tracers_;
     std::vector<std::size_t> pending_;        //!< slots not yet executed
     std::map<RunKey, std::size_t> index_;     //!< cell key -> slot
 };

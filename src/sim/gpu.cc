@@ -7,20 +7,24 @@
 namespace latte
 {
 
-Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning)
+Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning,
+         Tracer *tracer)
     : StatGroup("gpu"),
       cyclesElapsed(this, "cycles", "total simulated cycles"),
       kernelsLaunched(this, "kernels", "kernel launches"),
-      cfg_(cfg), mem_(mem),
+      cfg_(cfg), mem_(mem), tracer_(tracer),
       noc_(cfg, this),
       dram_(cfg, this),
       l2_(cfg, &noc_, &dram_, this)
 {
     latte_assert(mem_ != nullptr);
+    dram_.setTracer(tracer_);
+    l2_.setTracer(tracer_);
     sms_.reserve(cfg_.numSms);
     for (std::uint32_t i = 0; i < cfg_.numSms; ++i) {
         sms_.push_back(std::make_unique<StreamingMultiprocessor>(
             cfg_, i, &l2_, mem_, this, tuning));
+        sms_.back()->setTracer(tracer_);
     }
 }
 
@@ -31,6 +35,13 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
     ++kernelsLaunched;
     const Cycles start = now_;
     const std::uint64_t instr_start = totalInstructions();
+
+    if (tracer_) {
+        TraceEvent ev =
+            makeTraceEvent(start, TraceEventKind::KernelBegin);
+        ev.arg0 = kernelsLaunched.count() - 1;
+        tracer_->record(ev);
+    }
 
     for (auto &sm : sms_)
         sm->startKernel(&program);
@@ -94,6 +105,13 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
 
     const Cycles duration = now_ - start;
     cyclesElapsed += duration;
+
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(now_, TraceEventKind::KernelEnd);
+        ev.arg0 = kernelsLaunched.count() - 1;
+        ev.arg1 = budget_hit ? 0 : 1;
+        tracer_->record(ev);
+    }
 
     RunResult result;
     result.cycles = duration;

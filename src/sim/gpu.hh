@@ -34,8 +34,13 @@ struct RunResult
 class Gpu : public StatGroup
 {
   public:
+    /**
+     * @param tracer optional event tracer (not owned); propagated to
+     *        every SM, the L2 and the DRAM model. nullptr disables
+     *        tracing at a cost of one branch per hook point.
+     */
     explicit Gpu(const GpuConfig &cfg, MemoryImage *mem,
-                 CacheTuning tuning = {});
+                 CacheTuning tuning = {}, Tracer *tracer = nullptr);
 
     std::uint32_t numSms() const
     {
@@ -71,6 +76,7 @@ class Gpu : public StatGroup
   private:
     const GpuConfig cfg_;
     MemoryImage *mem_;
+    Tracer *tracer_ = nullptr;
     Interconnect noc_;
     DramModel dram_;
     L2Cache l2_;

@@ -166,6 +166,15 @@ StreamingMultiprocessor::issueWarp(Warp &warp, Cycles now)
 {
     DecodedInstr instr = program_->fetch(warp.globalWarpId, warp.pc);
 
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(
+            now, TraceEventKind::WarpIssue,
+            static_cast<std::uint16_t>(smId_));
+        ev.arg0 = warp.globalWarpId;
+        ev.arg1 = static_cast<std::uint32_t>(warp.pc);
+        tracer_->record(ev);
+    }
+
     switch (instr.op) {
       case Op::Exit:
         finishWarp(warp);

@@ -61,6 +61,14 @@ class StreamingMultiprocessor : public StatGroup
     /** Account @p cycles of skipped (idle) time to the tolerance meter. */
     void noteIdle(std::uint64_t cycles);
 
+    /** Attach the event tracer (not owned); forwards to the L1. */
+    void
+    setTracer(Tracer *tracer)
+    {
+        tracer_ = tracer;
+        cache_.setTracer(tracer);
+    }
+
     /** Resident warps currently in flight. */
     std::uint32_t activeWarps() const;
 
@@ -78,6 +86,7 @@ class StreamingMultiprocessor : public StatGroup
     SmId smId_;
     MemoryImage *mem_;
     KernelProgram *program_ = nullptr;
+    Tracer *tracer_ = nullptr;
 
     CompressionEngines engines_;
     CompressedCache cache_;

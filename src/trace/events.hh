@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The event taxonomy of the observability layer: one POD TraceEvent per
+ * hook point plus the AccessEvent struct the compressed L1 hands to its
+ * CompressionModeProvider (the same struct the tracer hooks consume, so
+ * the cache describes an access exactly once).
+ *
+ * TraceEvent is deliberately flat and fixed-size (32 bytes): the tracer
+ * stores them in a preallocated ring buffer, so recording an event is a
+ * couple of stores and never allocates.
+ */
+
+#ifndef LATTE_TRACE_EVENTS_HH
+#define LATTE_TRACE_EVENTS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "compress/compressor.hh"
+
+namespace latte
+{
+
+/**
+ * One L1 data-cache access as reported to the compression management
+ * policy and the tracer. `lineMode` is the compression mode of the line
+ * that hit (None on a miss).
+ */
+struct AccessEvent
+{
+    Cycles now = 0;
+    std::uint32_t setIndex = 0;
+    bool hit = false;
+    bool isWrite = false;
+    CompressorId lineMode = CompressorId::None;
+};
+
+/** Every kind of event the simulator can emit. */
+enum class TraceEventKind : std::uint8_t
+{
+    // --- kernels / SM front end ---
+    KernelBegin,   //!< arg0 = kernel index
+    KernelEnd,     //!< arg0 = kernel index, arg1 = completed (0/1)
+    WarpIssue,     //!< scheduler issued a warp; arg0 = global warp id
+
+    // --- compressed L1 ---
+    L1Hit,         //!< arg0 = line addr, arg1 = set, mode = line mode
+    L1Miss,        //!< primary miss; arg0 = line addr, arg1 = set
+    L1MissMerged,  //!< secondary miss merged into an MSHR
+    L1Reject,      //!< access refused (MSHR file full)
+    L1Insert,      //!< fill inserted; mode = storage mode, value = ratio
+    L1Evict,       //!< victim dropped; arg1 = set, mode = victim mode
+    L1WriteInval,  //!< write-avoid invalidation; arg0 = line addr
+
+    // --- decompression / MSHR ---
+    DecompEnqueue, //!< hit queued for decompression; arg1 = queue depth
+    MshrAlloc,     //!< primary miss allocated an MSHR; arg1 = in use
+    MshrFull,      //!< allocation refused; arg1 = capacity
+
+    // --- shared memory system ---
+    L2Hit,         //!< arg0 = line addr
+    L2Miss,        //!< arg0 = line addr
+    DramAccess,    //!< arg1 = bytes, value = queue delay (cycles)
+
+    // --- LATTE-CC controller ---
+    EpBoundary,    //!< EP closed; value = latency tolerance, mode = winner
+    SamplerVote,   //!< per-candidate AMAT_GPU; mode = candidate, value = AMAT
+    ModeChange,    //!< the winner flipped; mode = new winner
+    ScRebuild,     //!< SC code book rebuilt; arg0 = new generation
+};
+
+/** Number of TraceEventKind values (for per-kind counter arrays). */
+constexpr std::size_t kNumTraceEventKinds =
+    static_cast<std::size_t>(TraceEventKind::ScRebuild) + 1;
+
+/** Stable lower_snake_case name (used as the Chrome trace event name). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** Chrome trace category for @p kind ("sm", "l1", "mem", "latte"). */
+const char *traceEventKindCategory(TraceEventKind kind);
+
+/** One recorded event. Interpretation of the payload depends on kind. */
+struct TraceEvent
+{
+    Cycles ts = 0;             //!< simulated cycle
+    std::uint64_t arg0 = 0;    //!< address-sized payload
+    double value = 0.0;        //!< real-valued payload (tolerance, AMAT...)
+    std::uint32_t arg1 = 0;    //!< small integer payload
+    TraceEventKind kind = TraceEventKind::KernelBegin;
+    std::uint8_t mode = 0;     //!< CompressorId payload
+    std::uint16_t sm = 0;      //!< originating SM (kNoTraceSm if shared)
+};
+
+/** `sm` value for events from shared units (L2, DRAM, driver). */
+constexpr std::uint16_t kNoTraceSm = 0xffff;
+
+/** Convenience builder: the common (ts, kind, sm) prefix. */
+inline TraceEvent
+makeTraceEvent(Cycles ts, TraceEventKind kind, std::uint16_t sm = kNoTraceSm)
+{
+    TraceEvent event;
+    event.ts = ts;
+    event.kind = kind;
+    event.sm = sm;
+    return event;
+}
+
+} // namespace latte
+
+#endif // LATTE_TRACE_EVENTS_HH

@@ -1,0 +1,73 @@
+#include "tracer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+struct KindInfo
+{
+    const char *name;
+    const char *category;
+};
+
+constexpr KindInfo kKindInfo[kNumTraceEventKinds] = {
+    {"kernel_begin", "sm"},      // KernelBegin
+    {"kernel_end", "sm"},        // KernelEnd
+    {"warp_issue", "sm"},        // WarpIssue
+    {"l1_hit", "l1"},            // L1Hit
+    {"l1_miss", "l1"},           // L1Miss
+    {"l1_miss_merged", "l1"},    // L1MissMerged
+    {"l1_reject", "l1"},         // L1Reject
+    {"l1_insert", "l1"},         // L1Insert
+    {"l1_evict", "l1"},          // L1Evict
+    {"l1_write_inval", "l1"},    // L1WriteInval
+    {"decomp_enqueue", "l1"},    // DecompEnqueue
+    {"mshr_alloc", "l1"},        // MshrAlloc
+    {"mshr_full", "l1"},         // MshrFull
+    {"l2_hit", "mem"},           // L2Hit
+    {"l2_miss", "mem"},          // L2Miss
+    {"dram_access", "mem"},      // DramAccess
+    {"ep_boundary", "latte"},    // EpBoundary
+    {"sampler_vote", "latte"},   // SamplerVote
+    {"mode_change", "latte"},    // ModeChange
+    {"sc_rebuild", "latte"},     // ScRebuild
+};
+
+} // namespace
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    latte_assert(index < kNumTraceEventKinds, "bad trace event kind");
+    return kKindInfo[index].name;
+}
+
+const char *
+traceEventKindCategory(TraceEventKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    latte_assert(index < kNumTraceEventKinds, "bad trace event kind");
+    return kKindInfo[index].category;
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1))
+{}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+    counts_.fill(0);
+}
+
+} // namespace latte

@@ -99,8 +99,14 @@ TEST(Energy, DataMovementFallsWithMissReduction)
     const Workload *workload = findWorkload("KM");
     ASSERT_NE(workload, nullptr);
 
-    const auto base = runWorkload(*workload, PolicyKind::Baseline);
-    const auto sc = runWorkload(*workload, PolicyKind::StaticSc);
+    RunRequest base_request;
+    base_request.workload = workload;
+    base_request.policy = PolicyKind::Baseline;
+    const auto base = run(base_request);
+
+    RunRequest sc_request = base_request;
+    sc_request.policy = PolicyKind::StaticSc;
+    const auto sc = run(sc_request);
 
     ASSERT_LT(sc.misses, base.misses);
     EXPECT_LT(sc.energy.dataMovementMj(), base.energy.dataMovementMj())

@@ -60,6 +60,18 @@ miniWorkload(bool phase_change = false)
     return workload;
 }
 
+/** Build-and-run shorthand over the run(RunRequest) entry point. */
+WorkloadRunResult
+runPolicy(const Workload &workload, PolicyKind kind,
+          const DriverOptions &options = {})
+{
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = kind;
+    request.options = options;
+    return run(request);
+}
+
 } // namespace
 
 TEST(Integration, AllPoliciesRunWithRoundTripVerification)
@@ -75,7 +87,7 @@ TEST(Integration, AllPoliciesRunWithRoundTripVerification)
         PolicyKind::LatteCc,         PolicyKind::LatteCcBdiBpc,
     };
     for (const PolicyKind kind : kinds) {
-        const auto result = runWorkload(workload, kind, options);
+        const auto result = runPolicy(workload, kind, options);
         EXPECT_GT(result.cycles, 0u) << policyName(kind);
         EXPECT_GT(result.instructions, 0u) << policyName(kind);
         EXPECT_GT(result.hits + result.misses, 0u) << policyName(kind);
@@ -85,8 +97,8 @@ TEST(Integration, AllPoliciesRunWithRoundTripVerification)
 TEST(Integration, RunsAreDeterministic)
 {
     const Workload workload = miniWorkload(true);
-    const auto a = runWorkload(workload, PolicyKind::LatteCc);
-    const auto b = runWorkload(workload, PolicyKind::LatteCc);
+    const auto a = runPolicy(workload, PolicyKind::LatteCc);
+    const auto b = runPolicy(workload, PolicyKind::LatteCc);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.instructions, b.instructions);
     EXPECT_EQ(a.hits, b.hits);
@@ -98,9 +110,9 @@ TEST(Integration, PoliciesAgreeOnInstructionCount)
 {
     // Compression changes timing, never the executed program.
     const Workload workload = miniWorkload();
-    const auto base = runWorkload(workload, PolicyKind::Baseline);
-    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
-    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+    const auto base = runPolicy(workload, PolicyKind::Baseline);
+    const auto bdi = runPolicy(workload, PolicyKind::StaticBdi);
+    const auto latte = runPolicy(workload, PolicyKind::LatteCc);
     EXPECT_EQ(base.instructions, bdi.instructions);
     EXPECT_EQ(base.instructions, latte.instructions);
 }
@@ -108,8 +120,8 @@ TEST(Integration, PoliciesAgreeOnInstructionCount)
 TEST(Integration, BdiCompressionReducesMissesOnBdiFriendlyData)
 {
     const Workload workload = miniWorkload();
-    const auto base = runWorkload(workload, PolicyKind::Baseline);
-    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    const auto base = runPolicy(workload, PolicyKind::Baseline);
+    const auto bdi = runPolicy(workload, PolicyKind::StaticBdi);
     EXPECT_LT(bdi.misses, base.misses)
         << "small-delta int data must compress and cut misses";
     EXPECT_LT(bdi.cycles, base.cycles);
@@ -118,7 +130,7 @@ TEST(Integration, BdiCompressionReducesMissesOnBdiFriendlyData)
 TEST(Integration, KernelOptPicksBestPerKernel)
 {
     const Workload workload = miniWorkload();
-    const auto oracle = runWorkload(workload, PolicyKind::KernelOpt);
+    const auto oracle = runPolicy(workload, PolicyKind::KernelOpt);
     ASSERT_EQ(oracle.kernelBestModes.size(), 1u);
     ASSERT_EQ(oracle.kernels.size(), 1u);
 
@@ -126,7 +138,7 @@ TEST(Integration, KernelOptPicksBestPerKernel)
     for (const PolicyKind kind :
          {PolicyKind::Baseline, PolicyKind::StaticBdi,
           PolicyKind::StaticSc}) {
-        const auto result = runWorkload(workload, kind);
+        const auto result = runPolicy(workload, kind);
         EXPECT_LE(oracle.cycles, result.cycles) << policyName(kind);
     }
 }
@@ -134,10 +146,10 @@ TEST(Integration, KernelOptPicksBestPerKernel)
 TEST(Integration, LatteTracksBestStaticWithinMargin)
 {
     const Workload workload = miniWorkload(true);
-    const auto base = runWorkload(workload, PolicyKind::Baseline);
-    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
-    const auto sc = runWorkload(workload, PolicyKind::StaticSc);
-    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+    const auto base = runPolicy(workload, PolicyKind::Baseline);
+    const auto bdi = runPolicy(workload, PolicyKind::StaticBdi);
+    const auto sc = runPolicy(workload, PolicyKind::StaticSc);
+    const auto latte = runPolicy(workload, PolicyKind::LatteCc);
 
     const Cycles best = std::min({base.cycles, bdi.cycles, sc.cycles});
     EXPECT_LT(latte.cycles,
@@ -149,7 +161,7 @@ TEST(Integration, LatteTracksBestStaticWithinMargin)
 TEST(Integration, TraceAndToleranceArePopulated)
 {
     const Workload workload = miniWorkload(true);
-    const auto latte = runWorkload(workload, PolicyKind::LatteCc);
+    const auto latte = runPolicy(workload, PolicyKind::LatteCc);
     EXPECT_FALSE(latte.trace.empty());
     std::uint64_t mode_total = 0;
     for (const auto count : latte.modeAccesses)
@@ -160,8 +172,8 @@ TEST(Integration, TraceAndToleranceArePopulated)
 TEST(Integration, EnergyOrderingMatchesWork)
 {
     const Workload workload = miniWorkload();
-    const auto base = runWorkload(workload, PolicyKind::Baseline);
-    const auto bdi = runWorkload(workload, PolicyKind::StaticBdi);
+    const auto base = runPolicy(workload, PolicyKind::Baseline);
+    const auto bdi = runPolicy(workload, PolicyKind::StaticBdi);
     // BDI runs faster and moves less data: total energy must drop.
     EXPECT_LT(bdi.energy.totalMj(), base.energy.totalMj());
 }
@@ -169,10 +181,10 @@ TEST(Integration, EnergyOrderingMatchesWork)
 TEST(Integration, LargerCacheNeverSlower)
 {
     const Workload workload = miniWorkload();
-    const auto small = runWorkload(workload, PolicyKind::Baseline);
+    const auto small = runPolicy(workload, PolicyKind::Baseline);
     DriverOptions big;
     big.cfg.l1SizeBytes = 64 * 1024;
-    const auto large = runWorkload(workload, PolicyKind::Baseline, big);
+    const auto large = runPolicy(workload, PolicyKind::Baseline, big);
     EXPECT_LE(large.cycles, small.cycles);
     EXPECT_LE(large.misses, small.misses);
 }
@@ -185,7 +197,7 @@ TEST(Integration, ZooSmokeEveryWorkloadUnderLatte)
     options.maxInstructionsPerKernel = 30000;
     for (const auto &workload : workloadZoo()) {
         const auto result =
-            runWorkload(workload, PolicyKind::LatteCc, options);
+            runPolicy(workload, PolicyKind::LatteCc, options);
         EXPECT_GT(result.instructions, 0u) << workload.abbr;
     }
 }

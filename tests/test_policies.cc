@@ -201,17 +201,17 @@ TEST(LatteCc, CountersTrackDedicatedSets)
     rig.attach(latte);
 
     // Misses in BDI-dedicated set 1 -> nMiss[1] grows.
-    latte.observeAccess(0, 1, /*hit=*/false, /*is_write=*/false,
-                        CompressorId::None);
-    latte.observeAccess(0, 1, false, false, CompressorId::None);
-    latte.observeAccess(0, 1, true, false, CompressorId::Bdi);
+    latte.observeAccess({0, 1, /*hit=*/false, /*isWrite=*/false,
+                         CompressorId::None});
+    latte.observeAccess({0, 1, false, false, CompressorId::None});
+    latte.observeAccess({0, 1, true, false, CompressorId::Bdi});
     EXPECT_EQ(latte.missCount(1), 2u);
     EXPECT_EQ(latte.hitCount(1), 1u);
     // Follower sets are not counted.
-    latte.observeAccess(0, 3, false, false, CompressorId::None);
+    latte.observeAccess({0, 3, false, false, CompressorId::None});
     EXPECT_EQ(latte.missCount(0), 0u);
     // Writes are not counted.
-    latte.observeAccess(0, 1, false, true, CompressorId::None);
+    latte.observeAccess({0, 1, false, true, CompressorId::None});
     EXPECT_EQ(latte.missCount(1), 2u);
 }
 
@@ -227,8 +227,8 @@ TEST(LatteCc, PicksLowLatencyModeWhenToleranceIsZero)
     for (int ep = 0; ep < 40; ++ep) {
         for (std::uint32_t i = 0; i < rig.cfg.latte.epAccesses; ++i) {
             const std::uint32_t set = i % rig.cache.numSets();
-            latte.observeAccess(0, set, i % 2 == 0, false,
-                                CompressorId::None);
+            latte.observeAccess({0, set, i % 2 == 0, false,
+                                 CompressorId::None});
         }
     }
     EXPECT_EQ(latte.currentMode(), CompressorId::None);
@@ -247,7 +247,8 @@ TEST(LatteCc, SwitchesToScWhenItRemovesMisses)
             const std::uint32_t set = i % rig.cache.numSets();
             const bool hit =
                 rng.chance(set % 8 == 2 ? 0.9 : 0.15);
-            latte.observeAccess(0, set, hit, false, CompressorId::None);
+            latte.observeAccess({0, set, hit, false,
+                                 CompressorId::None});
         }
     }
     EXPECT_EQ(latte.currentMode(), CompressorId::Sc)
@@ -267,8 +268,8 @@ TEST(AdaptiveHitCount, ChasesHitsIgnoringLatency)
             // SC sets hit notably more often than the others.
             const bool hit =
                 rng.chance(set % 8 == 2 ? 0.9 : 0.5);
-            policy.observeAccess(0, set, hit, false,
-                                 CompressorId::None);
+            policy.observeAccess({0, set, hit, false,
+                                  CompressorId::None});
         }
     }
     EXPECT_EQ(policy.currentMode(), CompressorId::Sc);

@@ -2,8 +2,8 @@
  * @file
  * Tests for the experiment runner subsystem: JSON round-trips, thread
  * count invariance (bit-identical sweeps at -j 1/2/8), the on-disk
- * result cache, RunKey config-hash separation, the policy catalogue
- * and the deprecated runWorkload / runWorkloadCustom wrappers.
+ * result cache, RunKey config-hash separation and the policy
+ * catalogue.
  */
 
 #include <gtest/gtest.h>
@@ -157,33 +157,38 @@ TEST(Runner, RunKeySeparatesDriverOptions)
     EXPECT_EQ(RunKey::of(a), RunKey::of(a_copy));
 }
 
-TEST(Runner, DeprecatedWrappersDelegate)
+TEST(Runner, KindAndEquivalentFactoryAgree)
 {
+    // A PolicyKind request and a custom factory constructing the same
+    // policy must simulate identically — run(RunRequest) is the single
+    // entry point for both shapes.
     const Workload *workload = findWorkload("PRK");
     ASSERT_NE(workload, nullptr);
     const DriverOptions options = tinyOptions();
 
-    RunRequest request;
-    request.workload = workload;
-    request.policy = PolicyKind::StaticSc;
-    request.options = options;
-    const auto via_run = run(request);
-    const auto via_wrapper =
-        runWorkload(*workload, PolicyKind::StaticSc, options);
-    EXPECT_EQ(toJson(via_run).dump(), toJson(via_wrapper).dump());
+    RunRequest by_kind;
+    by_kind.workload = workload;
+    by_kind.policy = PolicyKind::StaticSc;
+    by_kind.options = options;
+    const auto via_kind = run(by_kind);
 
-    const PolicyFactory factory = [](const GpuConfig &cfg) {
-        return std::make_unique<StaticPolicy>(cfg, CompressorId::Bdi);
+    RunRequest by_factory;
+    by_factory.workload = workload;
+    by_factory.policy = [](const GpuConfig &cfg) {
+        return std::make_unique<StaticPolicy>(cfg, CompressorId::Sc);
     };
-    RunRequest custom;
-    custom.workload = workload;
-    custom.policy = factory;
-    custom.options = options;
-    const auto via_run_custom = run(custom);
-    const auto via_wrapper_custom =
-        runWorkloadCustom(*workload, factory, options);
-    EXPECT_EQ(toJson(via_run_custom).dump(),
-              toJson(via_wrapper_custom).dump());
+    by_factory.label = via_kind.policyLabel;
+    by_factory.options = options;
+    const auto via_factory = run(by_factory);
+
+    // The result's policyKind tag differs by construction shape; the
+    // simulation itself must not.
+    EXPECT_EQ(via_kind.cycles, via_factory.cycles);
+    EXPECT_EQ(via_kind.instructions, via_factory.instructions);
+    EXPECT_EQ(via_kind.hits, via_factory.hits);
+    EXPECT_EQ(via_kind.misses, via_factory.misses);
+    EXPECT_EQ(via_kind.modeAccesses, via_factory.modeAccesses);
+    EXPECT_EQ(via_kind.policyLabel, via_factory.policyLabel);
 }
 
 TEST(Runner, PolicyCatalogueRoundTrip)
