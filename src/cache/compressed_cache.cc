@@ -1,6 +1,7 @@
 #include "compressed_cache.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
@@ -45,6 +46,8 @@ CompressedCache::CompressedCache(const GpuConfig &cfg, SmId sm_id,
       tagsPerSet_(cfg.l1Assoc * cfg.l1TagFactor),
       subBlocksPerSet_(cfg.l1Assoc * (cfg.l1LineBytes / cfg.l1SubBlockBytes)),
       tags_(static_cast<std::size_t>(numSets_) * tagsPerSet_),
+      setUsedSubBlocks_(numSets_, 0),
+      memo_(this),
       bdiQueue_("decomp_bdi", this),
       scQueue_("decomp_sc", this),
       bpcQueue_("decomp_bpc", this),
@@ -188,18 +191,42 @@ CompressedCache::pickVictim(std::uint32_t set_index)
 }
 
 std::uint8_t
-CompressedCache::subBlocksFor(const CompressedLine &line) const
+CompressedCache::subBlocksFor(const LineMeta &meta) const
 {
     const std::uint32_t full =
         cfg_.l1LineBytes / cfg_.l1SubBlockBytes;
-    if (!tuning_.capacityBenefit || !line.compressed() ||
-        line.encoding == kRawEncoding) {
+    if (!tuning_.capacityBenefit || !meta.compressed() ||
+        meta.encoding == kRawEncoding) {
         return static_cast<std::uint8_t>(full);
     }
     const auto blocks = static_cast<std::uint32_t>(
-        divCeil(std::max<std::uint32_t>(line.sizeBytes(), 1),
+        divCeil(std::max<std::uint32_t>(meta.sizeBytes(), 1),
                 cfg_.l1SubBlockBytes));
     return static_cast<std::uint8_t>(std::min(blocks, full));
+}
+
+void
+CompressedCache::releaseLine(TagEntry &entry, std::uint32_t set_index)
+{
+    latte_assert(entry.valid);
+    latte_assert(setUsedSubBlocks_[set_index] >= entry.subBlocks);
+    setUsedSubBlocks_[set_index] -= entry.subBlocks;
+    entry.valid = false;
+    entry.payload.clear();
+}
+
+LineMeta
+CompressedCache::probeForInsertion(CompressorId mode,
+                                   std::span<const std::uint8_t> bytes)
+{
+    Compressor *engine = engines_->get(mode);
+    if (!tuning_.compressionMemo)
+        return engine->probe(bytes);
+    // SC's probe depends on the live code book; its generation counter
+    // captures that state exactly. The other algorithms are stateless.
+    const std::uint32_t generation =
+        mode == CompressorId::Sc ? engines_->sc.generation() : 0;
+    return memo_.probe(*engine, bytes, generation);
 }
 
 L1AccessResult
@@ -218,7 +245,7 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             was_hit ? entry->mode : CompressorId::None;
         if (entry) {
             // Write-avoid: drop the copy instead of recompressing it.
-            entry->valid = false;
+            releaseLine(*entry, set);
             ++writeInvalidations;
             if (tracer_) {
                 TraceEvent ev =
@@ -262,10 +289,11 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             line.encoding = entry->encoding;
             line.sizeBits = entry->sizeBits;
             line.generation = entry->generation;
-            line.payload = entry->payload;
-            const auto bytes = engines_->get(entry->mode)->decompress(line);
+            line.payload.assign(entry->payload);
+            std::array<std::uint8_t, kLineBytes> scratch;
+            engines_->get(entry->mode)->decompressInto(line, scratch);
             const auto &truth = mem_->line(line_addr);
-            latte_assert(std::equal(bytes.begin(), bytes.end(),
+            latte_assert(std::equal(scratch.begin(), scratch.end(),
                                     truth.begin()),
                          "round-trip mismatch at line {}", line_addr);
         }
@@ -364,12 +392,20 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
     const auto &bytes = mem_->line(line_addr);
 
     const CompressorId mode = provider_->modeForInsertion(set);
-    CompressedLine line;
+    LineMeta meta;
+    CompressedLine full_line;    //!< materialised only under verifyRoundTrip
     if (mode == CompressorId::None) {
-        line = makeRawLine(CompressorId::None, bytes);
-        line.algo = CompressorId::None;
+        meta = makeRawMeta(CompressorId::None);
     } else {
-        line = engines_->get(mode)->compress(bytes);
+        // The simulation only needs the encoded size (admission, sampler
+        // votes, sub-block accounting) — probe, don't materialise. The
+        // payload is built only when round-trip verification wants it.
+        if (tuning_.verifyRoundTrip) {
+            full_line = engines_->get(mode)->compress(bytes);
+            meta = full_line.meta();
+        } else {
+            meta = probeForInsertion(mode, bytes);
+        }
         switch (mode) {
           case CompressorId::Bdi: ++bdiCompressions; break;
           case CompressorId::Sc: ++scCompressions; break;
@@ -377,7 +413,7 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
           default: break;
         }
     }
-    const std::uint8_t need = subBlocksFor(line);
+    const std::uint8_t need = subBlocksFor(meta);
 
     // Evict LRU lines until a tag and enough sub-blocks are free.
     TagEntry *ways = setBase(set);
@@ -388,10 +424,9 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
         return nullptr;
     };
     TagEntry *slot = free_tag();
-    while (!slot || usedSubBlocksInSet(set) + need > subBlocksPerSet_) {
+    while (!slot || setUsedSubBlocks_[set] + need > subBlocksPerSet_) {
         TagEntry *victim = pickVictim(set);
-        victim->valid = false;
-        victim->payload.clear();
+        releaseLine(*victim, set);
         ++evictions;
         if (tracer_) {
             TraceEvent ev =
@@ -408,27 +443,29 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
     slot->valid = true;
     slot->tag = tagOf(line_addr);
     touchOnFill(*slot);
-    slot->mode = line.algo;
-    slot->encoding = line.encoding;
-    slot->sizeBits = line.sizeBits;
-    slot->generation = line.generation;
+    slot->mode = meta.algo;
+    slot->encoding = meta.encoding;
+    slot->sizeBits = meta.sizeBits;
+    slot->generation = meta.generation;
     slot->subBlocks = need;
-    if (tuning_.verifyRoundTrip)
-        slot->payload = line.payload;
+    setUsedSubBlocks_[set] += need;
+    if (tuning_.verifyRoundTrip && mode != CompressorId::None)
+        slot->payload.assign(full_line.payload.begin(),
+                             full_line.payload.end());
     else
         slot->payload.clear();
 
     ++insertions;
-    if (line.compressed() && line.encoding != kRawEncoding)
+    if (meta.compressed() && meta.encoding != kRawEncoding)
         ++compressedInsertions;
-    insertionRatio.sample(line.ratio());
+    insertionRatio.sample(meta.ratio());
 
     if (tracer_) {
         TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Insert, smId_);
         ev.arg0 = line_addr;
         ev.arg1 = need;
-        ev.mode = static_cast<std::uint8_t>(line.algo);
-        ev.value = line.ratio();
+        ev.mode = static_cast<std::uint8_t>(meta.algo);
+        ev.value = meta.ratio();
         tracer_->record(ev);
     }
 
@@ -466,12 +503,15 @@ CompressedCache::validLines() const
 void
 CompressedCache::invalidateScGeneration(std::uint32_t current_generation)
 {
-    for (auto &entry : tags_) {
-        if (entry.valid && entry.mode == CompressorId::Sc &&
-            entry.generation != current_generation) {
-            entry.valid = false;
-            entry.payload.clear();
-            ++scGenerationInvalidations;
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        TagEntry *ways = setBase(set);
+        for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
+            TagEntry &entry = ways[w];
+            if (entry.valid && entry.mode == CompressorId::Sc &&
+                entry.generation != current_generation) {
+                releaseLine(entry, set);
+                ++scGenerationInvalidations;
+            }
         }
     }
 }
@@ -489,8 +529,7 @@ CompressedCache::invalidateSampleMismatch(std::uint32_t stride,
             TagEntry &entry = ways[w];
             if (entry.valid && entry.mode != CompressorId::None &&
                 entry.mode != keep) {
-                entry.valid = false;
-                entry.payload.clear();
+                releaseLine(entry, set);
             }
         }
     }
@@ -503,6 +542,7 @@ CompressedCache::invalidateAll()
         entry.valid = false;
         entry.payload.clear();
     }
+    std::fill(setUsedSubBlocks_.begin(), setUsedSubBlocks_.end(), 0);
     pendingFills_.clear();
     nextFillCycle_ = kNoCycle;
     mshrs.clear();

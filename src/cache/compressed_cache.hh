@@ -21,6 +21,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "compress_memo.hh"
 #include "decomp_queue.hh"
 #include "engines.hh"
 #include "mem/l2cache.hh"
@@ -50,6 +51,12 @@ struct CacheTuning
      * functional memory image on every hit (used by integration tests).
      */
     bool verifyRoundTrip = false;
+    /**
+     * Serve repeat probe() requests from the per-SM CompressMemo instead
+     * of re-running the encoder. Execution shortcut only — results are
+     * bit-identical either way (pinned by the runner golden test).
+     */
+    bool compressionMemo = true;
 };
 
 /** Outcome of an L1 access as seen by the load/store unit. */
@@ -96,6 +103,14 @@ class CompressedCache : public StatGroup
     std::uint64_t effectiveCapacityBytes() const;
     /** Sub-blocks currently allocated. */
     std::uint64_t usedSubBlocks() const;
+    /** Sub-blocks allocated in one set, recomputed from the tags. */
+    std::uint32_t usedSubBlocksInSet(std::uint32_t set_index) const;
+    /** The incrementally-maintained counter for one set (O(1)). */
+    std::uint32_t
+    usedSubBlocksCounter(std::uint32_t set_index) const
+    {
+        return setUsedSubBlocks_[set_index];
+    }
     /** Valid lines currently held. */
     std::uint64_t validLines() const;
     /** Decompression queue for @p mode (Bdi, Sc or Bpc). */
@@ -165,9 +180,13 @@ class CompressedCache : public StatGroup
     TagEntry *setBase(std::uint32_t set_index);
     const TagEntry *setBase(std::uint32_t set_index) const;
     Addr tagOf(Addr line_addr) const;
-    std::uint32_t usedSubBlocksInSet(std::uint32_t set_index) const;
     void insertLine(Cycles now, Addr line_addr);
-    std::uint8_t subBlocksFor(const CompressedLine &line) const;
+    std::uint8_t subBlocksFor(const LineMeta &meta) const;
+    /** Invalidate @p entry and release its sub-blocks in @p set_index. */
+    void releaseLine(TagEntry &entry, std::uint32_t set_index);
+    /** Size-only encode of an insertion (memoised when enabled). */
+    LineMeta probeForInsertion(CompressorId mode,
+                               std::span<const std::uint8_t> bytes);
 
     const GpuConfig &cfg_;
     CacheTuning tuning_;
@@ -183,6 +202,9 @@ class CompressedCache : public StatGroup
     std::uint32_t tagsPerSet_;
     std::uint32_t subBlocksPerSet_;
     std::vector<TagEntry> tags_;
+    /** Per-set allocated sub-blocks, maintained on insert/release. */
+    std::vector<std::uint32_t> setUsedSubBlocks_;
+    CompressMemo memo_;
     std::vector<PendingFill> pendingFills_;
     Cycles nextFillCycle_ = kNoCycle;
     std::uint64_t lruClock_ = 0;

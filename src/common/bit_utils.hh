@@ -7,11 +7,11 @@
 #ifndef LATTE_COMMON_BIT_UTILS_HH
 #define LATTE_COMMON_BIT_UTILS_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <vector>
 
 #include "logging.hh"
 
@@ -88,61 +88,121 @@ fitsSigned(std::int64_t value, unsigned bytes)
 }
 
 /**
- * A growable bit stream writer. The compression algorithms serialise
- * their encodings through this class so compressed sizes are bit-exact.
+ * A fixed-capacity bit stream writer. The compression algorithms
+ * serialise their encodings through this class so compressed sizes are
+ * bit-exact. Bits are packed LSB-first within bytes, a word (64 bits) at
+ * a time, into inline storage — no heap traffic on the compression hot
+ * path.
+ *
+ * The capacity covers the worst mid-stream overshoot of any encoder:
+ * every algorithm falls back to a raw line once its stream reaches
+ * kLineBits (1024), and the largest single symbol any encoder emits
+ * before noticing is SC's escape (64-bit code + 32 raw bits), so streams
+ * never exceed 1023 + 96 < 1280 bits.
  */
-class BitWriter
+template <std::uint64_t CapacityBits>
+class BasicBitWriter
 {
+    static_assert(CapacityBits % 64 == 0);
+
   public:
+    static constexpr std::uint64_t kCapacityBits = CapacityBits;
+
     /** Append the low @p bits bits of @p value (LSB first). */
     void
     write(std::uint64_t value, unsigned bits)
     {
         latte_assert(bits <= 64);
-        for (unsigned i = 0; i < bits; ++i)
-            pushBit((value >> i) & 1);
+        latte_assert(bitSize_ + bits <= kCapacityBits,
+                     "bit stream overflows inline capacity");
+        if (bits == 0)
+            return;
+        if (bits < 64)
+            value &= (std::uint64_t{1} << bits) - 1;
+        const std::size_t word = bitSize_ / 64;
+        const unsigned offset = bitSize_ % 64;
+        words_[word] |= value << offset;
+        if (offset + bits > 64)
+            words_[word + 1] |= value >> (64 - offset);
+        bitSize_ += bits;
     }
 
     /** Append a single bit. */
-    void
-    pushBit(bool bit)
-    {
-        const unsigned offset = bitSize_ % 8;
-        if (offset == 0)
-            bytes_.push_back(0);
-        if (bit)
-            bytes_.back() |= static_cast<std::uint8_t>(1u << offset);
-        ++bitSize_;
-    }
+    void pushBit(bool bit) { write(bit ? 1 : 0, 1); }
 
     /** Number of bits written so far. */
     std::uint64_t bitSize() const { return bitSize_; }
 
     /** Byte image of the stream (last byte zero-padded). */
-    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::span<const std::uint8_t>
+    bytes() const
+    {
+        return {reinterpret_cast<const std::uint8_t *>(words_.data()),
+                static_cast<std::size_t>(divCeil(bitSize_, 8))};
+    }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    std::array<std::uint64_t, kCapacityBits / 64> words_{};
     std::uint64_t bitSize_ = 0;
 };
 
-/** Bit stream reader matching BitWriter's layout. */
+/** The hot-path writer: sized for the worst single-line encoding. */
+using BitWriter = BasicBitWriter<1280>;
+
+/**
+ * A bit sink with BitWriter's interface that only counts. The encoders
+ * are written once against a generic sink; instantiated with BitCounter
+ * they become the size-only probe() fast path — identical control flow,
+ * no bit stream.
+ */
+class BitCounter
+{
+  public:
+    void write(std::uint64_t, unsigned bits) { bitSize_ += bits; }
+    void pushBit(bool) { ++bitSize_; }
+    std::uint64_t bitSize() const { return bitSize_; }
+
+  private:
+    std::uint64_t bitSize_ = 0;
+};
+
+/** Bit stream reader matching BitWriter's layout (word-at-a-time). */
 class BitReader
 {
   public:
     explicit BitReader(std::span<const std::uint8_t> bytes,
                        std::uint64_t bit_size)
         : bytes_(bytes), bitSize_(bit_size)
-    {}
+    {
+        latte_assert(divCeil(bit_size, 8) <= bytes.size(),
+                     "bit stream shorter than its declared size");
+    }
 
     /** Read @p bits bits (LSB first). */
     std::uint64_t
     read(unsigned bits)
     {
         latte_assert(bits <= 64);
-        std::uint64_t value = 0;
-        for (unsigned i = 0; i < bits; ++i)
-            value |= static_cast<std::uint64_t>(readBit()) << i;
+        latte_assert(pos_ + bits <= bitSize_, "bit stream overrun");
+        if (bits == 0)
+            return 0;
+        const std::size_t byte = pos_ / 8;
+        const unsigned offset = pos_ % 8;
+        const std::size_t avail = bytes_.size() - byte;
+        std::uint64_t lo = 0, hi = 0;
+        std::memcpy(&lo, bytes_.data() + byte,
+                    avail < 8 ? avail : std::size_t{8});
+        // A straddling read touches at most one more byte-octet; the
+        // constructor's size check guarantees it exists.
+        if (offset + bits > 64)
+            std::memcpy(&hi, bytes_.data() + byte + 8,
+                        avail - 8 < 8 ? avail - 8 : std::size_t{8});
+        std::uint64_t value = lo >> offset;
+        if (offset)
+            value |= hi << (64 - offset);
+        if (bits < 64)
+            value &= (std::uint64_t{1} << bits) - 1;
+        pos_ += bits;
         return value;
     }
 

@@ -11,7 +11,7 @@ namespace latte
 namespace
 {
 
-/** The eight base+delta probes, in the order they are attempted. */
+/** The base+delta probes, in the order they are attempted. */
 constexpr std::array<BdiLayout, 6> kLayouts = {{
     {BdiCompressor::kEncB8D1, 8, 1},
     {BdiCompressor::kEncB8D2, 8, 2},
@@ -21,11 +21,28 @@ constexpr std::array<BdiLayout, 6> kLayouts = {{
     {BdiCompressor::kEncB2D1, 2, 1},
 }};
 
+/**
+ * A layout's encoded size is fully determined by its shape: base,
+ * immediate mask, then one delta per block. This is what makes BDI's
+ * probe() a pure feasibility test.
+ */
+constexpr std::uint32_t
+layoutSizeBits(const BdiLayout &layout)
+{
+    const std::uint32_t n_blocks = kLineBytes / layout.baseBytes;
+    return 8u * layout.baseBytes + n_blocks +
+           n_blocks * 8u * layout.deltaBytes;
+}
+
 bool
 allZero(std::span<const std::uint8_t> line)
 {
-    return std::all_of(line.begin(), line.end(),
-                       [](std::uint8_t b) { return b == 0; });
+    // Word-at-a-time scan; lines are a multiple of 8 bytes.
+    for (std::size_t off = 0; off < line.size(); off += 8) {
+        if (loadLe(line.data() + off, 8) != 0)
+            return false;
+    }
+    return true;
 }
 
 bool
@@ -34,6 +51,84 @@ repeated8(std::span<const std::uint8_t> line)
     const std::uint64_t first = loadLe(line.data(), 8);
     for (std::size_t off = 8; off < line.size(); off += 8) {
         if (loadLe(line.data() + off, 8) != first)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Classify each block as immediate (delta from zero fits) or
+ * base-relative; the first non-immediate block defines the base.
+ * Returns false as soon as any delta overflows the layout's width.
+ * On success fills the immediate mask (bit i = block i) and the
+ * per-block deltas.
+ */
+bool
+classifyLayout(std::span<const std::uint8_t> line, const BdiLayout &layout,
+               std::uint64_t &base_out, std::uint64_t &mask_out,
+               std::array<std::int64_t, 64> &deltas_out)
+{
+    const unsigned base_bytes = layout.baseBytes;
+    const unsigned delta_bytes = layout.deltaBytes;
+    const unsigned n_blocks = kLineBytes / base_bytes;
+
+    std::uint64_t base = 0;
+    bool have_base = false;
+    std::uint64_t mask = 0;
+
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        const std::uint64_t raw = loadLe(line.data() + i * base_bytes,
+                                         base_bytes);
+        const std::int64_t value = signExtend(raw, 8 * base_bytes);
+        if (fitsSigned(value, delta_bytes)) {
+            mask |= std::uint64_t{1} << i;
+            deltas_out[i] = value;
+            continue;
+        }
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        // Modular (wrap-around) difference, reinterpreted as a signed
+        // delta of the block width; matches the hardware subtractor.
+        const std::int64_t delta = signExtend(raw - base, 8 * base_bytes);
+        if (!fitsSigned(delta, delta_bytes))
+            return false;
+        deltas_out[i] = delta;
+    }
+
+    base_out = base;
+    mask_out = mask;
+    return true;
+}
+
+/**
+ * Feasibility-only variant of classifyLayout — no outputs kept. The
+ * block and delta widths are template parameters so the per-block loads
+ * and range checks compile to fixed-width instructions; this is the
+ * whole cost of a BDI probe, so it has to be lean.
+ */
+template <unsigned BaseBytes, unsigned DeltaBytes>
+bool
+layoutFits(std::span<const std::uint8_t> line)
+{
+    constexpr unsigned n_blocks = kLineBytes / BaseBytes;
+
+    std::uint64_t base = 0;
+    bool have_base = false;
+
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        const std::uint64_t raw = loadLe(line.data() + i * BaseBytes,
+                                         BaseBytes);
+        const std::int64_t value = signExtend(raw, 8 * BaseBytes);
+        if (fitsSigned(value, DeltaBytes))
+            continue;
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        const std::int64_t delta = signExtend(raw - base, 8 * BaseBytes);
+        if (!fitsSigned(delta, DeltaBytes))
             return false;
     }
     return true;
@@ -52,44 +147,20 @@ bool
 BdiCompressor::tryLayout(std::span<const std::uint8_t> line,
                          const BdiLayout &layout, CompressedLine &out) const
 {
+    std::uint64_t base = 0;
+    std::uint64_t mask = 0;
+    std::array<std::int64_t, 64> deltas;
+    if (!classifyLayout(line, layout, base, mask, deltas))
+        return false;
+
     const unsigned base_bytes = layout.baseBytes;
     const unsigned delta_bytes = layout.deltaBytes;
     const unsigned n_blocks = kLineBytes / base_bytes;
 
-    // Pass 1: classify each block as immediate (delta from zero fits) or
-    // base-relative; the first non-immediate block defines the base.
-    std::uint64_t base = 0;
-    bool have_base = false;
-    std::vector<bool> immediate(n_blocks);
-    std::vector<std::int64_t> deltas(n_blocks);
-
-    for (unsigned i = 0; i < n_blocks; ++i) {
-        const std::uint64_t raw = loadLe(line.data() + i * base_bytes,
-                                         base_bytes);
-        const std::int64_t value = signExtend(raw, 8 * base_bytes);
-        if (fitsSigned(value, delta_bytes)) {
-            immediate[i] = true;
-            deltas[i] = value;
-            continue;
-        }
-        if (!have_base) {
-            base = raw;
-            have_base = true;
-        }
-        // Modular (wrap-around) difference, reinterpreted as a signed
-        // delta of the block width; matches the hardware subtractor.
-        const std::int64_t delta = signExtend(raw - base, 8 * base_bytes);
-        if (!fitsSigned(delta, delta_bytes))
-            return false;
-        immediate[i] = false;
-        deltas[i] = delta;
-    }
-
     // Serialise: base, immediate mask, then the per-block deltas.
     BitWriter bw;
     bw.write(base, 8 * base_bytes);
-    for (unsigned i = 0; i < n_blocks; ++i)
-        bw.pushBit(immediate[i]);
+    bw.write(mask, n_blocks);
     for (unsigned i = 0; i < n_blocks; ++i) {
         bw.write(static_cast<std::uint64_t>(deltas[i]), 8 * delta_bytes);
     }
@@ -97,8 +168,58 @@ BdiCompressor::tryLayout(std::span<const std::uint8_t> line,
     out.algo = CompressorId::Bdi;
     out.encoding = layout.encoding;
     out.sizeBits = static_cast<std::uint32_t>(bw.bitSize());
-    out.payload = bw.bytes();
+    latte_assert(out.sizeBits == layoutSizeBits(layout));
+    out.payload.assign(bw.bytes());
     return out.sizeBits < kLineBits;
+}
+
+LineMeta
+BdiCompressor::probe(std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+
+    LineMeta meta;
+    meta.algo = CompressorId::Bdi;
+
+    if (allZero(line)) {
+        meta.encoding = kEncZeros;
+        meta.sizeBits = 8; // one zero byte of payload in the data array
+        return meta;
+    }
+
+    if (repeated8(line)) {
+        meta.encoding = kEncRep8;
+        meta.sizeBits = 64;
+        return meta;
+    }
+
+    // Layout sizes are compile-time constants, so "smallest feasible
+    // layout, ties to the earlier probe" is a first-fit scan in
+    // ascending size order: B8D1 (208), B4D1 (320), B8D2 (336),
+    // B4D2 (576), B8D4 (592), B2D1 (592; loses the tie to B8D4 as it
+    // comes later in kLayouts).
+    const auto pick = [&meta](std::uint8_t encoding,
+                              std::uint32_t size_bits) {
+        meta.encoding = encoding;
+        meta.sizeBits = size_bits;
+    };
+    if (layoutFits<8, 1>(line))
+        pick(kEncB8D1, layoutSizeBits(kLayouts[0]));
+    else if (layoutFits<4, 1>(line))
+        pick(kEncB4D1, layoutSizeBits(kLayouts[2]));
+    else if (layoutFits<8, 2>(line))
+        pick(kEncB8D2, layoutSizeBits(kLayouts[1]));
+    else if (layoutFits<4, 2>(line))
+        pick(kEncB4D2, layoutSizeBits(kLayouts[4]));
+    else if (layoutFits<8, 4>(line))
+        pick(kEncB8D4, layoutSizeBits(kLayouts[3]));
+    else if (layoutFits<2, 1>(line))
+        pick(kEncB2D1, layoutSizeBits(kLayouts[5]));
+    else {
+        meta.encoding = kRawEncoding;
+        meta.sizeBits = kLineBits;
+    }
+    return meta;
 }
 
 CompressedLine
@@ -106,51 +227,53 @@ BdiCompressor::compress(std::span<const std::uint8_t> line)
 {
     latte_assert(line.size() == kLineBytes);
 
-    if (allZero(line)) {
-        CompressedLine out;
-        out.algo = CompressorId::Bdi;
-        out.encoding = kEncZeros;
-        out.sizeBits = 8; // one zero byte of payload in the data array
+    const LineMeta meta = probe(line);
+    CompressedLine out;
+    static_cast<LineMeta &>(out) = meta;
+
+    if (meta.encoding == kEncZeros)
+        return out;
+
+    if (meta.encoding == kEncRep8) {
+        out.payload.assign(line.subspan(0, 8));
         return out;
     }
 
-    if (repeated8(line)) {
-        CompressedLine out;
-        out.algo = CompressorId::Bdi;
-        out.encoding = kEncRep8;
-        out.sizeBits = 64;
-        out.payload.assign(line.begin(), line.begin() + 8);
-        return out;
-    }
+    if (meta.encoding == kRawEncoding)
+        return makeRawLine(CompressorId::Bdi, line);
 
-    CompressedLine best = makeRawLine(CompressorId::Bdi, line);
     for (const auto &layout : kLayouts) {
-        CompressedLine candidate;
-        if (tryLayout(line, layout, candidate) &&
-            candidate.sizeBits < best.sizeBits) {
-            best = candidate;
-        }
+        if (layout.encoding != meta.encoding)
+            continue;
+        const bool ok = tryLayout(line, layout, out);
+        latte_assert(ok, "probe-selected BDI layout no longer fits");
+        return out;
     }
-    return best;
+    latte_panic("bad BDI probe encoding {}", static_cast<int>(meta.encoding));
 }
 
-std::vector<std::uint8_t>
-BdiCompressor::decompress(const CompressedLine &line) const
+void
+BdiCompressor::decompressInto(const CompressedLine &line,
+                              std::span<std::uint8_t> out) const
 {
     latte_assert(line.algo == CompressorId::Bdi);
+    latte_assert(out.size() == kLineBytes);
 
-    if (line.encoding == kRawEncoding)
-        return decodeRawLine(line);
+    if (line.encoding == kRawEncoding) {
+        decodeRawLineInto(line, out);
+        return;
+    }
 
-    if (line.encoding == kEncZeros)
-        return std::vector<std::uint8_t>(kLineBytes, 0);
+    if (line.encoding == kEncZeros) {
+        std::fill(out.begin(), out.end(), 0);
+        return;
+    }
 
     if (line.encoding == kEncRep8) {
         latte_assert(line.payload.size() >= 8);
-        std::vector<std::uint8_t> out(kLineBytes);
         for (unsigned off = 0; off < kLineBytes; off += 8)
             std::copy_n(line.payload.begin(), 8, out.begin() + off);
-        return out;
+        return;
     }
 
     const BdiLayout *layout = nullptr;
@@ -167,20 +290,16 @@ BdiCompressor::decompress(const CompressedLine &line) const
 
     BitReader br(line.payload, line.sizeBits);
     const std::uint64_t base = br.read(8 * base_bytes);
+    const std::uint64_t mask = br.read(n_blocks);
 
-    std::vector<bool> immediate(n_blocks);
-    for (unsigned i = 0; i < n_blocks; ++i)
-        immediate[i] = br.readBit();
-
-    std::vector<std::uint8_t> out(kLineBytes);
     for (unsigned i = 0; i < n_blocks; ++i) {
         const std::int64_t delta =
             signExtend(br.read(8 * delta_bytes), 8 * delta_bytes);
+        const bool immediate = (mask >> i) & 1;
         const std::uint64_t value =
-            (immediate[i] ? 0 : base) + static_cast<std::uint64_t>(delta);
+            (immediate ? 0 : base) + static_cast<std::uint64_t>(delta);
         storeLe(out.data() + i * base_bytes, value, base_bytes);
     }
-    return out;
 }
 
 } // namespace latte

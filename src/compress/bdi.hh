@@ -35,8 +35,9 @@ class BdiCompressor : public Compressor
     std::string name() const override { return "BDI"; }
 
     CompressedLine compress(std::span<const std::uint8_t> line) override;
-    std::vector<std::uint8_t>
-    decompress(const CompressedLine &line) const override;
+    LineMeta probe(std::span<const std::uint8_t> line) override;
+    void decompressInto(const CompressedLine &line,
+                        std::span<std::uint8_t> out) const override;
 
     Cycles compressLatency() const override { return compressLat_; }
     Cycles decompressLatency() const override { return decompressLat_; }

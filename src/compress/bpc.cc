@@ -21,23 +21,23 @@ namespace
 //   single 1       : 0,0,0,1,1  + 5-bit position
 //   uncompressed   : 1          + 31 raw bits
 
-std::uint32_t
-baseEncode(BitWriter &bw, std::uint32_t base)
+template <typename Sink>
+void
+baseEncode(Sink &sink, std::uint32_t base)
 {
     const std::int64_t value = signExtend(base, 32);
     if (base == 0) {
-        bw.write(0b00, 2);
+        sink.write(0b00, 2);
     } else if (value >= -8 && value <= 7) {
-        bw.write(0b01, 2);
-        bw.write(base & 0xf, 4);
+        sink.write(0b01, 2);
+        sink.write(base & 0xf, 4);
     } else if (fitsSigned(value, 2)) {
-        bw.write(0b10, 2);
-        bw.write(base & 0xffff, 16);
+        sink.write(0b10, 2);
+        sink.write(base & 0xffff, 16);
     } else {
-        bw.write(0b11, 2);
-        bw.write(base, 32);
+        sink.write(0b11, 2);
+        sink.write(base, 32);
     }
-    return base;
 }
 
 std::uint32_t
@@ -57,19 +57,18 @@ baseDecode(BitReader &br)
 
 constexpr std::uint64_t kPlaneMask = (std::uint64_t{1} << 31) - 1;
 
-} // namespace
-
-BpcCompressor::BpcCompressor(const CompressorTimings &timings)
-    : compressLat_(timings.bpcCompress),
-      decompressLat_(timings.bpcDecompress),
-      compressNj_(timings.bpcCompressNj),
-      decompressNj_(timings.bpcDecompressNj)
-{}
-
-CompressedLine
-BpcCompressor::compress(std::span<const std::uint8_t> line)
+/**
+ * The full BPC pipeline — delta, DBP transpose, DBX, plane coding —
+ * emitting into @p sink. Shared by compress() (BitWriter) and probe()
+ * (BitCounter).
+ */
+template <typename Sink>
+void
+encodeLine(std::span<const std::uint8_t> line, Sink &sink)
 {
-    latte_assert(line.size() == kLineBytes);
+    constexpr unsigned kWords = BpcCompressor::kWords;
+    constexpr unsigned kDeltas = BpcCompressor::kDeltas;
+    constexpr unsigned kPlanes = BpcCompressor::kPlanes;
 
     std::array<std::uint32_t, kWords> words;
     for (unsigned i = 0; i < kWords; ++i)
@@ -100,8 +99,7 @@ BpcCompressor::compress(std::span<const std::uint8_t> line)
     for (unsigned b = 0; b + 1 < kPlanes; ++b)
         dbx[b] = dbp[b] ^ dbp[b + 1];
 
-    BitWriter bw;
-    baseEncode(bw, words[0]);
+    baseEncode(sink, words[0]);
 
     // Scan planes top-down (32 .. 0).
     int b = kPlanes - 1;
@@ -113,22 +111,22 @@ BpcCompressor::compress(std::span<const std::uint8_t> line)
             ++run;
         }
         if (run >= 2) {
-            bw.write(0b10, 2);          // bits 0,1
-            bw.write(run - 2, 5);
+            sink.write(0b10, 2);          // bits 0,1
+            sink.write(run - 2, 5);
             b -= static_cast<int>(run);
             continue;
         }
         if (run == 1) {
-            bw.write(0b100, 3);         // bits 0,0,1
+            sink.write(0b100, 3);         // bits 0,0,1
             --b;
             continue;
         }
 
         const std::uint64_t plane = dbx[b];
         if (plane == kPlaneMask) {
-            bw.write(0b00000, 5);
+            sink.write(0b00000, 5);
         } else if (dbp[b] == 0) {
-            bw.write(0b10000, 5);       // bits 0,0,0,0,1
+            sink.write(0b10000, 5);       // bits 0,0,0,0,1
         } else {
             // Count set bits / find positions.
             unsigned ones = 0;
@@ -143,19 +141,53 @@ BpcCompressor::compress(std::span<const std::uint8_t> line)
             const bool two_consec =
                 ones == 2 && ((plane >> (first + 1)) & 1);
             if (ones == 1) {
-                bw.write(0b11000, 5);   // bits 0,0,0,1,1
-                bw.write(first, 5);
+                sink.write(0b11000, 5);   // bits 0,0,0,1,1
+                sink.write(first, 5);
             } else if (two_consec) {
-                bw.write(0b01000, 5);   // bits 0,0,0,1,0
-                bw.write(first, 5);
+                sink.write(0b01000, 5);   // bits 0,0,0,1,0
+                sink.write(first, 5);
             } else {
-                bw.pushBit(true);       // uncompressed plane
-                bw.write(plane, 31);
+                sink.pushBit(true);       // uncompressed plane
+                sink.write(plane, 31);
             }
         }
         --b;
     }
+}
 
+} // namespace
+
+BpcCompressor::BpcCompressor(const CompressorTimings &timings)
+    : compressLat_(timings.bpcCompress),
+      decompressLat_(timings.bpcDecompress),
+      compressNj_(timings.bpcCompressNj),
+      decompressNj_(timings.bpcDecompressNj)
+{}
+
+LineMeta
+BpcCompressor::probe(std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+
+    BitCounter counter;
+    encodeLine(line, counter);
+    if (counter.bitSize() >= kLineBits)
+        return makeRawMeta(CompressorId::Bpc);
+
+    LineMeta meta;
+    meta.algo = CompressorId::Bpc;
+    meta.encoding = 0;
+    meta.sizeBits = static_cast<std::uint32_t>(counter.bitSize());
+    return meta;
+}
+
+CompressedLine
+BpcCompressor::compress(std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+
+    BitWriter bw;
+    encodeLine(line, bw);
     if (bw.bitSize() >= kLineBits)
         return makeRawLine(CompressorId::Bpc, line);
 
@@ -163,16 +195,20 @@ BpcCompressor::compress(std::span<const std::uint8_t> line)
     out.algo = CompressorId::Bpc;
     out.encoding = 0;
     out.sizeBits = static_cast<std::uint32_t>(bw.bitSize());
-    out.payload = bw.bytes();
+    out.payload.assign(bw.bytes());
     return out;
 }
 
-std::vector<std::uint8_t>
-BpcCompressor::decompress(const CompressedLine &line) const
+void
+BpcCompressor::decompressInto(const CompressedLine &line,
+                              std::span<std::uint8_t> out) const
 {
     latte_assert(line.algo == CompressorId::Bpc);
-    if (line.encoding == kRawEncoding)
-        return decodeRawLine(line);
+    latte_assert(out.size() == kLineBytes);
+    if (line.encoding == kRawEncoding) {
+        decodeRawLineInto(line, out);
+        return;
+    }
 
     BitReader br(line.payload, line.sizeBits);
     const std::uint32_t base = baseDecode(br);
@@ -230,7 +266,6 @@ BpcCompressor::decompress(const CompressedLine &line) const
             deltas[i] |= ((dbp[bb] >> i) & 1) << bb;
     }
 
-    std::vector<std::uint8_t> out(kLineBytes);
     std::uint32_t word = base;
     storeLe(out.data(), word, 4);
     for (unsigned i = 0; i < kDeltas; ++i) {
@@ -240,7 +275,6 @@ BpcCompressor::decompress(const CompressedLine &line) const
             static_cast<std::uint64_t>(delta));
         storeLe(out.data() + 4 * (i + 1), word, 4);
     }
-    return out;
 }
 
 } // namespace latte

@@ -25,8 +25,9 @@ class BpcCompressor : public Compressor
     std::string name() const override { return "BPC"; }
 
     CompressedLine compress(std::span<const std::uint8_t> line) override;
-    std::vector<std::uint8_t>
-    decompress(const CompressedLine &line) const override;
+    LineMeta probe(std::span<const std::uint8_t> line) override;
+    void decompressInto(const CompressedLine &line,
+                        std::span<std::uint8_t> out) const override;
 
     Cycles compressLatency() const override { return compressLat_; }
     Cycles decompressLatency() const override { return decompressLat_; }

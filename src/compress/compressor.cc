@@ -24,19 +24,36 @@ makeRawLine(CompressorId id, std::span<const std::uint8_t> line)
 {
     latte_assert(line.size() == kLineBytes);
     CompressedLine out;
-    out.algo = id;
-    out.encoding = kRawEncoding;
-    out.sizeBits = kLineBits;
-    out.payload.assign(line.begin(), line.end());
+    static_cast<LineMeta &>(out) = makeRawMeta(id);
+    out.payload.assign(line);
     return out;
+}
+
+LineMeta
+makeRawMeta(CompressorId id)
+{
+    LineMeta meta;
+    meta.algo = id;
+    meta.encoding = kRawEncoding;
+    meta.sizeBits = kLineBits;
+    return meta;
 }
 
 std::vector<std::uint8_t>
 decodeRawLine(const CompressedLine &line)
 {
+    std::vector<std::uint8_t> out(kLineBytes);
+    decodeRawLineInto(line, out);
+    return out;
+}
+
+void
+decodeRawLineInto(const CompressedLine &line, std::span<std::uint8_t> out)
+{
     latte_assert(line.encoding == kRawEncoding);
     latte_assert(line.payload.size() == kLineBytes);
-    return line.payload;
+    latte_assert(out.size() == kLineBytes);
+    std::memcpy(out.data(), line.payload.data(), kLineBytes);
 }
 
 } // namespace latte

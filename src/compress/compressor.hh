@@ -4,18 +4,29 @@
  * algorithms studied in the paper (Table I) implement this interface with
  * bit-exact, round-trippable encoders so compression ratios are measured
  * on real bytes rather than assumed.
+ *
+ * The interface splits size determination from payload materialisation
+ * (the same split Pekhimenko et al. make in hardware): probe() computes
+ * the exact encoded bit count without building the bit stream, and
+ * compress() additionally materialises the payload. Most simulated fills
+ * only ever need the size — admission checks, sampler votes, sub-block
+ * accounting — so the cache calls probe() on its hot path and reserves
+ * compress() for lines whose bytes must actually round-trip.
  */
 
 #ifndef LATTE_COMPRESS_COMPRESSOR_HH
 #define LATTE_COMPRESS_COMPRESSOR_HH
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/bit_utils.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace latte
@@ -40,18 +51,18 @@ constexpr std::uint32_t kLineBytes = 128;
 constexpr std::uint32_t kLineBits = kLineBytes * 8;
 
 /**
- * The result of compressing one cache line: the exact encoded bit count
- * plus the payload needed to reverse the encoding.
+ * Size-only description of one compressed line: everything the cache
+ * needs for admission, replacement and sub-block accounting, without the
+ * encoded payload. probe() returns exactly this; CompressedLine extends
+ * it with the bit stream.
  */
-struct CompressedLine
+struct LineMeta
 {
     CompressorId algo = CompressorId::None;
     /** Algorithm-specific encoding id (e.g. BDI's 4-bit compression_enc). */
     std::uint8_t encoding = 0;
     /** Exact encoded size in bits, including per-line metadata. */
     std::uint32_t sizeBits = kLineBits;
-    /** Encoded payload (LSB-first bit stream packed into bytes). */
-    std::vector<std::uint8_t> payload;
     /**
      * Compressor-state generation the line was encoded under. Only SC uses
      * this: lines encoded with a retired Huffman code generation can no
@@ -76,6 +87,67 @@ struct CompressedLine
     }
 };
 
+/**
+ * Fixed-capacity inline byte buffer for encoded payloads. A cache line
+ * is 128 B and every encoder falls back to raw at kLineBits, so the
+ * worst payload is the raw line itself; 160 B of headroom keeps the
+ * whole CompressedLine allocation-free.
+ */
+class InlineBytes
+{
+  public:
+    static constexpr std::size_t kCapacity = 160;
+
+    InlineBytes() = default;
+
+    void
+    assign(std::span<const std::uint8_t> bytes)
+    {
+        latte_assert(bytes.size() <= kCapacity,
+                     "payload overflows inline capacity");
+        std::memcpy(data_.data(), bytes.data(), bytes.size());
+        size_ = bytes.size();
+    }
+
+    void clear() { size_ = 0; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const std::uint8_t *data() const { return data_.data(); }
+    std::uint8_t *data() { return data_.data(); }
+    const std::uint8_t *begin() const { return data_.data(); }
+    const std::uint8_t *end() const { return data_.data() + size_; }
+    std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+    std::span<const std::uint8_t> span() const { return {data(), size_}; }
+    operator std::span<const std::uint8_t>() const { return span(); }
+
+    bool
+    operator==(const InlineBytes &other) const
+    {
+        return size_ == other.size_ &&
+               std::memcmp(data_.data(), other.data_.data(), size_) == 0;
+    }
+
+  private:
+    std::array<std::uint8_t, kCapacity> data_{};
+    std::size_t size_ = 0;
+};
+
+/**
+ * The result of compressing one cache line: the exact encoded bit count
+ * plus the payload needed to reverse the encoding. Payload storage is
+ * inline — copying a CompressedLine never touches the heap.
+ */
+struct CompressedLine : LineMeta
+{
+    /** Encoded payload (LSB-first bit stream packed into bytes). */
+    InlineBytes payload;
+
+    /** The size-only view of this line. */
+    const LineMeta &meta() const { return *this; }
+};
+
 /** Abstract cache-line compressor. */
 class Compressor
 {
@@ -93,11 +165,29 @@ class Compressor
     virtual CompressedLine compress(std::span<const std::uint8_t> line) = 0;
 
     /**
-     * Reverse compress(). @pre line.algo == id() and, for stateful
-     * algorithms, line.generation is still decodable.
+     * Size-only fast path: the exact LineMeta compress() would produce
+     * for @p line — same algo, encoding, sizeBits and generation —
+     * without materialising the bit stream. Pinned to compress() by the
+     * ProbeMatchesCompress property test.
      */
-    virtual std::vector<std::uint8_t>
-    decompress(const CompressedLine &line) const = 0;
+    virtual LineMeta probe(std::span<const std::uint8_t> line) = 0;
+
+    /**
+     * Reverse compress() into caller-provided storage (exactly
+     * kLineBytes). @pre line.algo == id() and, for stateful algorithms,
+     * line.generation is still decodable.
+     */
+    virtual void decompressInto(const CompressedLine &line,
+                                std::span<std::uint8_t> out) const = 0;
+
+    /** Convenience wrapper allocating the output vector. */
+    std::vector<std::uint8_t>
+    decompress(const CompressedLine &line) const
+    {
+        std::vector<std::uint8_t> out(kLineBytes);
+        decompressInto(line, out);
+        return out;
+    }
 
     /** Pipeline latency of the compression engine in core cycles. */
     virtual Cycles compressLatency() const = 0;
@@ -116,8 +206,15 @@ class Compressor
 CompressedLine makeRawLine(CompressorId id,
                            std::span<const std::uint8_t> line);
 
+/** The LineMeta of a raw encoding (what probe() returns on fallback). */
+LineMeta makeRawMeta(CompressorId id);
+
 /** Recover the bytes of a raw encoding. */
 std::vector<std::uint8_t> decodeRawLine(const CompressedLine &line);
+
+/** Recover the bytes of a raw encoding into caller storage. */
+void decodeRawLineInto(const CompressedLine &line,
+                       std::span<std::uint8_t> out);
 
 /** Encoding id shared by all algorithms for the raw fallback. */
 constexpr std::uint8_t kRawEncoding = 0xf;

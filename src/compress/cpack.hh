@@ -27,8 +27,9 @@ class CpackCompressor : public Compressor
     std::string name() const override { return "CPACK-Z"; }
 
     CompressedLine compress(std::span<const std::uint8_t> line) override;
-    std::vector<std::uint8_t>
-    decompress(const CompressedLine &line) const override;
+    LineMeta probe(std::span<const std::uint8_t> line) override;
+    void decompressInto(const CompressedLine &line,
+                        std::span<std::uint8_t> out) const override;
 
     Cycles compressLatency() const override { return 8; }
     Cycles decompressLatency() const override { return decompressLat_; }

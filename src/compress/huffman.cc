@@ -101,18 +101,72 @@ HuffmanCode::build(const std::vector<Freq> &freqs,
                      len);
         next_code <<= (len - prev_len);
         prev_len = len;
-        CodeWord code{next_code, len};
+        CodeWord code{next_code, 0, len};
         ++next_code;
         book.insertCode(code, entries[idx].esc, entries[idx].symbol);
         book.maxBits_ = std::max(book.maxBits_, len);
     }
+    book.buildFastTable();
     return book;
 }
 
 void
-HuffmanCode::insertCode(const CodeWord &code, bool escape,
+HuffmanCode::buildFastTable()
+{
+    if (codes_.empty())
+        return;
+    // Quarter-full at most, so linear probes terminate quickly.
+    std::size_t capacity = 16;
+    while (capacity < codes_.size() * 4)
+        capacity *= 2;
+    fast_.assign(capacity, {});
+    fastMask_ = capacity - 1;
+    for (const auto &[symbol, code] : codes_) {
+        std::size_t i = (symbol * 0x9e3779b9u) & fastMask_;
+        while (fast_[i].length != 0)
+            i = (i + 1) & fastMask_;
+        fast_[i] = {code.rbits, symbol, code.length};
+    }
+
+    // Quarter-full like the code table: the membership filter below
+    // keeps misses from touching it at all, so only hit-chain length
+    // matters here.
+    std::size_t len_capacity = 16;
+    while (len_capacity < codes_.size() * 4)
+        len_capacity *= 2;
+    lens_.assign(len_capacity, {});
+    lenMask_ = len_capacity - 1;
+    for (const auto &[symbol, code] : codes_) {
+        std::size_t i = (symbol * 0x9e3779b9u) & lenMask_;
+        while (lens_[i].bits != 0)
+            i = (i + 1) & lenMask_;
+        lens_[i] = {symbol, code.length};
+    }
+
+    // One-hash membership filter, eight bits per symbol (12.5% false
+    // positives): uncoded values — the common case on noisy lines —
+    // resolve to "escape" with a single load from a ~1 KiB bitmap
+    // instead of a probe chain through the tables.
+    std::size_t filter_bits = 64;
+    while (filter_bits < codes_.size() * 8)
+        filter_bits *= 2;
+    filter_.assign(filter_bits / 64, 0);
+    filterMask_ = filter_bits - 1;
+    for (const auto &[symbol, code] : codes_) {
+        const std::size_t bit = (symbol * 0x9e3779b9u) & filterMask_;
+        filter_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+}
+
+void
+HuffmanCode::insertCode(const CodeWord &code_in, bool escape,
                         std::uint32_t symbol)
 {
+    CodeWord code = code_in;
+    code.rbits = 0;
+    for (unsigned i = 0; i < code.length; ++i)
+        code.rbits |= ((code.bits >> i) & 1) << (code.length - 1 - i);
+
     if (nodes_.empty())
         nodes_.push_back({});
     int node = 0;
@@ -139,21 +193,6 @@ HuffmanCode::insertCode(const CodeWord &code, bool escape,
         escapeCode_ = code;
     else
         codes_[symbol] = code;
-}
-
-bool
-HuffmanCode::encode(std::uint32_t value, BitWriter &bw) const
-{
-    latte_assert(valid(), "encode on an empty code book");
-    const auto it = codes_.find(value);
-    const CodeWord &code = it != codes_.end() ? it->second : escapeCode_;
-    for (unsigned i = 0; i < code.length; ++i)
-        bw.pushBit((code.bits >> (code.length - 1 - i)) & 1);
-    if (it == codes_.end()) {
-        bw.write(value, 32);
-        return false;
-    }
-    return true;
 }
 
 unsigned

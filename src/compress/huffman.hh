@@ -43,13 +43,55 @@ class HuffmanCode
 
     /**
      * Emit the code for @p value if it is in the book; otherwise emit the
-     * escape prefix followed by the raw 32-bit value.
+     * escape prefix followed by the raw 32-bit value. @p Sink is
+     * BitWriter (materialise) or BitCounter (size-only probe).
      * @return true if the value was in the book.
      */
-    bool encode(std::uint32_t value, BitWriter &bw) const;
+    template <typename Sink>
+    bool
+    encode(std::uint32_t value, Sink &sink) const
+    {
+        latte_assert(valid(), "encode on an empty code book");
+        // rbits holds the code bit-reversed so one word-at-a-time write
+        // emits it MSB-first on the LSB-first wire.
+        if (const Slot *slot = findFast(value)) {
+            sink.write(slot->rbits, slot->length);
+            return true;
+        }
+        sink.write(escapeCode_.rbits, escapeCode_.length);
+        sink.write(value, 32);
+        return false;
+    }
 
     /** Bits the encoder would emit for @p value. */
     unsigned encodedBits(std::uint32_t value) const;
+
+    /**
+     * Hot-path variant of encodedBits() backed by a compact flat table
+     * (8-byte slots, half the cache footprint of the encode table) —
+     * the whole cost of an SC size-only probe is this lookup.
+     */
+    unsigned
+    encodedBitsFast(std::uint32_t value) const
+    {
+        if (lens_.empty())
+            return escapeCode_.length + 32;
+        const std::uint32_t hash = value * 0x9e3779b9u;
+        std::size_t i = hash & lenMask_;
+        // First slot load issues in parallel with the filter load — the
+        // two addresses are independent, so a hit pays one load latency
+        // instead of two.
+        LenSlot slot = lens_[i];
+        if (!mayHaveCode(hash))
+            return escapeCode_.length + 32;
+        while (slot.bits != 0) {
+            if (slot.symbol == value)
+                return slot.bits;
+            i = (i + 1) & lenMask_;
+            slot = lens_[i];
+        }
+        return escapeCode_.length + 32;
+    }
 
     /** True if @p value has a dedicated code (no escape needed). */
     bool
@@ -67,7 +109,8 @@ class HuffmanCode
   private:
     struct CodeWord
     {
-        std::uint64_t bits = 0;
+        std::uint64_t bits = 0;   //!< canonical code, MSB-first
+        std::uint64_t rbits = 0;  //!< same code bit-reversed (wire order)
         unsigned length = 0;
     };
 
@@ -80,11 +123,64 @@ class HuffmanCode
         std::uint32_t symbol = 0;
     };
 
+    /**
+     * One entry of the open-addressing symbol->code table that backs
+     * encode(). 16 bytes so four slots share a cache line; length == 0
+     * marks an empty slot (no real code is shorter than one bit).
+     */
+    struct Slot
+    {
+        std::uint64_t rbits = 0;
+        std::uint32_t symbol = 0;
+        std::uint32_t length = 0;
+    };
+
+    /** Length-only slot for encodedBitsFast(); bits == 0 marks empty. */
+    struct LenSlot
+    {
+        std::uint32_t symbol = 0;
+        std::uint32_t bits = 0;
+    };
+
+    /** Membership pre-check; false means "definitely not in the book". */
+    bool
+    mayHaveCode(std::uint32_t hash) const
+    {
+        const std::size_t bit = hash & filterMask_;
+        return (filter_[bit / 64] >> (bit % 64)) & 1;
+    }
+
+    /** Flat-table lookup; nullptr means "escape this value". */
+    const Slot *
+    findFast(std::uint32_t value) const
+    {
+        if (fast_.empty())
+            return nullptr;
+        // Fibonacci mix spreads clustered values (small ints, pointers).
+        const std::uint32_t hash = value * 0x9e3779b9u;
+        if (!mayHaveCode(hash))
+            return nullptr;
+        std::size_t i = hash & fastMask_;
+        while (fast_[i].length != 0) {
+            if (fast_[i].symbol == value)
+                return &fast_[i];
+            i = (i + 1) & fastMask_;
+        }
+        return nullptr;
+    }
+
     void insertCode(const CodeWord &code, bool escape,
                     std::uint32_t symbol);
+    void buildFastTable();
 
     std::unordered_map<std::uint32_t, CodeWord> codes_;
     CodeWord escapeCode_;
+    std::vector<Slot> fast_;    //!< open-addressing view of codes_
+    std::size_t fastMask_ = 0;
+    std::vector<LenSlot> lens_; //!< length-only view for size probes
+    std::size_t lenMask_ = 0;
+    std::vector<std::uint64_t> filter_; //!< membership bitmap
+    std::size_t filterMask_ = 0;
     std::vector<Node> nodes_;   //!< decode trie; node 0 is the root
     unsigned maxBits_ = 0;
 };

@@ -108,6 +108,40 @@ ScCompressor::codeDivergence() const
     return static_cast<double>(missing) / static_cast<double>(top);
 }
 
+LineMeta
+ScCompressor::probe(std::span<const std::uint8_t> line)
+{
+    latte_assert(line.size() == kLineBytes);
+    LineMeta meta = makeRawMeta(CompressorId::Sc);
+    meta.generation = generation_;
+    if (!codes_.valid())
+        return meta;
+
+    // No per-word early exit here: the running size is monotone, so the
+    // total crosses kLineBits iff compress()'s capped stream does, and
+    // both sides then report the same raw line.
+    // Four accumulators so the adds of neighbouring lookups don't
+    // serialise behind one register.
+    std::uint64_t bits0 = 0, bits1 = 0, bits2 = 0, bits3 = 0;
+    for (unsigned off = 0; off < kLineBytes; off += 16) {
+        const std::uint64_t pa = loadLe(line.data() + off, 8);
+        const std::uint64_t pb = loadLe(line.data() + off + 8, 8);
+        bits0 += codes_.encodedBitsFast(static_cast<std::uint32_t>(pa));
+        bits1 += codes_.encodedBitsFast(
+            static_cast<std::uint32_t>(pa >> 32));
+        bits2 += codes_.encodedBitsFast(static_cast<std::uint32_t>(pb));
+        bits3 += codes_.encodedBitsFast(
+            static_cast<std::uint32_t>(pb >> 32));
+    }
+    const std::uint64_t bits = (bits0 + bits1) + (bits2 + bits3);
+    if (bits >= kLineBits)
+        return meta;
+
+    meta.encoding = 0;
+    meta.sizeBits = static_cast<std::uint32_t>(bits);
+    return meta;
+}
+
 CompressedLine
 ScCompressor::compress(std::span<const std::uint8_t> line)
 {
@@ -120,6 +154,10 @@ ScCompressor::compress(std::span<const std::uint8_t> line)
 
     BitWriter bw;
     for (unsigned off = 0; off < kLineBytes; off += 4) {
+        // Bail before the stream can outgrow the writer's inline
+        // capacity — a stream at >= kLineBits falls back to raw anyway.
+        if (bw.bitSize() >= kLineBits)
+            break;
         codes_.encode(
             static_cast<std::uint32_t>(loadLe(line.data() + off, 4)), bw);
     }
@@ -134,26 +172,28 @@ ScCompressor::compress(std::span<const std::uint8_t> line)
     out.algo = CompressorId::Sc;
     out.encoding = 0;
     out.sizeBits = static_cast<std::uint32_t>(bw.bitSize());
-    out.payload = bw.bytes();
+    out.payload.assign(bw.bytes());
     out.generation = generation_;
     return out;
 }
 
-std::vector<std::uint8_t>
-ScCompressor::decompress(const CompressedLine &line) const
+void
+ScCompressor::decompressInto(const CompressedLine &line,
+                             std::span<std::uint8_t> out) const
 {
     latte_assert(line.algo == CompressorId::Sc);
-    if (line.encoding == kRawEncoding)
-        return decodeRawLine(line);
+    latte_assert(out.size() == kLineBytes);
+    if (line.encoding == kRawEncoding) {
+        decodeRawLineInto(line, out);
+        return;
+    }
 
     latte_assert(line.generation == generation_,
                  "decoding an SC line from a retired code generation");
 
-    std::vector<std::uint8_t> out(kLineBytes);
     BitReader br(line.payload, line.sizeBits);
     for (unsigned off = 0; off < kLineBytes; off += 4)
         storeLe(out.data() + off, codes_.decode(br), 4);
-    return out;
 }
 
 } // namespace latte

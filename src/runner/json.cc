@@ -859,6 +859,7 @@ toJson(const DriverOptions &options)
              {"chargeDecompression",
               Json(options.tuning.chargeDecompression)},
              {"verifyRoundTrip", Json(options.tuning.verifyRoundTrip)},
+             {"compressionMemo", Json(options.tuning.compressionMemo)},
          })},
         {"maxInstructionsPerKernel",
          Json(options.maxInstructionsPerKernel)},

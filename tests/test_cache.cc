@@ -270,6 +270,47 @@ TEST_F(CacheFixture, InvalidateAllEmptiesCache)
     EXPECT_EQ(cache.effectiveCapacityBytes(), 0u);
 }
 
+TEST_F(CacheFixture, PerSetSubBlockCounterTracksTagWalk)
+{
+    // usedSubBlocksCounter() is maintained incrementally on every
+    // insert/evict/invalidate; it must agree with the O(tags) walk at
+    // every step of a churny mixed workload.
+    StaticModeProvider bdi(CompressorId::Bdi);
+    cache.setModeProvider(&bdi);
+
+    const auto check_all = [&](const char *when) {
+        for (std::uint32_t set = 0; set < cache.numSets(); ++set) {
+            ASSERT_EQ(cache.usedSubBlocksCounter(set),
+                      cache.usedSubBlocksInSet(set))
+                << when << ", set " << set;
+        }
+    };
+
+    Cycles now = 0;
+    check_all("empty");
+    for (std::uint32_t t = 0; t < 24; ++t) {
+        // Alternate compressible and incompressible lines over two sets
+        // so inserts force evictions of both shapes.
+        const Addr addr = addrInSet(t % 2 ? 3 : 11, t + 1);
+        if (t % 3)
+            makeCompressible(addr);
+        else
+            makeRandom(addr, t);
+        installLine(addr, now);
+        check_all("after install");
+    }
+
+    const Addr victim = addrInSet(3, 24);
+    const auto write = cache.access(now, victim, true);
+    if (write.hit)
+        check_all("after write invalidation");
+
+    cache.invalidateAll();
+    check_all("after invalidateAll");
+    for (std::uint32_t set = 0; set < cache.numSets(); ++set)
+        EXPECT_EQ(cache.usedSubBlocksCounter(set), 0u);
+}
+
 // ------------------------------- tuning knobs used by Figures 3 and 4
 
 namespace

@@ -64,7 +64,8 @@ TEST(Huffman, StreamOfMixedSymbolsRoundTrips)
 
     Rng rng(3);
     std::vector<std::uint32_t> symbols;
-    BitWriter bw;
+    // 500 mixed symbols outgrow the hot-path writer; use a big one.
+    BasicBitWriter<1 << 16> bw;
     for (int i = 0; i < 500; ++i) {
         // Mix coded symbols and escapes.
         const std::uint32_t value =

@@ -173,6 +173,58 @@ TEST_P(CompressionInvariants, RoundTripAndSizeBounds)
     }
 }
 
+TEST_P(CompressionInvariants, ProbeMatchesCompress)
+{
+    // The size-only probes are hand-tuned twins of the full encoders
+    // (BDI's first-fit layout scan, FPC's fused classifier, SC's flat
+    // length table), so this equivalence is load-bearing: insertLine()
+    // trusts probe() for every placement decision.
+    auto gen = makeGen();
+    const auto check = [&](Compressor &engine, unsigned lines) {
+        for (unsigned i = 0; i < lines; ++i) {
+            std::array<std::uint8_t, 128> line;
+            gen->generate(i * 128, line);
+            const LineMeta probed = engine.probe(line);
+            const CompressedLine full = engine.compress(line);
+            ASSERT_EQ(probed.algo, full.algo)
+                << compressorName(engine.id()) << " line " << i;
+            ASSERT_EQ(probed.encoding, full.encoding)
+                << compressorName(engine.id()) << " line " << i;
+            ASSERT_EQ(probed.sizeBits, full.sizeBits)
+                << compressorName(engine.id()) << " line " << i;
+            ASSERT_EQ(probed.generation, full.generation)
+                << compressorName(engine.id()) << " line " << i;
+        }
+    };
+
+    for (const CompressorId id : allCompressorIds()) {
+        auto engine = makeCompressor(id);
+        if (id != CompressorId::Sc) {
+            check(*engine, 64);
+            continue;
+        }
+
+        // SC changes behaviour with its Huffman generation: exercise
+        // the untrained book, a trained one, and a rebuild over a
+        // different sample window (different codes, bumped generation).
+        auto *sc = static_cast<ScCompressor *>(engine.get());
+        check(*engine, 16);
+        std::array<std::uint8_t, 128> line;
+        for (unsigned i = 0; i < 64; ++i) {
+            gen->generate(i * 128, line);
+            sc->trainLine(line);
+        }
+        sc->rebuildCodes();
+        check(*engine, 64);
+        for (unsigned i = 64; i < 96; ++i) {
+            gen->generate(i * 128, line);
+            sc->trainLine(line);
+        }
+        sc->rebuildCodes();
+        check(*engine, 64);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Profiles, CompressionInvariants,
     ::testing::Combine(::testing::Range(0, 7),

@@ -19,6 +19,7 @@
 #include "runner/json.hh"
 #include "runner/result_cache.hh"
 #include "runner/sweep.hh"
+#include "trace/tracer.hh"
 #include "workloads/zoo.hh"
 
 using namespace latte;
@@ -121,6 +122,54 @@ TEST(Runner, DiskCacheHitsOnSecondInvocation)
 
     EXPECT_EQ(dumpAll(cold), dumpAll(warm));
     std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, ExecutionShortcutsAreBitIdentical)
+{
+    // The compression memo, the verify-round-trip payloads and the
+    // tracer are execution shortcuts or observers: none of them may
+    // perturb a single simulated bit. Golden check: full result JSON
+    // (cycles, energy, per-kernel snapshots, the whole stat dump) is
+    // byte-identical with each toggled, after dropping the memo's own
+    // bookkeeping counters.
+    const auto dump_without_memo_stats = [](WorkloadRunResult result) {
+        std::erase_if(result.stats, [](const auto &kv) {
+            return kv.first.find("compress_memo") != std::string::npos;
+        });
+        return toJson(result).dump();
+    };
+
+    const char *names[] = {"KM", "SS"};
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        ASSERT_NE(workload, nullptr);
+        for (const PolicyKind kind :
+             {PolicyKind::LatteCc, PolicyKind::StaticSc}) {
+            RunRequest request;
+            request.workload = workload;
+            request.policy = kind;
+            request.options = tinyOptions();
+            request.options.tuning.compressionMemo = true;
+            const std::string golden =
+                dump_without_memo_stats(run(request));
+
+            RunRequest no_memo = request;
+            no_memo.options.tuning.compressionMemo = false;
+            EXPECT_EQ(dump_without_memo_stats(run(no_memo)), golden)
+                << name << "/" << policyName(kind) << " memo off";
+
+            RunRequest verified = request;
+            verified.options.tuning.verifyRoundTrip = true;
+            EXPECT_EQ(dump_without_memo_stats(run(verified)), golden)
+                << name << "/" << policyName(kind) << " verify on";
+
+            RunRequest traced = request;
+            Tracer tracer;
+            traced.tracer = &tracer;
+            EXPECT_EQ(dump_without_memo_stats(run(traced)), golden)
+                << name << "/" << policyName(kind) << " tracing on";
+        }
+    }
 }
 
 TEST(Runner, RunKeySeparatesDriverOptions)
