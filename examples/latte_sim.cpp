@@ -17,6 +17,8 @@
 #include <string>
 
 #include "core/driver.hh"
+#include "metrics/profiler.hh"
+#include "metrics/registry.hh"
 #include "runner/json.hh"
 #include "trace/sink.hh"
 #include "workloads/zoo.hh"
@@ -49,6 +51,14 @@ usage()
         "  --trace-out <path>     write a Chrome trace-event JSON\n"
         "                         (chrome://tracing, ui.perfetto.dev)\n"
         "  --timeline-out <path>  write the per-EP time series as JSON\n"
+        "  --metrics-out <path>   write sampled time-series metrics\n"
+        "                         (.prom/.txt Prometheus, .csv CSV, "
+        "else JSONL)\n"
+        "  --metrics-interval <n> cycles between metric samples "
+        "(default 100000)\n"
+        "  --profile              measure wall-clock time per simulator "
+        "zone\n"
+        "                         (reported with the metrics export)\n"
         "  --help                 this text\n";
 }
 
@@ -87,6 +97,9 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_out;
     std::string timeline_out;
+    std::string metrics_out;
+    std::uint64_t metrics_interval = 0;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -142,6 +155,12 @@ main(int argc, char **argv)
             trace_out = next();
         } else if (arg == "--timeline-out") {
             timeline_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--metrics-interval") {
+            metrics_interval = std::stoull(next());
+        } else if (arg == "--profile") {
+            profile = true;
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             usage();
@@ -166,6 +185,15 @@ main(int argc, char **argv)
         tracer = std::make_unique<Tracer>(std::size_t{1} << 20);
         request.tracer = tracer.get();
     }
+
+    std::unique_ptr<metrics::MetricRegistry> registry;
+    if (!metrics_out.empty()) {
+        registry =
+            std::make_unique<metrics::MetricRegistry>(metrics_interval);
+        request.metrics = registry.get();
+    }
+    if (profile)
+        metrics::setProfilerEnabled(true);
 
     const WorkloadRunResult result = run(request);
 
@@ -197,6 +225,27 @@ main(int argc, char **argv)
             return 1;
         }
         out << runner::timelineToJson({result}).dump(2) << "\n";
+    }
+
+    if (registry) {
+        std::ofstream out(metrics_out);
+        if (!out) {
+            std::cerr << "cannot write '" << metrics_out << "'\n";
+            return 1;
+        }
+        const metrics::ExportFormat format =
+            metrics::exportFormatForPath(metrics_out);
+        const metrics::MetricRegistry::Labels labels = {
+            {"workload", result.workload},
+            {"policy", result.policyLabel},
+        };
+        registry->exportAs(out, format, labels);
+        if (profile) {
+            if (format == metrics::ExportFormat::Jsonl)
+                metrics::writeProfileJsonl(out);
+            else if (format == metrics::ExportFormat::Prometheus)
+                metrics::writeProfilePrometheus(out);
+        }
     }
 
     std::cout << "workload      : " << workload->fullName << " ("

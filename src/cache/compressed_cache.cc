@@ -5,6 +5,8 @@
 
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
+#include "metrics/profiler.hh"
+#include "metrics/registry.hh"
 
 namespace latte
 {
@@ -63,6 +65,18 @@ void
 CompressedCache::setModeProvider(CompressionModeProvider *provider)
 {
     provider_ = provider ? provider : &defaultProvider_;
+}
+
+void
+CompressedCache::setMetrics(metrics::MetricRegistry *metrics)
+{
+    if (!metrics) {
+        hitLatencyHist_ = missLatencyHist_ = decompWaitHist_ = nullptr;
+        return;
+    }
+    hitLatencyHist_ = &metrics->histogram("l1_hit_latency");
+    missLatencyHist_ = &metrics->histogram("l1_miss_latency");
+    decompWaitHist_ = &metrics->histogram("decomp_queue_wait");
 }
 
 std::uint32_t
@@ -219,6 +233,7 @@ LineMeta
 CompressedCache::probeForInsertion(CompressorId mode,
                                    std::span<const std::uint8_t> bytes)
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::CompressorProbe);
     Compressor *engine = engines_->get(mode);
     if (!tuning_.compressionMemo)
         return engine->probe(bytes);
@@ -232,6 +247,7 @@ CompressedCache::probeForInsertion(CompressorId mode,
 L1AccessResult
 CompressedCache::access(Cycles now, Addr addr, bool is_write)
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::L1Access);
     processFills(now);
 
     const Addr line_addr = MemoryImage::lineAddr(addr);
@@ -273,6 +289,10 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             Compressor *engine = engines_->get(entry->mode);
             DecompressionQueue &queue = queueFor(entry->mode);
             ready = queue.enqueue(ready, engine->decompressLatency());
+            if (decompWaitHist_) {
+                decompWaitHist_->record(static_cast<double>(
+                    ready - (now + cfg_.l1HitLatency)));
+            }
             if (tracer_) {
                 TraceEvent ev = makeTraceEvent(
                     now, TraceEventKind::DecompEnqueue, smId_);
@@ -297,6 +317,8 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
                                     truth.begin()),
                          "round-trip mismatch at line {}", line_addr);
         }
+        if (hitLatencyHist_)
+            hitLatencyHist_->record(static_cast<double>(ready - now));
         if (tracer_) {
             TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Hit, smId_);
             ev.arg0 = line_addr;
@@ -344,6 +366,8 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
     ++misses;
     const L2Result res = l2_->access(now, line_addr, false);
     missLatency.sample(static_cast<double>(res.readyCycle - now));
+    if (missLatencyHist_)
+        missLatencyHist_->record(static_cast<double>(res.readyCycle - now));
     mshrs.allocate(line_addr, res.readyCycle);
     pendingFills_.push_back({line_addr, res.readyCycle});
     nextFillCycle_ = std::min(nextFillCycle_, res.readyCycle);
@@ -401,6 +425,8 @@ CompressedCache::insertLine(Cycles now, Addr line_addr)
         // votes, sub-block accounting) — probe, don't materialise. The
         // payload is built only when round-trip verification wants it.
         if (tuning_.verifyRoundTrip) {
+            metrics::ProfileScope profile(
+                metrics::ProfileZone::CompressorCompress);
             full_line = engines_->get(mode)->compress(bytes);
             meta = full_line.meta();
         } else {

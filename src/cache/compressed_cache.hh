@@ -33,6 +33,12 @@
 namespace latte
 {
 
+namespace metrics
+{
+class LatencyHistogram;
+class MetricRegistry;
+} // namespace metrics
+
 /** Experiment knobs used by the motivation studies (Figures 3 and 4). */
 struct CacheTuning
 {
@@ -85,6 +91,14 @@ class CompressedCache : public StatGroup
 
     /** Attach the event tracer (not owned; nullptr disables tracing). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach the metric registry (not owned; nullptr detaches). The
+     * cache resolves its latency histograms once here, so the access
+     * path pays one null check per sample, and all SMs of a run share
+     * the same histograms.
+     */
+    void setMetrics(metrics::MetricRegistry *metrics);
 
     /** Perform a (coalesced) line access. */
     L1AccessResult access(Cycles now, Addr addr, bool is_write);
@@ -192,6 +206,9 @@ class CompressedCache : public StatGroup
     CacheTuning tuning_;
     std::uint16_t smId_;
     Tracer *tracer_ = nullptr;
+    metrics::LatencyHistogram *hitLatencyHist_ = nullptr;
+    metrics::LatencyHistogram *missLatencyHist_ = nullptr;
+    metrics::LatencyHistogram *decompWaitHist_ = nullptr;
     CompressionEngines *engines_;
     L2Cache *l2_;
     MemoryImage *mem_;

@@ -105,6 +105,8 @@ class Histogram : public StatBase
 
     std::uint64_t totalSamples() const { return samples_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    /** Samples at or above bucket_width * n_buckets. */
+    std::uint64_t overflow() const { return overflow_; }
     double bucketWidth() const { return bucketWidth_; }
     double min() const { return min_; }
     double max() const { return max_; }

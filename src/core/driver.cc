@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace latte
 {
@@ -74,6 +75,60 @@ policyEntry(PolicyKind kind)
             return entry;
     }
     latte_panic("unknown policy kind");
+}
+
+/**
+ * Register the driver-level gauges on @p metrics. The lambdas capture
+ * @p gpu and @p policies by reference; runConcrete() detaches the
+ * registry before they go out of scope.
+ */
+void
+registerGauges(metrics::MetricRegistry &metrics, Gpu &gpu,
+               const std::vector<std::unique_ptr<Policy>> &policies)
+{
+    metrics.addGauge("decomp_queue_depth", [&gpu](Cycles now) {
+        std::size_t depth = 0;
+        for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+            for (const CompressorId mode :
+                 {CompressorId::Bdi, CompressorId::Sc, CompressorId::Bpc,
+                  CompressorId::Fpc, CompressorId::CpackZ}) {
+                depth += gpu.sm(i).cache().queueFor(mode).depth(now);
+            }
+        }
+        return static_cast<double>(depth);
+    });
+    metrics.addGauge("mshr_occupancy", [&gpu](Cycles) {
+        std::size_t in_use = 0;
+        for (std::uint32_t i = 0; i < gpu.numSms(); ++i)
+            in_use += gpu.sm(i).cache().mshrs.inUse();
+        return static_cast<double>(in_use);
+    });
+    metrics.addGauge("dram_queue_backlog", [&gpu](Cycles now) {
+        return gpu.dram().queueBacklog(now);
+    });
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+        metrics.addGauge(
+            std::string("mode_accesses.") +
+                compressorName(static_cast<CompressorId>(m)),
+            [&policies, m](Cycles) {
+                std::uint64_t n = 0;
+                for (const auto &policy : policies)
+                    n += policy->modeAccesses()[m];
+                return static_cast<double>(n);
+            });
+    }
+    metrics.addGauge("mode_changes", [&policies](Cycles) {
+        std::uint64_t n = 0;
+        for (const auto &policy : policies)
+            n += policy->modeChanges();
+        return static_cast<double>(n);
+    });
+    metrics.addGauge("sampler_vote_margin", [&policies](Cycles) {
+        return policies[0]->lastVoteMargin();
+    });
+    metrics.addGauge("latency_tolerance", [&policies](Cycles) {
+        return policies[0]->lastTolerance();
+    });
 }
 
 } // namespace
@@ -152,6 +207,12 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
         policies.push_back(std::move(policy));
     }
 
+    if (request.metrics) {
+        request.metrics->attachStats(&gpu);
+        registerGauges(*request.metrics, gpu, policies);
+        gpu.setMetrics(request.metrics);
+    }
+
     auto sum_mode_accesses = [&]() {
         std::array<std::uint64_t, kNumModes> sums{};
         for (const auto &policy : policies) {
@@ -208,6 +269,14 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
 
     const EnergyModel energy_model(gpu.config());
     result.energy = energy_model.compute(harvestUsage(gpu));
+
+    if (request.metrics) {
+        // Flush a final row, then detach: the gauges reference this
+        // frame's gpu and policies.
+        request.metrics->finalSample(gpu.now());
+        gpu.setMetrics(nullptr);
+        request.metrics->detach();
+    }
     return result;
 }
 

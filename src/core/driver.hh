@@ -30,6 +30,11 @@
 namespace latte
 {
 
+namespace metrics
+{
+class MetricRegistry;
+} // namespace metrics
+
 /** Every policy configuration the paper evaluates. */
 enum class PolicyKind
 {
@@ -148,6 +153,17 @@ struct RunRequest
      * and is NOT part of the result-cache key.
      */
     Tracer *tracer = nullptr;
+    /**
+     * Optional metric registry (not owned; must outlive the run). The
+     * driver attaches the GPU's stat tree, registers the simulation
+     * gauges (queue depths, MSHR occupancy, mode residency, vote
+     * margins) and samples the registry periodically from the kernel
+     * loop. Like the tracer it is purely observational: results stay
+     * bit-identical and it is NOT part of the result-cache key.
+     * Kernel-OPT runs its three static legs against the same registry
+     * in sequence, so sample cycles restart at each leg boundary.
+     */
+    metrics::MetricRegistry *metrics = nullptr;
 };
 
 /** The label a request's result will carry (policy name or label). */

@@ -243,6 +243,19 @@ LatteCcPolicy::chooseWinner(Cycles now, double tolerance)
             best = static_cast<int>(k);
     }
 
+    if (best >= 0) {
+        double runner_up = std::numeric_limits<double>::max();
+        for (std::size_t k = 0; k < n; ++k) {
+            if (static_cast<int>(k) == best ||
+                amat[k] == std::numeric_limits<double>::max()) {
+                continue;
+            }
+            runner_up = std::min(runner_up, amat[k]);
+        }
+        if (runner_up != std::numeric_limits<double>::max())
+            lastVoteMargin_ = runner_up - amat[best];
+    }
+
     if (best < 0 || modes_[best] == winner_ || incumbent < 0)
         return;
 
@@ -269,6 +282,7 @@ LatteCcPolicy::chooseWinner(Cycles now, double tolerance)
 
     winner_ = modes_[best];
     winnerChanged_ = true;
+    ++modeChanges_;
     if (tracer_) {
         TraceEvent ev = makeTraceEvent(
             now, TraceEventKind::ModeChange, traceSmId_);
@@ -296,6 +310,7 @@ AdaptiveHitCountPolicy::chooseWinner(Cycles now, double)
     if (best >= 0 && modes_[best] != winner_) {
         winner_ = modes_[best];
         winnerChanged_ = true;
+        ++modeChanges_;
         if (tracer_) {
             TraceEvent ev = makeTraceEvent(
                 now, TraceEventKind::ModeChange, traceSmId_);

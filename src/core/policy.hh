@@ -134,6 +134,16 @@ class Policy : public CompressionModeProvider
     /** Latency tolerance measured in the most recent EP. */
     double lastTolerance() const { return lastTolerance_; }
 
+    /** Times the winner mode changed (== ModeChange trace events). */
+    std::uint64_t modeChanges() const { return modeChanges_; }
+
+    /**
+     * AMAT margin between the runner-up and the winner at the most
+     * recent sampler vote (0 until a vote with two eligible modes
+     * happened). Larger means a more decisive vote.
+     */
+    double lastVoteMargin() const { return lastVoteMargin_; }
+
     const EpClock &epClock() const { return clock_; }
 
   protected:
@@ -258,6 +268,10 @@ class Policy : public CompressionModeProvider
 
     const GpuConfig &cfg_;
     EpClock clock_;
+    /** Bookkeeping for the metrics gauges; never feeds back into
+     *  decisions, so attaching metrics cannot perturb results. */
+    std::uint64_t modeChanges_ = 0;
+    double lastVoteMargin_ = 0;
     CompressedCache *cache_ = nullptr;
     CompressionEngines *engines_ = nullptr;
     LatencyToleranceMeter *meter_ = nullptr;

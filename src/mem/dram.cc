@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/profiler.hh"
+#include "metrics/registry.hh"
+
 namespace latte
 {
 
@@ -14,9 +17,17 @@ DramModel::DramModel(const GpuConfig &cfg, StatGroup *parent)
       bytesPerCycle_(cfg.dramBytesPerCycle)
 {}
 
+void
+DramModel::setMetrics(metrics::MetricRegistry *metrics)
+{
+    queueDelayHist_ =
+        metrics ? &metrics->histogram("dram_queue_delay") : nullptr;
+}
+
 Cycles
 DramModel::access(Cycles now, std::uint32_t bytes)
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::DramAccess);
     ++accesses;
     bytesTransferred += bytes;
 
@@ -26,6 +37,8 @@ DramModel::access(Cycles now, std::uint32_t bytes)
 
     const double queue = start - static_cast<double>(now);
     queueDelay.sample(queue);
+    if (queueDelayHist_)
+        queueDelayHist_->record(queue);
 
     if (tracer_) {
         TraceEvent ev = makeTraceEvent(now, TraceEventKind::DramAccess);

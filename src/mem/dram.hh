@@ -9,6 +9,8 @@
 #ifndef LATTE_MEM_DRAM_HH
 #define LATTE_MEM_DRAM_HH
 
+#include <algorithm>
+
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -16,6 +18,12 @@
 
 namespace latte
 {
+
+namespace metrics
+{
+class LatencyHistogram;
+class MetricRegistry;
+} // namespace metrics
 
 /** Aggregate DRAM channel with a service-rate queue. */
 class DramModel : public StatGroup
@@ -35,12 +43,23 @@ class DramModel : public StatGroup
     /** Attach the event tracer (not owned; nullptr disables tracing). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the metric registry (not owned; nullptr detaches). */
+    void setMetrics(metrics::MetricRegistry *metrics);
+
+    /** Cycles of backlog in the channel queue as seen at @p now. */
+    double
+    queueBacklog(Cycles now) const
+    {
+        return std::max(0.0, nextFree_ - static_cast<double>(now));
+    }
+
     Counter accesses;
     Counter bytesTransferred;
     Average queueDelay;
 
   private:
     Tracer *tracer_ = nullptr;
+    metrics::LatencyHistogram *queueDelayHist_ = nullptr;
     /** Extra latency DRAM adds beyond the L2 round trip. */
     Cycles extraLatency_;
     double bytesPerCycle_;

@@ -4,6 +4,7 @@
 
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
+#include "metrics/profiler.hh"
 
 namespace latte
 {
@@ -45,6 +46,7 @@ L2Cache::bankIndex(Addr line_addr) const
 L2Result
 L2Cache::access(Cycles now, Addr line_addr, bool is_write)
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::L2Access);
     if (is_write)
         ++writes;
     else

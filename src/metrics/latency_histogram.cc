@@ -1,0 +1,112 @@
+#include "latency_histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace latte::metrics
+{
+
+LatencyHistogram::LatencyHistogram(unsigned n_buckets)
+    : buckets_(n_buckets, 0)
+{
+    latte_assert(n_buckets >= 2,
+                 "LatencyHistogram needs bucket 0 plus at least [1,2)");
+}
+
+unsigned
+LatencyHistogram::bucketIndexFor(double v) const
+{
+    if (!(v >= 1.0))
+        return 0; // [0,1), negatives and NaN clamp here
+    // Guard the uint64 cast: anything this large is overflow anyway.
+    if (v >= 9.0e18)
+        return numBuckets();
+    const auto iv = static_cast<std::uint64_t>(v);
+    // bit_width(1) == 1 -> bucket 1 covers [1,2); an exact power of two
+    // 2^k has bit_width k+1, landing in the bucket it lower-bounds.
+    const unsigned idx = static_cast<unsigned>(std::bit_width(iv));
+    return std::min(idx, numBuckets());
+}
+
+double
+LatencyHistogram::bucketLowerBound(unsigned i) const
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+LatencyHistogram::bucketUpperBound(unsigned i) const
+{
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void
+LatencyHistogram::record(double v)
+{
+    v = std::max(v, 0.0);
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+
+    const unsigned idx = bucketIndexFor(v);
+    if (idx < numBuckets())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+
+    // Rank of the sample the percentile asks for, 1-based.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p / 100.0 * static_cast<double>(count_))));
+
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < numBuckets(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (cumulative + buckets_[i] >= rank) {
+            const double fraction =
+                static_cast<double>(rank - cumulative) /
+                static_cast<double>(buckets_[i]);
+            const double lo = bucketLowerBound(i);
+            const double hi = bucketUpperBound(i);
+            return std::clamp(lo + fraction * (hi - lo), min_, max_);
+        }
+        cumulative += buckets_[i];
+    }
+    // Rank landed in the overflow bucket: the best bound is the
+    // observed maximum.
+    return max_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+} // namespace latte::metrics

@@ -19,6 +19,14 @@ sweepArgsUsage()
            "(chrome://tracing, Perfetto)\n"
            "  --timeline-out <path> write the per-EP time series "
            "(tolerance, mode, capacity)\n"
+           "  --metrics-out <path>  write sampled time-series metrics "
+           "(.prom/.txt Prometheus, .csv CSV, else JSONL)\n"
+           "  --metrics-interval <cycles> metric sampling interval "
+           "(default 100000)\n"
+           "  --profile          enable the wall-clock zone "
+           "self-profiler (reported with the metrics export)\n"
+           "  --bench-out <path> write an end-to-end throughput "
+           "report JSON\n"
            "  --no-progress      suppress stderr progress lines\n";
 }
 
@@ -56,6 +64,20 @@ parseSweepArgs(int &argc, char **argv)
             options.traceOut = value("--trace-out");
         } else if (arg == "--timeline-out") {
             options.timelineOut = value("--timeline-out");
+        } else if (arg == "--metrics-out") {
+            options.metricsOut = value("--metrics-out");
+        } else if (arg == "--metrics-interval") {
+            char *end = nullptr;
+            const char *text = value("--metrics-interval");
+            const unsigned long long cycles =
+                std::strtoull(text, &end, 10);
+            if (!end || *end != '\0' || cycles == 0)
+                latte_fatal("bad metrics interval '{}'", text);
+            options.metricsInterval = cycles;
+        } else if (arg == "--profile") {
+            options.profile = true;
+        } else if (arg == "--bench-out") {
+            options.benchOut = value("--bench-out");
         } else if (arg == "--no-progress") {
             options.progress = false;
         } else {

@@ -8,6 +8,12 @@
  *   --json PATH        write all sweep results as a JSON array
  *   --trace-out PATH   write a Chrome trace-event JSON of all runs
  *   --timeline-out PATH write the per-EP time series of all runs
+ *   --metrics-out PATH write sampled time-series metrics (format by
+ *                      extension: .prom/.txt Prometheus, .csv CSV,
+ *                      anything else JSONL)
+ *   --metrics-interval N  cycles between metric samples (default 100k)
+ *   --profile          enable the wall-clock zone self-profiler
+ *   --bench-out PATH   write an end-to-end throughput report JSON
  *   --no-progress      suppress the stderr progress/ETA lines
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
@@ -18,6 +24,7 @@
 #ifndef LATTE_RUNNER_ARG_PARSE_HH
 #define LATTE_RUNNER_ARG_PARSE_HH
 
+#include <cstdint>
 #include <string>
 
 namespace latte::runner
@@ -30,6 +37,11 @@ struct SweepCliOptions
     std::string jsonPath;    //!< empty = no JSON export
     std::string traceOut;    //!< empty = no Chrome trace export
     std::string timelineOut; //!< empty = no per-EP time-series export
+    std::string metricsOut;  //!< empty = no metrics export
+    /** Cycles between metric samples (0 = registry default). */
+    std::uint64_t metricsInterval = 0;
+    bool profile = false;    //!< enable the zone self-profiler
+    std::string benchOut;    //!< empty = no throughput report
     bool progress = true;
 };
 

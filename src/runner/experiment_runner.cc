@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "metrics/profiler.hh"
 #include "progress.hh"
 #include "result_cache.hh"
 
@@ -59,12 +60,17 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
             const auto start = std::chrono::steady_clock::now();
 
             bool cached = false;
-            // A traced request must actually simulate — a disk hit
-            // would return the result without producing any events —
-            // so the cache is bypassed entirely (the tracer is not
-            // part of RunKey, and a traced result must not shadow an
-            // untraced one).
-            if (cache && request.tracer == nullptr) {
+            // An observed request must actually simulate — a disk hit
+            // would return the result without producing any events,
+            // metric samples or profile time — so the cache is
+            // bypassed entirely for every observational output
+            // (tracer, metric registry, self-profiler). None of them
+            // is part of RunKey, and an observed result must not
+            // shadow an unobserved one.
+            const bool observed = request.tracer != nullptr ||
+                                  request.metrics != nullptr ||
+                                  metrics::profilerEnabled();
+            if (cache && !observed) {
                 const RunKey key = RunKey::of(request);
                 if (auto hit = cache->lookup(key)) {
                     results[i] = std::move(*hit);

@@ -866,4 +866,31 @@ toJson(const DriverOptions &options)
     });
 }
 
+void
+flattenNumeric(const Json &json, const std::string &prefix,
+               std::map<std::string, double> &out)
+{
+    switch (json.type()) {
+      case Json::Type::Uint:
+      case Json::Type::Double:
+        out[prefix] = json.asDouble();
+        break;
+      case Json::Type::Array: {
+        const Json::Array &array = json.asArray();
+        for (std::size_t i = 0; i < array.size(); ++i)
+            flattenNumeric(array[i], strfmt("{}[{}]", prefix, i), out);
+        break;
+      }
+      case Json::Type::Object:
+        for (const auto &[key, value] : json.asObject()) {
+            flattenNumeric(value,
+                           prefix.empty() ? key : prefix + "." + key,
+                           out);
+        }
+        break;
+      default:
+        break; // booleans, strings and nulls are not metrics
+    }
+}
+
 } // namespace latte::runner

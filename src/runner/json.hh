@@ -117,6 +117,16 @@ Json toJson(const DriverOptions &options);
  */
 Json timelineToJson(const std::vector<WorkloadRunResult> &results);
 
+/**
+ * Flatten every numeric leaf of @p json into @p out under dotted key
+ * paths rooted at @p prefix: object members as `parent.child`, array
+ * elements as `parent[i]`. Booleans, strings and nulls are skipped.
+ * Used by metrics_diff to compare two arbitrary result documents
+ * metric by metric.
+ */
+void flattenNumeric(const Json &json, const std::string &prefix,
+                    std::map<std::string, double> &out);
+
 /** Reconstruction, for disk-cache hits. False on schema mismatch. */
 bool fromJson(const Json &json, UsageCounts &usage);
 bool fromJson(const Json &json, EnergyReport &energy);

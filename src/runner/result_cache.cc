@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "json.hh"
+#include "metrics/profiler.hh"
 
 namespace latte::runner
 {
@@ -93,6 +94,7 @@ ResultCache::lookup(const RunKey &key) const
 void
 ResultCache::store(const RunKey &key, const WorkloadRunResult &result) const
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::RunnerSerialize);
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
     if (ec) {

@@ -1,9 +1,12 @@
 #include "sweep.hh"
 
+#include <chrono>
 #include <fstream>
 
 #include "common/logging.hh"
 #include "json.hh"
+#include "metrics/profiler.hh"
+#include "metrics/registry.hh"
 #include "trace/sink.hh"
 
 namespace latte::runner
@@ -31,14 +34,20 @@ Sweep::Sweep(int &argc, char **argv, DriverOptions defaults)
 Sweep::Sweep(SweepCliOptions cli, DriverOptions defaults)
     : defaults_(std::move(defaults)), runner_(toRunnerOptions(cli)),
       jsonPath_(cli.jsonPath), traceOut_(cli.traceOut),
-      timelineOut_(cli.timelineOut)
-{}
+      timelineOut_(cli.timelineOut), metricsOut_(cli.metricsOut),
+      metricsInterval_(cli.metricsInterval), benchOut_(cli.benchOut)
+{
+    if (cli.profile)
+        metrics::setProfilerEnabled(true);
+}
 
 Sweep::~Sweep()
 {
     writeJson();
     writeTrace();
     writeTimeline();
+    writeMetrics();
+    writeBench();
 }
 
 void
@@ -83,6 +92,14 @@ Sweep::indexOf(const RunRequest &request)
                            ? nullptr
                            : std::make_unique<Tracer>(kCellTraceCapacity));
     requests_.back().tracer = tracers_.back().get();
+    // Same deal for --metrics-out: a per-cell registry (cells run on
+    // worker threads, so sharing one would race) that also forces a
+    // real simulation.
+    metrics_.push_back(metricsOut_.empty()
+                           ? nullptr
+                           : std::make_unique<metrics::MetricRegistry>(
+                                 metricsInterval_));
+    requests_.back().metrics = metrics_.back().get();
     pending_.push_back(slot);
     index_.emplace(key, slot);
     return slot;
@@ -99,8 +116,12 @@ Sweep::run()
     for (const std::size_t slot : pending_)
         batch.push_back(requests_[slot]);
 
+    const auto start = std::chrono::steady_clock::now();
     std::vector<WorkloadRunResult> batch_results =
         runner_.runAll(batch);
+    runSeconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         results_[pending_[i]] = std::move(batch_results[i]);
         done_[pending_[i]] = true;
@@ -140,6 +161,7 @@ Sweep::writeJson() const
     if (jsonPath_.empty())
         return;
 
+    metrics::ProfileScope profile(metrics::ProfileZone::RunnerSerialize);
     Json::Array array;
     for (std::size_t i = 0; i < results_.size(); ++i) {
         if (done_[i])
@@ -196,6 +218,85 @@ Sweep::writeTimeline() const
         return;
     }
     out << timelineToJson(finished).dump(2) << "\n";
+}
+
+void
+Sweep::writeMetrics() const
+{
+    if (metricsOut_.empty())
+        return;
+
+    std::ofstream out(metricsOut_);
+    if (!out) {
+        latte_warn("cannot write --metrics-out file {}", metricsOut_);
+        return;
+    }
+
+    const metrics::ExportFormat format =
+        metrics::exportFormatForPath(metricsOut_);
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (!done_[i] || !metrics_[i])
+            continue;
+        const WorkloadRunResult &result = results_[i];
+        metrics::MetricRegistry::Labels labels = {
+            {"workload", result.workload},
+            {"policy", result.policyLabel},
+        };
+        if (result.seed != 0)
+            labels.emplace_back("seed", strfmt("{}", result.seed));
+        metrics_[i]->exportAs(out, format, labels);
+    }
+
+    // Profiler totals are process-wide, so they are appended once
+    // rather than per cell. CSV stays a pure per-cell time series.
+    if (metrics::profilerEnabled()) {
+        if (format == metrics::ExportFormat::Jsonl)
+            metrics::writeProfileJsonl(out);
+        else if (format == metrics::ExportFormat::Prometheus)
+            metrics::writeProfilePrometheus(out);
+    }
+}
+
+void
+Sweep::writeBench() const
+{
+    if (benchOut_.empty())
+        return;
+
+    std::uint64_t cycles = 0, instructions = 0, accesses = 0;
+    std::size_t cells = 0;
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (!done_[i])
+            continue;
+        ++cells;
+        cycles += results_[i].cycles;
+        instructions += results_[i].instructions;
+        accesses += results_[i].hits + results_[i].misses;
+    }
+
+    const ExperimentRunner::Stats &stats = runner_.stats();
+    Json::Object report;
+    report["schema"] = "latte-bench-v1";
+    report["cells"] = static_cast<std::uint64_t>(cells);
+    report["executed"] = static_cast<std::uint64_t>(stats.executed);
+    report["cache_hits"] = static_cast<std::uint64_t>(stats.cacheHits);
+    report["threads"] = runner_.effectiveThreads(cells ? cells : 1);
+    report["wall_seconds"] = runSeconds_;
+    report["sim_cycles"] = cycles;
+    report["sim_instructions"] = instructions;
+    report["l1_accesses"] = accesses;
+    report["cycles_per_second"] =
+        runSeconds_ > 0 ? static_cast<double>(cycles) / runSeconds_ : 0.0;
+    report["instructions_per_second"] =
+        runSeconds_ > 0 ? static_cast<double>(instructions) / runSeconds_
+                        : 0.0;
+
+    std::ofstream out(benchOut_);
+    if (!out) {
+        latte_warn("cannot write --bench-out file {}", benchOut_);
+        return;
+    }
+    out << Json(std::move(report)).dump(2) << "\n";
 }
 
 } // namespace latte::runner

@@ -29,6 +29,11 @@
 #include "result_cache.hh"
 #include "trace/tracer.hh"
 
+namespace latte::metrics
+{
+class MetricRegistry;
+} // namespace latte::metrics
+
 namespace latte::runner
 {
 
@@ -42,8 +47,8 @@ class Sweep
     explicit Sweep(SweepCliOptions cli, DriverOptions defaults = {});
 
     /**
-     * Destructor writes the --json, --trace-out and --timeline-out
-     * exports of everything executed.
+     * Destructor writes the --json, --trace-out, --timeline-out,
+     * --metrics-out and --bench-out exports of everything executed.
      */
     ~Sweep();
 
@@ -90,6 +95,12 @@ class Sweep
     /** Write the per-EP export now (no-op without --timeline-out). */
     void writeTimeline() const;
 
+    /** Write the metrics export now (no-op without --metrics-out). */
+    void writeMetrics() const;
+
+    /** Write the throughput report now (no-op without --bench-out). */
+    void writeBench() const;
+
     const DriverOptions &defaults() const { return defaults_; }
     const ExperimentRunner &runner() const { return runner_; }
 
@@ -105,12 +116,19 @@ class Sweep
     std::string jsonPath_;
     std::string traceOut_;
     std::string timelineOut_;
+    std::string metricsOut_;
+    std::uint64_t metricsInterval_ = 0;
+    std::string benchOut_;
+    /** Wall-clock seconds spent inside runner_.runAll() calls. */
+    double runSeconds_ = 0;
 
     std::vector<RunRequest> requests_;        //!< all cells, add() order
     std::vector<WorkloadRunResult> results_;  //!< parallel to requests_
     std::vector<bool> done_;                  //!< parallel to requests_
     /** Parallel to requests_; null entries unless --trace-out is set. */
     std::vector<std::unique_ptr<Tracer>> tracers_;
+    /** Parallel to requests_; null unless --metrics-out is set. */
+    std::vector<std::unique_ptr<metrics::MetricRegistry>> metrics_;
     std::vector<std::size_t> pending_;        //!< slots not yet executed
     std::map<RunKey, std::size_t> index_;     //!< cell key -> slot
 };

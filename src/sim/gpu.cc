@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace latte
 {
@@ -26,6 +27,15 @@ Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning,
             cfg_, i, &l2_, mem_, this, tuning));
         sms_.back()->setTracer(tracer_);
     }
+}
+
+void
+Gpu::setMetrics(metrics::MetricRegistry *metrics)
+{
+    metrics_ = metrics;
+    dram_.setMetrics(metrics);
+    for (auto &sm : sms_)
+        sm->cache().setMetrics(metrics);
 }
 
 RunResult
@@ -96,6 +106,9 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
             latte_assert(next_tick[i] == kNoCycle || next_tick[i] > now_,
                          "SM must request a future tick");
         }
+
+        if (metrics_ && metrics_->due(now_))
+            metrics_->sample(now_);
 
         if (totalInstructions() - instr_start >= max_instructions) {
             budget_hit = true;

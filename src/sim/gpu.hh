@@ -22,6 +22,11 @@
 namespace latte
 {
 
+namespace metrics
+{
+class MetricRegistry;
+} // namespace metrics
+
 /** Result of one kernel launch. */
 struct RunResult
 {
@@ -56,6 +61,13 @@ class Gpu : public StatGroup
     Cycles now() const { return now_; }
 
     /**
+     * Attach the metric registry (not owned; nullptr detaches). The GPU
+     * samples it from the kernel loop whenever it is due and propagates
+     * it to every L1 and the DRAM model for latency histograms.
+     */
+    void setMetrics(metrics::MetricRegistry *metrics);
+
+    /**
      * Run @p program to completion or until the whole launch has issued
      * @p max_instructions (the paper simulates 1 B instructions or
      * completion, whichever is earlier).
@@ -77,6 +89,7 @@ class Gpu : public StatGroup
     const GpuConfig cfg_;
     MemoryImage *mem_;
     Tracer *tracer_ = nullptr;
+    metrics::MetricRegistry *metrics_ = nullptr;
     Interconnect noc_;
     DramModel dram_;
     L2Cache l2_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "metrics/profiler.hh"
 
 namespace latte
 {
@@ -164,6 +165,7 @@ StreamingMultiprocessor::tick(Cycles now)
 void
 StreamingMultiprocessor::issueWarp(Warp &warp, Cycles now)
 {
+    metrics::ProfileScope profile(metrics::ProfileZone::SmIssue);
     DecodedInstr instr = program_->fetch(warp.globalWarpId, warp.pc);
 
     if (tracer_) {

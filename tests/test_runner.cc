@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/driver.hh"
+#include "metrics/profiler.hh"
+#include "metrics/registry.hh"
 #include "runner/arg_parse.hh"
 #include "runner/experiment_runner.hh"
 #include "runner/json.hh"
@@ -168,8 +170,79 @@ TEST(Runner, ExecutionShortcutsAreBitIdentical)
             traced.tracer = &tracer;
             EXPECT_EQ(dump_without_memo_stats(run(traced)), golden)
                 << name << "/" << policyName(kind) << " tracing on";
+
+            RunRequest metered = request;
+            metrics::MetricRegistry registry;
+            metered.metrics = &registry;
+            EXPECT_EQ(dump_without_memo_stats(run(metered)), golden)
+                << name << "/" << policyName(kind) << " metrics on";
+            EXPECT_FALSE(registry.rows().empty());
+
+            metrics::setProfilerEnabled(true);
+            const std::string profiled =
+                dump_without_memo_stats(run(request));
+            metrics::setProfilerEnabled(false);
+            EXPECT_EQ(profiled, golden)
+                << name << "/" << policyName(kind) << " profiler on";
         }
     }
+}
+
+TEST(Runner, ObservationalOutputsBypassDiskCache)
+{
+    // Metrics and the profiler must force a real simulation just like
+    // the tracer: a disk hit would return the result without producing
+    // any samples or profile time.
+    const std::string dir =
+        ::testing::TempDir() + "/latte_runner_metrics_bypass_test";
+    std::filesystem::remove_all(dir);
+
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::Baseline;
+    request.options = tinyOptions();
+
+    RunnerOptions options;
+    options.threads = 1;
+    options.progress = false;
+    options.cacheDir = dir;
+
+    // Warm the cache.
+    {
+        ExperimentRunner runner(options);
+        runner.runAll({request});
+        EXPECT_EQ(runner.stats().executed, 1u);
+    }
+    // A plain re-run is served from disk...
+    {
+        ExperimentRunner runner(options);
+        runner.runAll({request});
+        EXPECT_EQ(runner.stats().cacheHits, 1u);
+        EXPECT_EQ(runner.stats().executed, 0u);
+    }
+    // ...but a metrics-attached run simulates and produces samples.
+    {
+        metrics::MetricRegistry registry;
+        RunRequest metered = request;
+        metered.metrics = &registry;
+        ExperimentRunner runner(options);
+        runner.runAll({metered});
+        EXPECT_EQ(runner.stats().executed, 1u);
+        EXPECT_EQ(runner.stats().cacheHits, 0u);
+        EXPECT_FALSE(registry.rows().empty());
+    }
+    // ...and so does one with the process-wide profiler enabled.
+    {
+        metrics::setProfilerEnabled(true);
+        ExperimentRunner runner(options);
+        runner.runAll({request});
+        metrics::setProfilerEnabled(false);
+        EXPECT_EQ(runner.stats().executed, 1u);
+        EXPECT_EQ(runner.stats().cacheHits, 0u);
+    }
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Runner, RunKeySeparatesDriverOptions)
@@ -290,7 +363,10 @@ TEST(Runner, SweepArgParsing)
 {
     const char *raw[] = {"prog",        "-j",     "4",    "positional",
                          "--cache-dir", "/tmp/x", "--no-progress",
-                         "--json",      "out.json"};
+                         "--json",      "out.json",
+                         "--metrics-out", "m.jsonl",
+                         "--metrics-interval", "5000",
+                         "--profile",   "--bench-out", "bench.json"};
     std::vector<char *> argv;
     for (const char *arg : raw)
         argv.push_back(const_cast<char *>(arg));
@@ -300,6 +376,10 @@ TEST(Runner, SweepArgParsing)
     EXPECT_EQ(cli.jobs, 4u);
     EXPECT_EQ(cli.cacheDir, "/tmp/x");
     EXPECT_EQ(cli.jsonPath, "out.json");
+    EXPECT_EQ(cli.metricsOut, "m.jsonl");
+    EXPECT_EQ(cli.metricsInterval, 5000u);
+    EXPECT_TRUE(cli.profile);
+    EXPECT_EQ(cli.benchOut, "bench.json");
     EXPECT_FALSE(cli.progress);
 
     // Consumed flags are compacted away; positionals survive.
