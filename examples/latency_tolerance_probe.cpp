@@ -27,7 +27,14 @@ main(int argc, char **argv)
     RunRequest request;
     request.workload = workload;
     request.policy = PolicyKind::LatteCc;
-    const WorkloadRunResult latte = run(request);
+    const RunOutcome outcome = run(request);
+    if (!outcome.ok()) {
+        std::cerr << "run failed ("
+                  << runErrorCodeName(outcome.error.code)
+                  << "): " << outcome.error.message << "\n";
+        return 1;
+    }
+    const WorkloadRunResult &latte = outcome.value();
 
     std::cout << "# " << workload->fullName
               << " — per-EP trace from SM 0 under LATTE-CC\n";

@@ -195,16 +195,26 @@ main(int argc, char **argv)
     if (profile)
         metrics::setProfilerEnabled(true);
 
-    const WorkloadRunResult result = run(request);
+    const RunOutcome outcome = run(request);
 
+    // --json gets the full schema-3 cell document (outcome envelope
+    // included) even on failure, so downstream tooling sees the cause.
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out) {
             std::cerr << "cannot write '" << json_path << "'\n";
             return 1;
         }
-        out << runner::toJson(result).dump(2) << "\n";
+        out << runner::toJson(outcome).dump(2) << "\n";
     }
+
+    if (!outcome.ok()) {
+        std::cerr << "run failed ("
+                  << runErrorCodeName(outcome.error.code)
+                  << "): " << outcome.error.message << "\n";
+        return 1;
+    }
+    const WorkloadRunResult &result = outcome.value();
 
     if (tracer) {
         std::ofstream out(trace_out);

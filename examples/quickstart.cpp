@@ -29,10 +29,21 @@ main()
     RunRequest request;
     request.workload = workload;
     request.policy = PolicyKind::Baseline;
-    const WorkloadRunResult base = run(request);
+    const RunOutcome base_outcome = run(request);
 
     request.policy = PolicyKind::LatteCc;
-    const WorkloadRunResult latte = run(request);
+    const RunOutcome latte_outcome = run(request);
+
+    if (!base_outcome.ok() || !latte_outcome.ok()) {
+        const RunError &error = base_outcome.ok()
+                                    ? latte_outcome.error
+                                    : base_outcome.error;
+        std::cerr << "run failed (" << runErrorCodeName(error.code)
+                  << "): " << error.message << "\n";
+        return 1;
+    }
+    const WorkloadRunResult &base = base_outcome.value();
+    const WorkloadRunResult &latte = latte_outcome.value();
 
     const double speedup = speedupOver(base, latte);
     const double miss_reduction =

@@ -1,0 +1,118 @@
+#include "outcome.hh"
+
+#include "logging.hh"
+
+namespace latte
+{
+
+namespace
+{
+
+struct StatusEntry
+{
+    RunStatus status;
+    const char *name;
+};
+
+constexpr StatusEntry kStatusTable[] = {
+    {RunStatus::Ok, "ok"},
+    {RunStatus::Failed, "failed"},
+    {RunStatus::TimedOut, "timed_out"},
+    {RunStatus::Cancelled, "cancelled"},
+};
+
+struct CodeEntry
+{
+    RunErrorCode code;
+    const char *name;
+};
+
+constexpr CodeEntry kCodeTable[] = {
+    {RunErrorCode::None, "none"},
+    {RunErrorCode::InvalidRequest, "invalid_request"},
+    {RunErrorCode::InvalidConfig, "invalid_config"},
+    {RunErrorCode::WallClockTimeout, "wall_clock_timeout"},
+    {RunErrorCode::CycleBudgetExceeded, "cycle_budget_exceeded"},
+    {RunErrorCode::Cancelled, "cancelled"},
+    {RunErrorCode::CompressorCorruption, "compressor_corruption"},
+    {RunErrorCode::DecompQueueStall, "decomp_queue_stall"},
+    {RunErrorCode::DramTimeout, "dram_timeout"},
+    {RunErrorCode::AllocFailure, "alloc_failure"},
+    {RunErrorCode::Internal, "internal"},
+};
+
+} // namespace
+
+const char *
+runStatusName(RunStatus status)
+{
+    for (const StatusEntry &entry : kStatusTable) {
+        if (entry.status == status)
+            return entry.name;
+    }
+    latte_panic("unknown RunStatus");
+}
+
+const RunStatus *
+runStatusFromName(const std::string &name)
+{
+    for (const StatusEntry &entry : kStatusTable) {
+        if (name == entry.name)
+            return &entry.status;
+    }
+    return nullptr;
+}
+
+const char *
+runErrorCodeName(RunErrorCode code)
+{
+    for (const CodeEntry &entry : kCodeTable) {
+        if (entry.code == code)
+            return entry.name;
+    }
+    latte_panic("unknown RunErrorCode");
+}
+
+const RunErrorCode *
+runErrorCodeFromName(const std::string &name)
+{
+    for (const CodeEntry &entry : kCodeTable) {
+        if (name == entry.name)
+            return &entry.code;
+    }
+    return nullptr;
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CompressorCorruption:
+        return "compressor_corruption";
+      case FaultKind::DecompQueueStall:
+        return "decomp_queue_stall";
+      case FaultKind::DramTimeout:
+        return "dram_timeout";
+      case FaultKind::AllocFailure:
+        return "alloc_failure";
+    }
+    latte_panic("unknown FaultKind");
+}
+
+RunErrorCode
+faultErrorCode(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CompressorCorruption:
+        return RunErrorCode::CompressorCorruption;
+      case FaultKind::DecompQueueStall:
+        return RunErrorCode::DecompQueueStall;
+      case FaultKind::DramTimeout:
+        return RunErrorCode::DramTimeout;
+      case FaultKind::AllocFailure:
+        return RunErrorCode::AllocFailure;
+    }
+    latte_panic("unknown FaultKind");
+}
+
+} // namespace latte

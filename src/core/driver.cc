@@ -163,9 +163,58 @@ makePolicy(PolicyKind kind, const GpuConfig &cfg)
 std::string
 runRequestLabel(const RunRequest &request)
 {
+    // A non-empty label is authoritative for every naming surface
+    // (results, cache keys, journal keys, metric labels); the policy
+    // catalogue name is only the fallback for catalogued runs.
+    if (!request.label.empty())
+        return request.label;
     if (const auto *kind = std::get_if<PolicyKind>(&request.policy))
         return policyName(*kind);
-    return request.label.empty() ? "Custom" : request.label;
+    return "Custom";
+}
+
+const WorkloadRunResult &
+RunOutcome::value() const
+{
+    latte_assert(result.has_value(),
+                 "RunOutcome::value() on a {} outcome: {} ({})",
+                 runStatusName(status), error.message,
+                 runErrorCodeName(error.code));
+    return *result;
+}
+
+RunOutcome
+RunOutcome::success(WorkloadRunResult result)
+{
+    RunOutcome outcome;
+    outcome.status = RunStatus::Ok;
+    outcome.result = std::move(result);
+    return outcome;
+}
+
+RunOutcome
+RunOutcome::failure(RunError error)
+{
+    RunOutcome outcome;
+    outcome.status = runStatusForCode(error.code);
+    outcome.error = std::move(error);
+    return outcome;
+}
+
+RunStatus
+runStatusForCode(RunErrorCode code)
+{
+    switch (code) {
+      case RunErrorCode::None:
+        return RunStatus::Ok;
+      case RunErrorCode::WallClockTimeout:
+      case RunErrorCode::CycleBudgetExceeded:
+        return RunStatus::TimedOut;
+      case RunErrorCode::Cancelled:
+        return RunStatus::Cancelled;
+      default:
+        return RunStatus::Failed;
+    }
 }
 
 double
@@ -182,8 +231,23 @@ WorkloadRunResult::avgTolerance() const
 namespace
 {
 
+/** The cell context of @p request, stamped onto every RunError. */
+RunError
+cellError(const RunRequest &request, RunErrorCode code,
+          std::string message, Cycles cycle = 0)
+{
+    RunError error;
+    error.code = code;
+    error.message = std::move(message);
+    error.workload = request.workload ? request.workload->abbr : "";
+    error.policyLabel = runRequestLabel(request);
+    error.seed = request.seed;
+    error.cycle = cycle;
+    return error;
+}
+
 /** One concrete (non-oracle) run. */
-WorkloadRunResult
+RunOutcome
 runConcrete(const RunRequest &request, const PolicyFactory &factory,
             PolicyKind kind)
 {
@@ -194,6 +258,7 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
     workload.setup(mem);
 
     Gpu gpu(options.cfg, &mem, options.tuning, request.tracer);
+    gpu.setControl(&request.control);
 
     std::vector<std::unique_ptr<Policy>> policies;
     policies.reserve(gpu.numSms());
@@ -234,9 +299,19 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
     std::uint64_t prev_hits = 0, prev_misses = 0;
     auto prev_modes = sum_mode_accesses();
 
+    std::optional<RunError> failure;
     for (auto &kernel : kernels) {
         const RunResult run = gpu.runKernel(
             *kernel, options.maxInstructionsPerKernel);
+
+        if (run.interrupt) {
+            failure = cellError(
+                request, run.interrupt->code,
+                strfmt("kernel {}: {}", kernel->name(),
+                       run.interrupt->detail),
+                run.interrupt->cycle);
+            break;
+        }
 
         KernelSnapshot snap;
         snap.name = kernel->name();
@@ -277,11 +352,14 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
         gpu.setMetrics(nullptr);
         request.metrics->detach();
     }
-    return result;
+
+    if (failure)
+        return RunOutcome::failure(std::move(*failure));
+    return RunOutcome::success(std::move(result));
 }
 
 /** Kernel-OPT: per-kernel best of the three static modes. */
-WorkloadRunResult
+RunOutcome
 runKernelOpt(const RunRequest &request)
 {
     const PolicyKind static_kinds[] = {
@@ -294,16 +372,25 @@ runKernelOpt(const RunRequest &request)
     for (const PolicyKind kind : static_kinds) {
         RunRequest leg = request;
         leg.policy = kind;
-        runs.push_back(runConcrete(
+        leg.label.clear(); // legs are internal; keep catalogue names
+        RunOutcome outcome = runConcrete(
             leg,
             [kind](const GpuConfig &cfg) { return makePolicy(kind, cfg); },
-            kind));
+            kind);
+        if (!outcome.ok()) {
+            // A failed leg fails the oracle cell; re-stamp the error
+            // with the composed cell's label so the journal and the
+            // result JSON blame the right cell.
+            outcome.error.policyLabel = runRequestLabel(request);
+            return outcome;
+        }
+        runs.push_back(std::move(*outcome.result));
     }
 
     WorkloadRunResult result;
     result.workload = request.workload->abbr;
     result.policy = PolicyKind::KernelOpt;
-    result.policyLabel = policyName(PolicyKind::KernelOpt);
+    result.policyLabel = runRequestLabel(request);
     result.seed = request.seed;
 
     const std::size_t n_kernels = runs[0].kernels.size();
@@ -337,17 +424,24 @@ runKernelOpt(const RunRequest &request)
 
     const EnergyModel energy_model(request.options.cfg);
     result.energy = energy_model.compute(total_usage);
-    return result;
+    return RunOutcome::success(std::move(result));
 }
 
 } // namespace
 
-WorkloadRunResult
+RunOutcome
 run(const RunRequest &request)
 {
-    latte_assert(request.workload != nullptr,
-                 "RunRequest needs a workload");
-    request.options.cfg.validate();
+    if (request.workload == nullptr) {
+        return RunOutcome::failure(cellError(
+            request, RunErrorCode::InvalidRequest,
+            "RunRequest needs a workload"));
+    }
+    if (const auto error = request.options.cfg.validationError()) {
+        return RunOutcome::failure(cellError(
+            request, RunErrorCode::InvalidConfig,
+            strfmt("invalid GpuConfig: {}", *error)));
+    }
 
     if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {
         if (*kind == PolicyKind::KernelOpt)

@@ -10,6 +10,11 @@
  * workload, a policy (either a catalogued PolicyKind or a custom
  * PolicyFactory), the machine configuration, and optionally a Tracer
  * that records structured events for the observability layer.
+ *
+ * run() returns a RunOutcome, never throws and never exits: invalid
+ * requests, injected faults, watchdog cancellations and budget trips
+ * all come back as structured RunError values a supervising layer
+ * (sweep runner, journal, CI gate) can act on.
  */
 
 #ifndef LATTE_CORE_DRIVER_HH
@@ -19,10 +24,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/outcome.hh"
 #include "energy/energy_model.hh"
 #include "policies.hh"
 #include "workloads/zoo.hh"
@@ -135,8 +142,11 @@ struct RunRequest
     PolicySpec policy = PolicyKind::Baseline;
     DriverOptions options{};
     /**
-     * Result/cache label for custom-factory runs (e.g. "Static-FPC").
-     * Ignored for PolicyKind runs, which are labelled by policyName().
+     * Authoritative result label. When non-empty it names the cell
+     * everywhere a name is used — result JSON, cache keys, journal
+     * keys and metric labels — for PolicyKind and custom-factory runs
+     * alike. Empty falls back to policyName(kind) for catalogued runs
+     * and "Custom" for factories.
      */
     std::string label;
     /**
@@ -164,17 +174,57 @@ struct RunRequest
      * in sequence, so sample cycles restart at each leg boundary.
      */
     metrics::MetricRegistry *metrics = nullptr;
+    /**
+     * Cooperative run control: cancellation token, simulated-cycle
+     * budget and the fault-injection schedule. The driver threads it
+     * into the GPU cycle loop, which polls it and winds down cleanly
+     * when it trips. Not part of the result-cache key; a request with
+     * a non-empty fault plan additionally bypasses the cache.
+     */
+    RunControl control;
 };
 
-/** The label a request's result will carry (policy name or label). */
+/** The label a request's result will carry (label or policy name). */
 std::string runRequestLabel(const RunRequest &request);
+
+/**
+ * The outcome of one run(): a status, a structured error (code None
+ * when ok) and the result when one was produced. The sweep runner adds
+ * the retry bookkeeping: attempts > 1 with status Ok is the
+ * Retried->Ok path, and retryHistory keeps the error of every failed
+ * attempt that preceded the final one.
+ */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Ok;
+    RunError error;
+    std::optional<WorkloadRunResult> result;
+    /** Total attempts the runner made (1 = first try). */
+    std::uint32_t attempts = 1;
+    /** Errors of the failed attempts that preceded the last one. */
+    std::vector<RunError> retryHistory;
+
+    bool ok() const { return status == RunStatus::Ok; }
+
+    /** The result; panics if the run did not produce one. */
+    const WorkloadRunResult &value() const;
+
+    static RunOutcome success(WorkloadRunResult result);
+    /** Status is derived from the error code. */
+    static RunOutcome failure(RunError error);
+};
+
+/** The RunStatus a failure with @p code reports. */
+RunStatus runStatusForCode(RunErrorCode code);
 
 /**
  * Run one request. Validates the GpuConfig, dispatches Kernel-OPT
  * composition, and fills every WorkloadRunResult field including the
- * flattened stat dump.
+ * flattened stat dump. Never throws, exits or aborts on a bad request:
+ * every failure — invalid configuration, cancellation, budget trip,
+ * injected fault — is returned as a structured RunOutcome.
  */
-WorkloadRunResult run(const RunRequest &request);
+RunOutcome run(const RunRequest &request);
 
 /** Speedup of @p result over @p baseline (cycles ratio). */
 double speedupOver(const WorkloadRunResult &baseline,

@@ -1,6 +1,8 @@
 #include "arg_parse.hh"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -9,25 +11,149 @@
 namespace latte::runner
 {
 
+namespace
+{
+
+std::uint64_t
+parseUint(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (!end || *end != '\0' || text.empty())
+        latte_fatal("{}: bad number '{}'\n{}", flag, text,
+                    sweepArgsUsage());
+    return value;
+}
+
+double
+parseSeconds(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (!end || *end != '\0' || text.empty() || value < 0)
+        latte_fatal("{}: bad duration '{}'\n{}", flag, text,
+                    sweepArgsUsage());
+    return value;
+}
+
+// The single source of truth: parseSweepArgs() walks this table and
+// sweepArgsUsage() renders it. A null `value` marks a boolean flag.
+const ArgSpec kSpecs[] = {
+    {"--jobs", "-j", "<n>", "worker threads (0 = all cores)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.jobs = static_cast<unsigned>(parseUint("--jobs", v));
+     }},
+    {"--cache-dir", nullptr, "<dir>", "reuse/persist results on disk",
+     [](SweepCliOptions &o, const std::string &v) { o.cacheDir = v; }},
+    {"--resume", nullptr, "<path>",
+     "journal finished cells there; skip them when re-run",
+     [](SweepCliOptions &o, const std::string &v) { o.resumePath = v; }},
+    {"--cell-timeout", nullptr, "<seconds>",
+     "wall-clock watchdog budget per cell (0 = unlimited)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.cellTimeoutMs = static_cast<std::uint64_t>(
+             parseSeconds("--cell-timeout", v) * 1000.0);
+     }},
+    {"--cell-cycle-budget", nullptr, "<cycles>",
+     "simulated-cycle budget per cell (0 = unlimited)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.cellCycleBudget = parseUint("--cell-cycle-budget", v);
+     }},
+    {"--retries", nullptr, "<n>",
+     "extra attempts for failed/timed-out cells",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.retries = static_cast<std::uint32_t>(
+             parseUint("--retries", v));
+     }},
+    {"--retry-backoff-ms", nullptr, "<ms>",
+     "base backoff between attempts (doubled each retry)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.retryBackoffMs = parseUint("--retry-backoff-ms", v);
+     }},
+    {"--json", nullptr, "<path>",
+     "write sweep outcomes as a JSON array",
+     [](SweepCliOptions &o, const std::string &v) { o.jsonPath = v; }},
+    {"--trace-out", nullptr, "<path>",
+     "write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+     [](SweepCliOptions &o, const std::string &v) { o.traceOut = v; }},
+    {"--timeline-out", nullptr, "<path>",
+     "write the per-EP time series (tolerance, mode, capacity)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.timelineOut = v;
+     }},
+    {"--metrics-out", nullptr, "<path>",
+     "write sampled time-series metrics (.prom/.txt Prometheus, "
+     ".csv CSV, else JSONL)",
+     [](SweepCliOptions &o, const std::string &v) { o.metricsOut = v; }},
+    {"--metrics-interval", nullptr, "<cycles>",
+     "metric sampling interval (default 100000)",
+     [](SweepCliOptions &o, const std::string &v) {
+         o.metricsInterval = parseUint("--metrics-interval", v);
+         if (o.metricsInterval == 0)
+             latte_fatal("--metrics-interval: must be > 0");
+     }},
+    {"--profile", nullptr, nullptr,
+     "enable the wall-clock zone self-profiler (reported with the "
+     "metrics export)",
+     [](SweepCliOptions &o, const std::string &) { o.profile = true; }},
+    {"--bench-out", nullptr, "<path>",
+     "write an end-to-end throughput report JSON",
+     [](SweepCliOptions &o, const std::string &v) { o.benchOut = v; }},
+    {"--no-progress", nullptr, nullptr,
+     "suppress stderr progress lines",
+     [](SweepCliOptions &o, const std::string &) {
+         o.progress = false;
+     }},
+};
+
+constexpr std::size_t kSpecCount = sizeof(kSpecs) / sizeof(kSpecs[0]);
+
+std::string
+renderUsage()
+{
+    // Render "  -j, --jobs <n>" columns wide enough for the longest
+    // flag, then the help text (wrapped naively at the column).
+    std::size_t width = 0;
+    auto headOf = [](const ArgSpec &spec) {
+        std::string head = "  ";
+        if (spec.alias)
+            head += std::string(spec.alias) + ", ";
+        head += spec.name;
+        if (spec.value)
+            head += std::string(" ") + spec.value;
+        return head;
+    };
+    for (const ArgSpec &spec : kSpecs)
+        width = std::max(width, headOf(spec).size());
+    width += 2;
+
+    std::string text;
+    for (const ArgSpec &spec : kSpecs) {
+        std::string line = headOf(spec);
+        line.resize(width, ' ');
+        text += line + spec.help + "\n";
+    }
+    std::string help_line = "  --help";
+    help_line.resize(width, ' ');
+    text += help_line + "print this flag table and exit\n";
+    return text;
+}
+
+} // namespace
+
+const ArgSpec *
+sweepArgSpecs(std::size_t &count)
+{
+    count = kSpecCount;
+    return kSpecs;
+}
+
 const char *
 sweepArgsUsage()
 {
-    return "  -j, --jobs <n>     worker threads (0 = all cores)\n"
-           "  --cache-dir <dir>  reuse/persist results on disk\n"
-           "  --json <path>      write sweep results as a JSON array\n"
-           "  --trace-out <path> write a Chrome trace-event JSON "
-           "(chrome://tracing, Perfetto)\n"
-           "  --timeline-out <path> write the per-EP time series "
-           "(tolerance, mode, capacity)\n"
-           "  --metrics-out <path>  write sampled time-series metrics "
-           "(.prom/.txt Prometheus, .csv CSV, else JSONL)\n"
-           "  --metrics-interval <cycles> metric sampling interval "
-           "(default 100000)\n"
-           "  --profile          enable the wall-clock zone "
-           "self-profiler (reported with the metrics export)\n"
-           "  --bench-out <path> write an end-to-end throughput "
-           "report JSON\n"
-           "  --no-progress      suppress stderr progress lines\n";
+    static const std::string text = renderUsage();
+    return text.c_str();
 }
 
 SweepCliOptions
@@ -38,51 +164,40 @@ parseSweepArgs(int &argc, char **argv)
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc)
-                latte_fatal("{} needs a value\n{}", flag,
-                            sweepArgsUsage());
-            return argv[++i];
-        };
 
-        if (arg == "-j" || arg == "--jobs") {
-            char *end = nullptr;
-            const char *text = value(arg.c_str());
-            const unsigned long jobs = std::strtoul(text, &end, 10);
-            if (!end || *end != '\0')
-                latte_fatal("bad job count '{}'", text);
-            options.jobs = static_cast<unsigned>(jobs);
-        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
-                   std::isdigit(static_cast<unsigned char>(arg[2]))) {
+        if (arg == "--help") {
+            std::fputs("sweep options:\n", stdout);
+            std::fputs(sweepArgsUsage(), stdout);
+            std::exit(0);
+        }
+        // Joined -jN form, kept for muscle memory with make(1).
+        if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+            std::isdigit(static_cast<unsigned char>(arg[2]))) {
             options.jobs = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 2, nullptr, 10));
-        } else if (arg == "--cache-dir") {
-            options.cacheDir = value("--cache-dir");
-        } else if (arg == "--json") {
-            options.jsonPath = value("--json");
-        } else if (arg == "--trace-out") {
-            options.traceOut = value("--trace-out");
-        } else if (arg == "--timeline-out") {
-            options.timelineOut = value("--timeline-out");
-        } else if (arg == "--metrics-out") {
-            options.metricsOut = value("--metrics-out");
-        } else if (arg == "--metrics-interval") {
-            char *end = nullptr;
-            const char *text = value("--metrics-interval");
-            const unsigned long long cycles =
-                std::strtoull(text, &end, 10);
-            if (!end || *end != '\0' || cycles == 0)
-                latte_fatal("bad metrics interval '{}'", text);
-            options.metricsInterval = cycles;
-        } else if (arg == "--profile") {
-            options.profile = true;
-        } else if (arg == "--bench-out") {
-            options.benchOut = value("--bench-out");
-        } else if (arg == "--no-progress") {
-            options.progress = false;
-        } else {
-            argv[out++] = argv[i];
+            continue;
         }
+
+        const ArgSpec *match = nullptr;
+        for (const ArgSpec &spec : kSpecs) {
+            if (arg == spec.name || (spec.alias && arg == spec.alias)) {
+                match = &spec;
+                break;
+            }
+        }
+        if (!match) {
+            argv[out++] = argv[i];
+            continue;
+        }
+
+        std::string value;
+        if (match->value) {
+            if (i + 1 >= argc)
+                latte_fatal("{} needs a value\n{}", match->name,
+                            sweepArgsUsage());
+            value = argv[++i];
+        }
+        match->apply(options, value);
     }
     argc = out;
     argv[argc] = nullptr;

@@ -1,20 +1,31 @@
 /**
  * @file
- * The tiny shared command-line parser every bench binary and example
- * uses for the sweep-runner flags:
+ * The shared command-line surface every bench binary and example gets
+ * through Sweep: one declarative ArgSpec table defines each flag's
+ * names, value placeholder, help line and parse action, and both the
+ * parser and the generated --help output are derived from it — so a
+ * new flag (as --resume and the watchdog knobs were) lands once and
+ * appears in every sweep binary.
  *
- *   -j N, --jobs N     worker threads (0 = hardware concurrency)
- *   --cache-dir DIR    on-disk result cache directory
- *   --json PATH        write all sweep results as a JSON array
- *   --trace-out PATH   write a Chrome trace-event JSON of all runs
- *   --timeline-out PATH write the per-EP time series of all runs
- *   --metrics-out PATH write sampled time-series metrics (format by
- *                      extension: .prom/.txt Prometheus, .csv CSV,
- *                      anything else JSONL)
+ *   -j N, --jobs N        worker threads (0 = hardware concurrency)
+ *   --cache-dir DIR       on-disk result cache directory
+ *   --resume PATH         sweep journal: record finished cells, skip
+ *                         them when re-invoked after a crash/kill
+ *   --cell-timeout SECS   per-cell wall-clock watchdog budget
+ *   --cell-cycle-budget N per-cell simulated-cycle budget
+ *   --retries N           extra attempts for failed/timed-out cells
+ *   --retry-backoff-ms N  base backoff between attempts
+ *   --json PATH           write all sweep outcomes as a JSON array
+ *   --trace-out PATH      write a Chrome trace-event JSON of all runs
+ *   --timeline-out PATH   write the per-EP time series of all runs
+ *   --metrics-out PATH    write sampled time-series metrics (format by
+ *                         extension: .prom/.txt Prometheus, .csv CSV,
+ *                         anything else JSONL)
  *   --metrics-interval N  cycles between metric samples (default 100k)
- *   --profile          enable the wall-clock zone self-profiler
- *   --bench-out PATH   write an end-to-end throughput report JSON
- *   --no-progress      suppress the stderr progress/ETA lines
+ *   --profile             enable the wall-clock zone self-profiler
+ *   --bench-out PATH      write an end-to-end throughput report JSON
+ *   --no-progress         suppress the stderr progress/ETA lines
+ *   --help                print the generated flag table and exit
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
  * everything else — positional workload names, google-benchmark flags —
@@ -43,15 +54,44 @@ struct SweepCliOptions
     bool profile = false;    //!< enable the zone self-profiler
     std::string benchOut;    //!< empty = no throughput report
     bool progress = true;
+
+    // --- Resilience ----------------------------------------------------
+    std::string resumePath;  //!< sweep journal; empty = no resume
+    /** Per-cell wall-clock budget in ms (0 = unlimited). */
+    std::uint64_t cellTimeoutMs = 0;
+    /** Per-cell simulated-cycle budget (0 = unlimited). */
+    std::uint64_t cellCycleBudget = 0;
+    /** Extra attempts for Failed/TimedOut cells. */
+    std::uint32_t retries = 0;
+    /** Base backoff before a retry, doubled per attempt. */
+    std::uint64_t retryBackoffMs = 100;
 };
 
 /**
+ * One entry of the declarative flag table: the parser loop and the
+ * --help text are both generated from kSweepArgSpecs.
+ */
+struct ArgSpec
+{
+    const char *name;  //!< long form, e.g. "--cache-dir"
+    const char *alias; //!< short form ("-j") or nullptr
+    const char *value; //!< value placeholder ("<dir>") or nullptr
+    const char *help;  //!< one-line description
+    /** Consume the (possibly empty) value into @p options. */
+    void (*apply)(SweepCliOptions &options, const std::string &value);
+};
+
+/** The flag table itself, for tools that want to reflect over it. */
+const ArgSpec *sweepArgSpecs(std::size_t &count);
+
+/**
  * Strip the sweep flags out of @p argv, returning the parsed options.
- * Malformed values (e.g. a missing argument) latte_fatal() with usage.
+ * Malformed values (e.g. a missing argument) latte_fatal() with usage;
+ * `--help` prints the generated flag table and exits 0.
  */
 SweepCliOptions parseSweepArgs(int &argc, char **argv);
 
-/** One-line usage text for the shared flags (for --help output). */
+/** Usage text generated from the ArgSpec table (for --help output). */
 const char *sweepArgsUsage();
 
 } // namespace latte::runner

@@ -7,6 +7,7 @@
 
 #include "metrics/profiler.hh"
 #include "progress.hh"
+#include "resilience.hh"
 #include "result_cache.hh"
 
 namespace latte::runner
@@ -30,17 +31,26 @@ ExperimentRunner::effectiveThreads(std::size_t cells) const
     return threads ? threads : 1;
 }
 
-std::vector<WorkloadRunResult>
+std::vector<RunOutcome>
 ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
 {
     stats_ = Stats{};
-    std::vector<WorkloadRunResult> results(requests.size());
+    std::vector<RunOutcome> outcomes(requests.size());
     if (requests.empty())
-        return results;
+        return outcomes;
 
     std::unique_ptr<ResultCache> cache;
     if (!options_.cacheDir.empty())
         cache = std::make_unique<ResultCache>(options_.cacheDir);
+    std::unique_ptr<SweepJournal> journal;
+    if (!options_.journalPath.empty())
+        journal = std::make_unique<SweepJournal>(options_.journalPath);
+    std::unique_ptr<Watchdog> watchdog;
+    if (options_.cellTimeoutMs > 0)
+        watchdog = std::make_unique<Watchdog>();
+
+    const RetryPolicy retry{.maxRetries = options_.maxRetries,
+                            .backoffMs = options_.retryBackoffMs};
 
     const unsigned threads = effectiveThreads(requests.size());
     ProgressReporter progress(requests.size(), threads,
@@ -49,6 +59,48 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> executed{0};
     std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> journal_skips{0};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> retried{0};
+
+    // One cell, all attempts: each attempt gets a fresh cancel token
+    // (unless the request carries its own), the runner's cycle budget
+    // when the request sets none, and only the fault points armed for
+    // that attempt number — so a transient FaultPoint{firstAttempts=1}
+    // clears on retry. The watchdog guards every attempt separately.
+    auto attemptCell = [&](const RunRequest &request) -> RunOutcome {
+        std::vector<RunError> history;
+        for (std::uint32_t attempt = 1;; ++attempt) {
+            RunRequest attempt_request = request;
+            attempt_request.control.faults =
+                request.control.faults.armedFor(attempt);
+            if (attempt_request.control.cycleBudget == 0)
+                attempt_request.control.cycleBudget =
+                    options_.cellCycleBudget;
+            CancelToken local_token;
+            if (attempt_request.control.cancel == nullptr)
+                attempt_request.control.cancel = &local_token;
+
+            RunOutcome outcome;
+            {
+                WatchdogScope guard(watchdog.get(),
+                                    attempt_request.control.cancel,
+                                    options_.cellTimeoutMs);
+                outcome = run(attempt_request);
+            }
+            outcome.attempts = attempt;
+            outcome.retryHistory = history;
+            if (outcome.ok() ||
+                !retry.shouldRetry(outcome.status, attempt))
+                return outcome;
+
+            history.push_back(outcome.error);
+            const std::uint64_t backoff = retry.backoffForRetry(attempt);
+            if (backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+        }
+    };
 
     auto worker = [&]() {
         for (;;) {
@@ -59,40 +111,89 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
             const RunRequest &request = requests[i];
             const auto start = std::chrono::steady_clock::now();
 
-            bool cached = false;
+            bool shortcut = false;
             // An observed request must actually simulate — a disk hit
             // would return the result without producing any events,
             // metric samples or profile time — so the cache is
             // bypassed entirely for every observational output
             // (tracer, metric registry, self-profiler). None of them
             // is part of RunKey, and an observed result must not
-            // shadow an unobserved one.
+            // shadow an unobserved one. A request with injected faults
+            // shares its fingerprint with the healthy cell, so it must
+            // touch neither the cache nor the journal.
             const bool observed = request.tracer != nullptr ||
                                   request.metrics != nullptr ||
                                   metrics::profilerEnabled();
-            if (cache && !observed) {
-                const RunKey key = RunKey::of(request);
-                if (auto hit = cache->lookup(key)) {
-                    results[i] = std::move(*hit);
-                    cached = true;
-                    cache_hits.fetch_add(1, std::memory_order_relaxed);
-                } else {
-                    results[i] = run(request);
-                    cache->store(key, results[i]);
-                    executed.fetch_add(1, std::memory_order_relaxed);
+            const bool faulted = !request.control.faults.empty();
+            const bool keyed = !observed && !faulted &&
+                               request.workload != nullptr;
+
+            const RunKey key =
+                keyed && (cache || journal) ? RunKey::of(request) : RunKey{};
+
+            bool done = false;
+            if (keyed && journal) {
+                // The journal gates resume: ok cells are served from
+                // the result cache (the journal stores no result
+                // bytes), terminal failures are reconstructed as-is,
+                // and Cancelled cells — the user interrupted, not the
+                // cell — run again.
+                if (auto entry = journal->find(key.fingerprint())) {
+                    if (entry->ok()) {
+                        if (cache) {
+                            if (auto hit = cache->lookup(key)) {
+                                outcomes[i] = std::move(*hit);
+                                outcomes[i].attempts = entry->attempts;
+                                outcomes[i].retryHistory =
+                                    entry->retryHistory;
+                                done = shortcut = true;
+                                journal_skips.fetch_add(
+                                    1, std::memory_order_relaxed);
+                            }
+                        }
+                    } else if (entry->status != RunStatus::Cancelled) {
+                        outcomes[i] = std::move(*entry);
+                        done = shortcut = true;
+                        journal_skips.fetch_add(
+                            1, std::memory_order_relaxed);
+                        failed.fetch_add(1, std::memory_order_relaxed);
+                    }
                 }
-            } else {
-                results[i] = run(request);
+            }
+            if (!done && keyed && cache) {
+                if (auto hit = cache->lookup(key)) {
+                    outcomes[i] = std::move(*hit);
+                    done = shortcut = true;
+                    cache_hits.fetch_add(1, std::memory_order_relaxed);
+                    if (journal &&
+                        !journal->find(key.fingerprint()))
+                        journal->record(key.fingerprint(), outcomes[i]);
+                }
+            }
+            if (!done) {
+                outcomes[i] = attemptCell(request);
                 executed.fetch_add(1, std::memory_order_relaxed);
+                if (!outcomes[i].ok())
+                    failed.fetch_add(1, std::memory_order_relaxed);
+                if (outcomes[i].attempts > 1)
+                    retried.fetch_add(1, std::memory_order_relaxed);
+                if (keyed) {
+                    if (cache && outcomes[i].ok())
+                        cache->store(key, outcomes[i]);
+                    if (journal)
+                        journal->record(key.fingerprint(), outcomes[i]);
+                }
             }
 
             const double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            progress.completed(request.workload->abbr + "/" +
-                                   runRequestLabel(request),
-                               seconds, cached);
+            const std::string cell_name =
+                (request.workload ? request.workload->abbr
+                                  : std::string("?")) +
+                "/" + runRequestLabel(request);
+            progress.completed(cell_name, seconds, shortcut);
         }
     };
 
@@ -109,7 +210,10 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
 
     stats_.executed = executed.load();
     stats_.cacheHits = cache_hits.load();
-    return results;
+    stats_.journalSkips = journal_skips.load();
+    stats_.failed = failed.load();
+    stats_.retried = retried.load();
+    return outcomes;
 }
 
 } // namespace latte::runner

@@ -3,7 +3,7 @@
  * ExperimentRunner: executes a declarative sweep — a vector of
  * RunRequest cells — across a fixed-size thread pool.
  *
- * Determinism: results are returned in request order, each cell is a
+ * Determinism: outcomes are returned in request order, each cell is a
  * pure function of its RunRequest (the simulator has no global mutable
  * state and every stochastic stream is seeded from the request), and
  * the worker threads only race on *which* index they pull next — so
@@ -11,14 +11,22 @@
  * order.
  *
  * With a cache directory set, each cell is first looked up in the
- * on-disk ResultCache and only simulated on a miss; fresh results are
- * persisted for the next invocation.
+ * on-disk ResultCache and only simulated on a miss; fresh Ok results
+ * are persisted for the next invocation.
+ *
+ * Resilience (see resilience.hh): a journal path makes finished cells
+ * — ok or failed — skippable on resume; a wall-clock or cycle budget
+ * arms a watchdog that cancels hung cells cooperatively; maxRetries
+ * re-attempts Failed/TimedOut cells with exponential backoff. No cell
+ * can take the sweep down: every failure is a RunOutcome, not an
+ * exception or exit.
  */
 
 #ifndef LATTE_RUNNER_EXPERIMENT_RUNNER_HH
 #define LATTE_RUNNER_EXPERIMENT_RUNNER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +43,19 @@ struct RunnerOptions
     std::string cacheDir;
     /** Progress/ETA lines on stderr. */
     bool progress = true;
+
+    // --- Resilience ----------------------------------------------------
+    /** Sweep journal path; empty = no checkpoint/resume. */
+    std::string journalPath;
+    /** Per-cell wall-clock budget in ms; 0 = unlimited. */
+    std::uint64_t cellTimeoutMs = 0;
+    /** Per-cell simulated-cycle budget; 0 = unlimited. Applied only to
+     *  cells that don't set their own RunControl::cycleBudget. */
+    std::uint64_t cellCycleBudget = 0;
+    /** Extra attempts for Failed/TimedOut cells (0 = fail fast). */
+    std::uint32_t maxRetries = 0;
+    /** Base backoff before retry k: backoff * 2^(k-1), capped at 5 s. */
+    std::uint64_t retryBackoffMs = 100;
 };
 
 class ExperimentRunner
@@ -43,17 +64,21 @@ class ExperimentRunner
     /** Per-runAll execution counters. */
     struct Stats
     {
-        std::size_t executed = 0;  //!< cells actually simulated
-        std::size_t cacheHits = 0; //!< cells served from disk
+        std::size_t executed = 0;     //!< cells actually simulated
+        std::size_t cacheHits = 0;    //!< cells served from disk
+        std::size_t journalSkips = 0; //!< cells resumed from journal
+        std::size_t failed = 0;       //!< cells with a non-Ok outcome
+        std::size_t retried = 0;      //!< cells needing >1 attempt
     };
 
     explicit ExperimentRunner(RunnerOptions options = {});
 
     /**
-     * Execute every request; results()[i] corresponds to requests[i].
-     * Blocks until the whole sweep is done.
+     * Execute every request; outcomes[i] corresponds to requests[i].
+     * Blocks until the whole sweep is done. Never throws for a cell
+     * failure — inspect each RunOutcome.
      */
-    std::vector<WorkloadRunResult>
+    std::vector<RunOutcome>
     runAll(const std::vector<RunRequest> &requests);
 
     /** Counters from the most recent runAll(). */

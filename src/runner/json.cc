@@ -643,9 +643,10 @@ toJson(const WorkloadRunResult &result)
         stats.emplace(name, Json(value));
 
     return Json(Json::Object{
-        // Bumped 1 -> 2 when PolicyTracePoint grew decompQueueDepth and
-        // the sampler counters; stale cache entries degrade to misses.
-        {"schema", Json(std::uint64_t{2})},
+        // Bumped 2 -> 3 when the cell document grew the RunOutcome
+        // envelope (status/error/attempts/retryHistory); stale cache
+        // entries degrade to misses.
+        {"schema", Json(std::uint64_t{3})},
         {"workload", Json(result.workload)},
         {"policyKind", Json(policyName(result.policy))},
         {"policyLabel", Json(result.policyLabel)},
@@ -676,7 +677,7 @@ fromJson(const Json &json, WorkloadRunResult &result)
         if (!json.contains(key))
             return false;
     }
-    if (json.at("schema").asUint() != 2)
+    if (json.at("schema").asUint() != 3)
         return false;
 
     result = WorkloadRunResult{};
@@ -718,6 +719,111 @@ fromJson(const Json &json, WorkloadRunResult &result)
         return false;
     for (const auto &[name, value] : json.at("stats").asObject())
         result.stats[name] = value.asDouble();
+    return true;
+}
+
+Json
+toJson(const RunError &error)
+{
+    return Json(Json::Object{
+        {"code", Json(runErrorCodeName(error.code))},
+        {"message", Json(error.message)},
+        {"workload", Json(error.workload)},
+        {"policyLabel", Json(error.policyLabel)},
+        {"seed", Json(error.seed)},
+        {"cycle", Json(error.cycle)},
+    });
+}
+
+bool
+fromJson(const Json &json, RunError &error)
+{
+    if (json.type() != Json::Type::Object)
+        return false;
+    for (const char *key : {"code", "message", "workload",
+                            "policyLabel", "seed", "cycle"}) {
+        if (!json.contains(key))
+            return false;
+    }
+    const RunErrorCode *code =
+        runErrorCodeFromName(json.at("code").asString());
+    if (!code)
+        return false;
+    error.code = *code;
+    error.message = json.at("message").asString();
+    error.workload = json.at("workload").asString();
+    error.policyLabel = json.at("policyLabel").asString();
+    error.seed = json.at("seed").asUint();
+    error.cycle = json.at("cycle").asUint();
+    return true;
+}
+
+Json
+toJson(const RunOutcome &outcome)
+{
+    Json::Object object;
+    if (outcome.result) {
+        object = toJson(*outcome.result).asObject();
+    } else {
+        // No result was produced: emit a zeroed body carrying the cell
+        // context, so the export array stays uniformly shaped and
+        // failed cells are still attributable.
+        WorkloadRunResult stub;
+        stub.workload = outcome.error.workload;
+        stub.policyLabel = outcome.error.policyLabel;
+        stub.seed = outcome.error.seed;
+        object = toJson(stub).asObject();
+    }
+
+    object["status"] = Json(runStatusName(outcome.status));
+    object["error"] =
+        outcome.error.ok() ? Json() : toJson(outcome.error);
+    object["attempts"] =
+        Json(static_cast<std::uint64_t>(outcome.attempts));
+    Json::Array history;
+    for (const RunError &error : outcome.retryHistory)
+        history.push_back(toJson(error));
+    object["retryHistory"] = Json(std::move(history));
+    return Json(std::move(object));
+}
+
+bool
+fromJson(const Json &json, RunOutcome &outcome)
+{
+    if (json.type() != Json::Type::Object)
+        return false;
+    for (const char *key :
+         {"status", "error", "attempts", "retryHistory"}) {
+        if (!json.contains(key))
+            return false;
+    }
+    const RunStatus *status =
+        runStatusFromName(json.at("status").asString());
+    if (!status)
+        return false;
+
+    outcome = RunOutcome{};
+    outcome.status = *status;
+    if (json.at("error").type() != Json::Type::Null &&
+        !fromJson(json.at("error"), outcome.error))
+        return false;
+    outcome.attempts =
+        static_cast<std::uint32_t>(json.at("attempts").asUint());
+    for (const Json &elem : json.at("retryHistory").asArray()) {
+        RunError error;
+        if (!fromJson(elem, error))
+            return false;
+        outcome.retryHistory.push_back(std::move(error));
+    }
+
+    // The result body is only authoritative on successful outcomes;
+    // failed cells keep their context in the error instead.
+    if (outcome.ok()) {
+        WorkloadRunResult result;
+        if (!fromJson(json, result))
+            return false;
+        outcome.result = std::move(result);
+    }
     return true;
 }
 

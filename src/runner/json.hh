@@ -99,6 +99,17 @@ Json toJson(const EnergyReport &energy);
 Json toJson(const KernelSnapshot &snapshot);
 Json toJson(const PolicyTracePoint &point);
 Json toJson(const WorkloadRunResult &result);
+Json toJson(const RunError &error);
+
+/**
+ * The schema-3 cell document: the result body (or a zeroed stub
+ * carrying the cell context when the run failed) extended with the
+ * outcome envelope — "status", "error" (null when ok), "attempts" and
+ * "retryHistory". This is what the result cache persists and what the
+ * sweep --json export emits, so failed cells still appear in partial
+ * results with their cause and retry history.
+ */
+Json toJson(const RunOutcome &outcome);
 
 /**
  * Serialize a whole stat hierarchy as nested objects, one per
@@ -133,6 +144,8 @@ bool fromJson(const Json &json, EnergyReport &energy);
 bool fromJson(const Json &json, KernelSnapshot &snapshot);
 bool fromJson(const Json &json, PolicyTracePoint &point);
 bool fromJson(const Json &json, WorkloadRunResult &result);
+bool fromJson(const Json &json, RunError &error);
+bool fromJson(const Json &json, RunOutcome &outcome);
 
 } // namespace latte::runner
 

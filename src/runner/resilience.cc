@@ -1,0 +1,162 @@
+#include "resilience.hh"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "json.hh"
+
+namespace latte::runner
+{
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
+{
+    latte_assert(!path_.empty(), "SweepJournal needs a file path");
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    std::ifstream in(path_);
+    if (in) {
+        std::string line;
+        std::size_t bad = 0;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::string error;
+            const Json json = Json::parse(line, &error);
+            RunOutcome outcome;
+            if (!error.empty() || !json.contains("fingerprint") ||
+                !json.contains("outcome") ||
+                !fromJson(json.at("outcome"), outcome)) {
+                // A truncated tail line is the expected SIGKILL scar;
+                // the cell simply counts as unfinished.
+                ++bad;
+                continue;
+            }
+            // Ok entries are completion markers only — the result body
+            // journaled alongside is a stub; the real bytes live in the
+            // result cache.
+            if (outcome.ok())
+                outcome.result.reset();
+            entries_.insert_or_assign(
+                json.at("fingerprint").asString(), std::move(outcome));
+        }
+        if (bad > 0)
+            latte_warn("sweep journal {}: skipped {} unreadable line(s)",
+                       path_, bad);
+    }
+
+    out_.open(path_, std::ios::app);
+    if (!out_)
+        latte_warn("sweep journal: cannot append to {}", path_);
+}
+
+std::optional<RunOutcome>
+SweepJournal::find(const std::string &fingerprint) const
+{
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(fingerprint);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+SweepJournal::record(const std::string &fingerprint,
+                     const RunOutcome &outcome)
+{
+    // Journal the envelope only: the result body of an ok cell is
+    // cache-sized, and the cache already owns those bytes.
+    RunOutcome entry = outcome;
+    entry.result.reset();
+
+    Json::Object line;
+    line.emplace("fingerprint", fingerprint);
+    line.emplace("outcome", toJson(entry));
+
+    std::lock_guard lock(mutex_);
+    if (out_) {
+        out_ << Json(std::move(line)).dump() << "\n";
+        out_.flush();  // one durable line per finished cell
+    }
+    entries_.insert_or_assign(fingerprint, std::move(entry));
+}
+
+std::size_t
+SweepJournal::size() const
+{
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+}
+
+Watchdog::Watchdog(std::uint64_t pollMs)
+    : poll_(std::chrono::milliseconds(pollMs == 0 ? 1 : pollMs)),
+      thread_([this] { loop(); })
+{}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+}
+
+std::uint64_t
+Watchdog::arm(CancelToken *token, std::uint64_t timeoutMs)
+{
+    latte_assert(token != nullptr, "Watchdog::arm needs a token");
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    std::uint64_t id;
+    {
+        std::lock_guard lock(mutex_);
+        id = nextId_++;
+        slots_.emplace(id, Slot{token, deadline});
+    }
+    wake_.notify_all();
+    return id;
+}
+
+void
+Watchdog::disarm(std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    std::lock_guard lock(mutex_);
+    slots_.erase(id);
+}
+
+std::uint64_t
+Watchdog::expiredCount() const
+{
+    std::lock_guard lock(mutex_);
+    return expired_;
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+        wake_.wait_for(lock, poll_);
+        if (stop_)
+            break;
+        const auto now = Clock::now();
+        for (auto it = slots_.begin(); it != slots_.end();) {
+            if (now >= it->second.deadline) {
+                it->second.token->cancel(RunErrorCode::WallClockTimeout);
+                ++expired_;
+                it = slots_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+} // namespace latte::runner

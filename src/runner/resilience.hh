@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The resilience subsystem of sweep execution:
+ *
+ *  - SweepJournal: an append-only on-disk manifest of completed cells,
+ *    keyed by the RunKey fingerprint. Each finished cell (ok or not)
+ *    appends one JSONL record; on --resume the journal is replayed and
+ *    finished cells are skipped — ok cells are served from the result
+ *    cache, failures are reconstructed from the journal — so a sweep
+ *    SIGKILLed mid-run resumes to a byte-identical final export.
+ *    A truncated trailing line (the kill landed mid-write) degrades to
+ *    "cell not finished", never to a wrong result.
+ *
+ *  - Watchdog: a monitor thread enforcing the per-cell wall-clock
+ *    budget. Workers arm their attempt's CancelToken before running a
+ *    cell; the watchdog cancels tokens whose deadline passed with
+ *    reason WallClockTimeout, and the GPU cycle loop winds the cell
+ *    down cooperatively.
+ *
+ *  - RetryPolicy: bounded retry-with-backoff for failed cells.
+ */
+
+#ifndef LATTE_RUNNER_RESILIENCE_HH
+#define LATTE_RUNNER_RESILIENCE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hh"
+
+namespace latte::runner
+{
+
+/** Bounded retry-with-backoff for transiently failing cells. */
+struct RetryPolicy
+{
+    /** Extra attempts after the first failure (0 = fail fast). */
+    std::uint32_t maxRetries = 0;
+    /** Sleep before retry k is backoffMs * 2^(k-1), capped below. */
+    std::uint64_t backoffMs = 100;
+    std::uint64_t maxBackoffMs = 5'000;
+
+    /** Whether a @p status outcome is worth another attempt. */
+    bool
+    shouldRetry(RunStatus status, std::uint32_t attempt) const
+    {
+        if (attempt > maxRetries)
+            return false;
+        // External cancellation is a decision, not a transient fault.
+        return status == RunStatus::Failed ||
+               status == RunStatus::TimedOut;
+    }
+
+    std::uint64_t
+    backoffForRetry(std::uint32_t retry) const
+    {
+        std::uint64_t backoff = backoffMs;
+        for (std::uint32_t i = 1; i < retry && backoff < maxBackoffMs;
+             ++i)
+            backoff *= 2;
+        return std::min(backoff, maxBackoffMs);
+    }
+};
+
+/**
+ * Append-only manifest of finished sweep cells. Thread-safe: workers
+ * record cells concurrently; each record is one flushed JSONL line, so
+ * a SIGKILL loses at most the line being written.
+ */
+class SweepJournal
+{
+  public:
+    /** Opens @p path for append, replaying any existing records. */
+    explicit SweepJournal(std::string path);
+
+    /**
+     * The recorded outcome of @p fingerprint, if that cell finished in
+     * a previous (or this) invocation. Ok entries carry no result body
+     * — the result lives in the result cache; failures are complete.
+     */
+    std::optional<RunOutcome> find(const std::string &fingerprint) const;
+
+    /** Append one finished cell (the result body is not journaled). */
+    void record(const std::string &fingerprint,
+                const RunOutcome &outcome);
+
+    /** Records loaded from disk plus records appended this run. */
+    std::size_t size() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::map<std::string, RunOutcome> entries_;
+    std::ofstream out_;
+};
+
+/**
+ * Wall-clock watchdog: cancels armed tokens whose deadline passed.
+ * One instance monitors all worker threads of a sweep.
+ */
+class Watchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Starts the monitor thread; @p pollMs bounds cancel latency. */
+    explicit Watchdog(std::uint64_t pollMs = 10);
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Watch @p token and cancel it (reason WallClockTimeout) if it is
+     * still armed after @p timeoutMs. Returns a slot id for disarm().
+     */
+    std::uint64_t arm(CancelToken *token, std::uint64_t timeoutMs);
+
+    /** Stop watching slot @p id (the cell finished). */
+    void disarm(std::uint64_t id);
+
+    /** Tokens the watchdog has cancelled since construction. */
+    std::uint64_t expiredCount() const;
+
+  private:
+    void loop();
+
+    struct Slot
+    {
+        CancelToken *token;
+        Clock::time_point deadline;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::map<std::uint64_t, Slot> slots_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t expired_ = 0;
+    bool stop_ = false;
+    std::chrono::milliseconds poll_;
+    std::thread thread_;
+};
+
+/**
+ * RAII guard pairing Watchdog::arm/disarm around one cell attempt.
+ * A null watchdog (wall-clock budget disabled) makes it a no-op.
+ */
+class WatchdogScope
+{
+  public:
+    WatchdogScope(Watchdog *watchdog, CancelToken *token,
+                  std::uint64_t timeoutMs)
+        : watchdog_(watchdog),
+          id_(watchdog ? watchdog->arm(token, timeoutMs) : 0)
+    {}
+
+    ~WatchdogScope()
+    {
+        if (watchdog_)
+            watchdog_->disarm(id_);
+    }
+
+    WatchdogScope(const WatchdogScope &) = delete;
+    WatchdogScope &operator=(const WatchdogScope &) = delete;
+
+  private:
+    Watchdog *watchdog_;
+    std::uint64_t id_;
+};
+
+} // namespace latte::runner
+
+#endif // LATTE_RUNNER_RESILIENCE_HH

@@ -67,7 +67,7 @@ ResultCache::path(const RunKey &key) const
     return directory_ + "/" + key.fingerprint() + ".json";
 }
 
-std::optional<WorkloadRunResult>
+std::optional<RunOutcome>
 ResultCache::lookup(const RunKey &key) const
 {
     std::ifstream in(path(key));
@@ -83,17 +83,19 @@ ResultCache::lookup(const RunKey &key) const
                    path(key), error);
         return std::nullopt;
     }
-    WorkloadRunResult result;
-    if (!fromJson(json, result)) {
+    RunOutcome outcome;
+    if (!fromJson(json, outcome) || !outcome.ok()) {
         latte_warn("result cache: ignoring stale-schema {}", path(key));
         return std::nullopt;
     }
-    return result;
+    return outcome;
 }
 
 void
-ResultCache::store(const RunKey &key, const WorkloadRunResult &result) const
+ResultCache::store(const RunKey &key, const RunOutcome &outcome) const
 {
+    latte_assert(outcome.ok(),
+                 "only Ok outcomes belong in the result cache");
     metrics::ProfileScope profile(metrics::ProfileZone::RunnerSerialize);
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
@@ -116,7 +118,7 @@ ResultCache::store(const RunKey &key, const WorkloadRunResult &result) const
             latte_warn("result cache: cannot write {}", tmp_path);
             return;
         }
-        out << toJson(result).dump(2) << "\n";
+        out << toJson(outcome).dump(2) << "\n";
     }
     std::filesystem::rename(tmp_path, final_path, ec);
     if (ec) {

@@ -54,10 +54,14 @@ class ResultCache
     explicit ResultCache(std::string directory);
 
     /** Parse the cell's file; nullopt on miss or schema mismatch. */
-    std::optional<WorkloadRunResult> lookup(const RunKey &key) const;
+    std::optional<RunOutcome> lookup(const RunKey &key) const;
 
-    /** Atomically (write + rename) persist the cell's result. */
-    void store(const RunKey &key, const WorkloadRunResult &result) const;
+    /**
+     * Atomically (write + rename) persist the cell's outcome. Only Ok
+     * outcomes are stored: failures may be transient (watchdog trips,
+     * injected faults) and are journaled, never cached.
+     */
+    void store(const RunKey &key, const RunOutcome &outcome) const;
 
     const std::string &directory() const { return directory_; }
 

@@ -18,10 +18,18 @@ namespace
 RunnerOptions
 toRunnerOptions(const SweepCliOptions &cli)
 {
+    if (!cli.resumePath.empty() && cli.cacheDir.empty())
+        latte_warn("--resume without --cache-dir: finished ok cells "
+                   "have no stored results and will re-run");
     return RunnerOptions{
         .threads = cli.jobs,
         .cacheDir = cli.cacheDir,
         .progress = cli.progress,
+        .journalPath = cli.resumePath,
+        .cellTimeoutMs = cli.cellTimeoutMs,
+        .cellCycleBudget = cli.cellCycleBudget,
+        .maxRetries = cli.retries,
+        .retryBackoffMs = cli.retryBackoffMs,
     };
 }
 
@@ -83,7 +91,7 @@ Sweep::indexOf(const RunRequest &request)
 
     const std::size_t slot = requests_.size();
     requests_.push_back(request);
-    results_.emplace_back();
+    outcomes_.emplace_back();
     done_.push_back(false);
     // Under --trace-out every cell records into its own flight
     // recorder; a non-null tracer also makes the runner bypass the
@@ -117,13 +125,12 @@ Sweep::run()
         batch.push_back(requests_[slot]);
 
     const auto start = std::chrono::steady_clock::now();
-    std::vector<WorkloadRunResult> batch_results =
-        runner_.runAll(batch);
+    std::vector<RunOutcome> batch_outcomes = runner_.runAll(batch);
     runSeconds_ += std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
     for (std::size_t i = 0; i < pending_.size(); ++i) {
-        results_[pending_[i]] = std::move(batch_results[i]);
+        outcomes_[pending_[i]] = std::move(batch_outcomes[i]);
         done_[pending_[i]] = true;
     }
     pending_.clear();
@@ -149,10 +156,43 @@ Sweep::get(const Workload &workload, PolicyKind kind,
 const WorkloadRunResult &
 Sweep::get(const RunRequest &request)
 {
+    const RunOutcome &cell = outcome(request);
+    if (!cell.ok()) {
+        // get() is the binary boundary of the failure-as-values API:
+        // callers asking for the numbers of a cell that has none get a
+        // diagnostic exit, not a dangling reference.
+        latte_fatal("sweep cell {}/{} seed {} did not finish: {} ({})",
+                    cell.error.workload, cell.error.policyLabel,
+                    cell.error.seed, cell.error.message,
+                    runErrorCodeName(cell.error.code));
+    }
+    return cell.value();
+}
+
+const RunOutcome &
+Sweep::outcome(const Workload &workload, PolicyKind kind)
+{
+    return outcome(workload, kind, defaults_);
+}
+
+const RunOutcome &
+Sweep::outcome(const Workload &workload, PolicyKind kind,
+               const DriverOptions &options)
+{
+    RunRequest request;
+    request.workload = &workload;
+    request.policy = kind;
+    request.options = options;
+    return outcome(request);
+}
+
+const RunOutcome &
+Sweep::outcome(const RunRequest &request)
+{
     const std::size_t slot = indexOf(request);
     if (!done_[slot])
         run();
-    return results_[slot];
+    return outcomes_[slot];
 }
 
 void
@@ -162,10 +202,13 @@ Sweep::writeJson() const
         return;
 
     metrics::ProfileScope profile(metrics::ProfileZone::RunnerSerialize);
+    // Every finished cell is exported, failed ones included: a partial
+    // sweep still yields a complete document whose failed cells carry
+    // their cause and retry history in the outcome envelope.
     Json::Array array;
-    for (std::size_t i = 0; i < results_.size(); ++i) {
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
         if (done_[i])
-            array.push_back(toJson(results_[i]));
+            array.push_back(toJson(outcomes_[i]));
     }
 
     std::ofstream out(jsonPath_);
@@ -188,10 +231,10 @@ Sweep::writeTrace() const
         return;
     }
     ChromeTraceSink sink(out);
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        if (!done_[i] || !tracers_[i])
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        if (!done_[i] || !tracers_[i] || !outcomes_[i].result)
             continue;
-        const WorkloadRunResult &result = results_[i];
+        const WorkloadRunResult &result = *outcomes_[i].result;
         std::string label = result.workload + "/" + result.policyLabel;
         if (result.seed != 0)
             label += strfmt("/seed{}", result.seed);
@@ -207,9 +250,9 @@ Sweep::writeTimeline() const
         return;
 
     std::vector<WorkloadRunResult> finished;
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        if (done_[i])
-            finished.push_back(results_[i]);
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        if (done_[i] && outcomes_[i].result)
+            finished.push_back(*outcomes_[i].result);
     }
 
     std::ofstream out(timelineOut_);
@@ -234,10 +277,10 @@ Sweep::writeMetrics() const
 
     const metrics::ExportFormat format =
         metrics::exportFormatForPath(metricsOut_);
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        if (!done_[i] || !metrics_[i])
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        if (!done_[i] || !metrics_[i] || !outcomes_[i].result)
             continue;
-        const WorkloadRunResult &result = results_[i];
+        const WorkloadRunResult &result = *outcomes_[i].result;
         metrics::MetricRegistry::Labels labels = {
             {"workload", result.workload},
             {"policy", result.policyLabel},
@@ -265,13 +308,14 @@ Sweep::writeBench() const
 
     std::uint64_t cycles = 0, instructions = 0, accesses = 0;
     std::size_t cells = 0;
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        if (!done_[i])
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        if (!done_[i] || !outcomes_[i].result)
             continue;
+        const WorkloadRunResult &result = *outcomes_[i].result;
         ++cells;
-        cycles += results_[i].cycles;
-        instructions += results_[i].instructions;
-        accesses += results_[i].hits + results_[i].misses;
+        cycles += result.cycles;
+        instructions += result.instructions;
+        accesses += result.hits + result.misses;
     }
 
     const ExperimentRunner::Stats &stats = runner_.stats();
@@ -280,6 +324,10 @@ Sweep::writeBench() const
     report["cells"] = static_cast<std::uint64_t>(cells);
     report["executed"] = static_cast<std::uint64_t>(stats.executed);
     report["cache_hits"] = static_cast<std::uint64_t>(stats.cacheHits);
+    report["journal_skips"] =
+        static_cast<std::uint64_t>(stats.journalSkips);
+    report["failed_cells"] = static_cast<std::uint64_t>(stats.failed);
+    report["retried_cells"] = static_cast<std::uint64_t>(stats.retried);
     report["threads"] = runner_.effectiveThreads(cells ? cells : 1);
     report["wall_seconds"] = runSeconds_;
     report["sim_cycles"] = cycles;

@@ -72,7 +72,12 @@ class Sweep
     /** Run every queued-but-unfinished cell across the thread pool. */
     void run();
 
-    /** Result lookup; runs pending cells (or the missing cell) first. */
+    /**
+     * Result lookup; runs pending cells (or the missing cell) first.
+     * A cell that did not finish Ok is a latte_fatal here — get() is
+     * the "I need the numbers" API. Callers that tolerate failure
+     * (partial sweeps, fault-injection harnesses) use outcome().
+     */
     const WorkloadRunResult &get(const Workload &workload,
                                  PolicyKind kind);
     const WorkloadRunResult &get(const Workload &workload,
@@ -80,10 +85,16 @@ class Sweep
                                  const DriverOptions &options);
     const WorkloadRunResult &get(const RunRequest &request);
 
-    /** Every finished result, in add() order. */
-    const std::vector<WorkloadRunResult> &results() const
+    /** Outcome lookup; like get() but failures are values, not fatal. */
+    const RunOutcome &outcome(const Workload &workload, PolicyKind kind);
+    const RunOutcome &outcome(const Workload &workload, PolicyKind kind,
+                              const DriverOptions &options);
+    const RunOutcome &outcome(const RunRequest &request);
+
+    /** Every finished outcome, in add() order. */
+    const std::vector<RunOutcome> &outcomes() const
     {
-        return results_;
+        return outcomes_;
     }
 
     /** Write the --json export now (no-op without --json). */
@@ -123,7 +134,7 @@ class Sweep
     double runSeconds_ = 0;
 
     std::vector<RunRequest> requests_;        //!< all cells, add() order
-    std::vector<WorkloadRunResult> results_;  //!< parallel to requests_
+    std::vector<RunOutcome> outcomes_;        //!< parallel to requests_
     std::vector<bool> done_;                  //!< parallel to requests_
     /** Parallel to requests_; null entries unless --trace-out is set. */
     std::vector<std::unique_ptr<Tracer>> tracers_;

@@ -9,9 +9,11 @@
 #define LATTE_SIM_GPU_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/outcome.hh"
 #include "common/stats.hh"
 #include "mem/dram.hh"
 #include "mem/interconnect.hh"
@@ -27,12 +29,26 @@ namespace metrics
 class MetricRegistry;
 } // namespace metrics
 
+/**
+ * A cooperative stop of the simulation loop: a cancellation token, a
+ * cycle-budget trip or an injected fault. The loop winds down at the
+ * next iteration, so all statistics remain consistent up to `cycle`.
+ */
+struct SimInterrupt
+{
+    RunErrorCode code = RunErrorCode::None;
+    Cycles cycle = 0;      //!< global clock when the loop stopped
+    std::string detail;    //!< human-readable cause
+};
+
 /** Result of one kernel launch. */
 struct RunResult
 {
     Cycles cycles = 0;            //!< kernel duration
     std::uint64_t instructions = 0;
     bool completed = false;       //!< false if a budget cut it short
+    /** Set when the run control stopped the kernel early. */
+    std::optional<SimInterrupt> interrupt;
 };
 
 /** The simulated GPU. */
@@ -68,6 +84,14 @@ class Gpu : public StatGroup
     void setMetrics(metrics::MetricRegistry *metrics);
 
     /**
+     * Attach the run-control surface (not owned; nullptr detaches).
+     * The kernel loop polls it each iteration: a tripped cancellation
+     * token, an exhausted cycle budget or a due injected fault stops
+     * the loop cooperatively and reports through RunResult::interrupt.
+     */
+    void setControl(const RunControl *control) { control_ = control; }
+
+    /**
      * Run @p program to completion or until the whole launch has issued
      * @p max_instructions (the paper simulates 1 B instructions or
      * completion, whichever is earlier).
@@ -90,6 +114,10 @@ class Gpu : public StatGroup
     MemoryImage *mem_;
     Tracer *tracer_ = nullptr;
     metrics::MetricRegistry *metrics_ = nullptr;
+    const RunControl *control_ = nullptr;
+
+    /** The interrupt due at `now_`, if the control surface trips. */
+    std::optional<SimInterrupt> checkControl();
     Interconnect noc_;
     DramModel dram_;
     L2Cache l2_;

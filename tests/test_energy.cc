@@ -102,11 +102,11 @@ TEST(Energy, DataMovementFallsWithMissReduction)
     RunRequest base_request;
     base_request.workload = workload;
     base_request.policy = PolicyKind::Baseline;
-    const auto base = run(base_request);
+    const WorkloadRunResult base = run(base_request).value();
 
     RunRequest sc_request = base_request;
     sc_request.policy = PolicyKind::StaticSc;
-    const auto sc = run(sc_request);
+    const WorkloadRunResult sc = run(sc_request).value();
 
     ASSERT_LT(sc.misses, base.misses);
     EXPECT_LT(sc.energy.dataMovementMj(), base.energy.dataMovementMj())

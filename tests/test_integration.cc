@@ -69,7 +69,7 @@ runPolicy(const Workload &workload, PolicyKind kind,
     request.workload = &workload;
     request.policy = kind;
     request.options = options;
-    return run(request);
+    return run(request).value();
 }
 
 } // namespace

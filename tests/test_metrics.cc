@@ -365,7 +365,7 @@ TEST(MetricsReconciliation, CountersMatchTraceEvents)
     request.tracer = &tracer;
     request.metrics = &registry;
 
-    const WorkloadRunResult result = run(request);
+    const WorkloadRunResult result = run(request).value();
     ASSERT_FALSE(registry.rows().empty());
 
     // Sum an L1 stat over all SMs (e.g. gpu.sm*.l1d*.hits) at the

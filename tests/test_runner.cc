@@ -62,12 +62,12 @@ smallGrid()
 }
 
 std::vector<std::string>
-dumpAll(const std::vector<WorkloadRunResult> &results)
+dumpAll(const std::vector<RunOutcome> &outcomes)
 {
     std::vector<std::string> dumps;
-    dumps.reserve(results.size());
-    for (const auto &result : results)
-        dumps.push_back(toJson(result).dump());
+    dumps.reserve(outcomes.size());
+    for (const auto &outcome : outcomes)
+        dumps.push_back(toJson(outcome).dump());
     return dumps;
 }
 
@@ -94,7 +94,7 @@ TEST(Runner, ThreadCountInvariance)
         std::string error;
         const Json parsed = Json::parse(dump, &error);
         ASSERT_TRUE(error.empty()) << error;
-        WorkloadRunResult restored;
+        RunOutcome restored;
         ASSERT_TRUE(fromJson(parsed, restored));
         EXPECT_EQ(toJson(restored).dump(), dump);
     }
@@ -153,34 +153,38 @@ TEST(Runner, ExecutionShortcutsAreBitIdentical)
             request.options = tinyOptions();
             request.options.tuning.compressionMemo = true;
             const std::string golden =
-                dump_without_memo_stats(run(request));
+                dump_without_memo_stats(run(request).value());
 
             RunRequest no_memo = request;
             no_memo.options.tuning.compressionMemo = false;
-            EXPECT_EQ(dump_without_memo_stats(run(no_memo)), golden)
+            EXPECT_EQ(dump_without_memo_stats(run(no_memo).value()),
+                      golden)
                 << name << "/" << policyName(kind) << " memo off";
 
             RunRequest verified = request;
             verified.options.tuning.verifyRoundTrip = true;
-            EXPECT_EQ(dump_without_memo_stats(run(verified)), golden)
+            EXPECT_EQ(dump_without_memo_stats(run(verified).value()),
+                      golden)
                 << name << "/" << policyName(kind) << " verify on";
 
             RunRequest traced = request;
             Tracer tracer;
             traced.tracer = &tracer;
-            EXPECT_EQ(dump_without_memo_stats(run(traced)), golden)
+            EXPECT_EQ(dump_without_memo_stats(run(traced).value()),
+                      golden)
                 << name << "/" << policyName(kind) << " tracing on";
 
             RunRequest metered = request;
             metrics::MetricRegistry registry;
             metered.metrics = &registry;
-            EXPECT_EQ(dump_without_memo_stats(run(metered)), golden)
+            EXPECT_EQ(dump_without_memo_stats(run(metered).value()),
+                      golden)
                 << name << "/" << policyName(kind) << " metrics on";
             EXPECT_FALSE(registry.rows().empty());
 
             metrics::setProfilerEnabled(true);
             const std::string profiled =
-                dump_without_memo_stats(run(request));
+                dump_without_memo_stats(run(request).value());
             metrics::setProfilerEnabled(false);
             EXPECT_EQ(profiled, golden)
                 << name << "/" << policyName(kind) << " profiler on";
@@ -292,7 +296,7 @@ TEST(Runner, KindAndEquivalentFactoryAgree)
     by_kind.workload = workload;
     by_kind.policy = PolicyKind::StaticSc;
     by_kind.options = options;
-    const auto via_kind = run(by_kind);
+    const WorkloadRunResult via_kind = run(by_kind).value();
 
     RunRequest by_factory;
     by_factory.workload = workload;
@@ -301,7 +305,7 @@ TEST(Runner, KindAndEquivalentFactoryAgree)
     };
     by_factory.label = via_kind.policyLabel;
     by_factory.options = options;
-    const auto via_factory = run(by_factory);
+    const WorkloadRunResult via_factory = run(by_factory).value();
 
     // The result's policyKind tag differs by construction shape; the
     // simulation itself must not.
@@ -346,16 +350,16 @@ TEST(Runner, SeedMixingChangesResults)
     request.policy = PolicyKind::Baseline;
     request.options = tinyOptions();
 
-    const auto canonical = run(request);
+    const WorkloadRunResult canonical = run(request).value();
     request.seed = 1234;
-    const auto reseeded = run(request);
+    const WorkloadRunResult reseeded = run(request).value();
 
     EXPECT_EQ(reseeded.seed, 1234u);
     // A different seed perturbs the stochastic access streams.
     EXPECT_NE(toJson(canonical).dump(), toJson(reseeded).dump());
 
     // And the same seed reproduces bit-identically.
-    const auto reseeded_again = run(request);
+    const WorkloadRunResult reseeded_again = run(request).value();
     EXPECT_EQ(toJson(reseeded).dump(), toJson(reseeded_again).dump());
 }
 
@@ -366,7 +370,12 @@ TEST(Runner, SweepArgParsing)
                          "--json",      "out.json",
                          "--metrics-out", "m.jsonl",
                          "--metrics-interval", "5000",
-                         "--profile",   "--bench-out", "bench.json"};
+                         "--profile",   "--bench-out", "bench.json",
+                         "--resume",    "journal.jsonl",
+                         "--cell-timeout", "2.5",
+                         "--cell-cycle-budget", "1000000",
+                         "--retries",   "3",
+                         "--retry-backoff-ms", "50"};
     std::vector<char *> argv;
     for (const char *arg : raw)
         argv.push_back(const_cast<char *>(arg));
@@ -381,6 +390,11 @@ TEST(Runner, SweepArgParsing)
     EXPECT_TRUE(cli.profile);
     EXPECT_EQ(cli.benchOut, "bench.json");
     EXPECT_FALSE(cli.progress);
+    EXPECT_EQ(cli.resumePath, "journal.jsonl");
+    EXPECT_EQ(cli.cellTimeoutMs, 2500u);
+    EXPECT_EQ(cli.cellCycleBudget, 1'000'000u);
+    EXPECT_EQ(cli.retries, 3u);
+    EXPECT_EQ(cli.retryBackoffMs, 50u);
 
     // Consumed flags are compacted away; positionals survive.
     ASSERT_EQ(argc, 2);
@@ -406,12 +420,12 @@ TEST(Runner, SweepDedupesAndRunsPending)
     const auto &bdi = sweep.get(*workload, PolicyKind::StaticBdi);
     EXPECT_GT(base.cycles, 0u);
     EXPECT_GT(bdi.cycles, 0u);
-    EXPECT_EQ(sweep.results().size(), 2u);
+    EXPECT_EQ(sweep.outcomes().size(), 2u);
 
     // get() on an undeclared cell simulates it on demand.
     const auto &sc = sweep.get(*workload, PolicyKind::StaticSc);
     EXPECT_GT(sc.cycles, 0u);
-    EXPECT_EQ(sweep.results().size(), 3u);
+    EXPECT_EQ(sweep.outcomes().size(), 3u);
 }
 
 TEST(Runner, SweepRunsCustomFactoryCells)
@@ -439,7 +453,7 @@ TEST(Runner, SweepRunsCustomFactoryCells)
     // A second request with the same label dedupes onto the same cell
     // even though the std::function object differs.
     const auto &first = sweep.get(fpc_request());
-    EXPECT_EQ(sweep.results().size(), 1u);
+    EXPECT_EQ(sweep.outcomes().size(), 1u);
     EXPECT_EQ(first.policyLabel, "Static-FPC");
     EXPECT_GT(first.cycles, 0u);
 }

@@ -45,7 +45,7 @@ runTraced(PolicyKind kind, Tracer *tracer)
     request.policy = kind;
     request.options = tinyOptions();
     request.tracer = tracer;
-    return run(request);
+    return run(request).value();
 }
 
 } // namespace
