@@ -33,6 +33,36 @@ using runner::Sweep;
 using latte::geomean;
 
 /**
+ * The canonical per-figure grid as a declarative SweepSpec: every
+ * workload (the whole zoo, or C-Sens only) runs Baseline first and
+ * then each of @p kinds. The expansion order matches the historical
+ * hand-written add() loops, so RunKeys, cache entries and --json
+ * exports are unchanged; the same spec can also be dumped with
+ * toJson() and submitted to latted as-is.
+ */
+inline runner::SweepSpec
+figureGridSpec(const std::vector<PolicyKind> &kinds,
+               bool sensitive_only = false)
+{
+    runner::SweepSpec spec;
+    if (sensitive_only)
+        for (const auto *workload : workloadsByCategory(true))
+            spec.workloads.push_back(workload->abbr);
+    spec.policies.push_back(policyName(PolicyKind::Baseline));
+    for (const PolicyKind kind : kinds)
+        spec.policies.push_back(policyName(kind));
+    return spec;
+}
+
+/** Declare the canonical figure grid (Baseline + @p kinds) on @p sweep. */
+inline void
+declareGrid(Sweep &sweep, const std::vector<PolicyKind> &kinds,
+            bool sensitive_only = false)
+{
+    sweep.add(figureGridSpec(kinds, sensitive_only));
+}
+
+/**
  * Run (workload, policy) once per binary invocation; cache the result.
  * @deprecated Thin wrapper over runner::Sweep kept for source
  * compatibility: cells are keyed by the full RunKey (workload, policy

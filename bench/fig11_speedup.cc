@@ -16,15 +16,10 @@ int
 main(int argc, char **argv)
 {
     Sweep sweep(argc, argv);
-    const PolicyKind kinds[] = {
+    const std::vector<PolicyKind> kinds = {
         PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc,
         PolicyKind::KernelOpt};
-
-    for (const auto &workload : workloadZoo()) {
-        sweep.add(workload, PolicyKind::Baseline);
-        for (const PolicyKind kind : kinds)
-            sweep.add(workload, kind);
-    }
+    declareGrid(sweep, kinds);
 
     std::cout << "=== Figure 11: speedup over the uncompressed baseline "
                  "===\n";

@@ -17,11 +17,7 @@ int
 main(int argc, char **argv)
 {
     Sweep sweep(argc, argv);
-
-    for (const auto *workload : workloadsByCategory(true)) {
-        sweep.add(*workload, PolicyKind::Baseline);
-        sweep.add(*workload, PolicyKind::LatteCc);
-    }
+    declareGrid(sweep, {PolicyKind::LatteCc}, /*sensitive_only=*/true);
 
     std::cout << "=== Figure 14: LATTE-CC energy-saving breakdown "
                  "(% of baseline GPU energy) ===\n";

@@ -16,15 +16,10 @@ int
 main(int argc, char **argv)
 {
     Sweep sweep(argc, argv);
-    const PolicyKind kinds[] = {PolicyKind::AdaptiveHitCount,
-                                PolicyKind::AdaptiveCmp,
-                                PolicyKind::LatteCc};
-
-    for (const auto *workload : workloadsByCategory(true)) {
-        sweep.add(*workload, PolicyKind::Baseline);
-        for (const PolicyKind kind : kinds)
-            sweep.add(*workload, kind);
-    }
+    const std::vector<PolicyKind> kinds = {PolicyKind::AdaptiveHitCount,
+                                           PolicyKind::AdaptiveCmp,
+                                           PolicyKind::LatteCc};
+    declareGrid(sweep, kinds, /*sensitive_only=*/true);
 
     std::cout << "=== Figure 17: adaptive policies — speedup (left) and "
                  "miss reduction % (right) ===\n";

@@ -15,12 +15,8 @@ int
 main(int argc, char **argv)
 {
     Sweep sweep(argc, argv);
-
-    for (const auto *workload : workloadsByCategory(true)) {
-        sweep.add(*workload, PolicyKind::Baseline);
-        sweep.add(*workload, PolicyKind::LatteCc);
-        sweep.add(*workload, PolicyKind::LatteCcBdiBpc);
-    }
+    declareGrid(sweep, {PolicyKind::LatteCc, PolicyKind::LatteCcBdiBpc},
+                /*sensitive_only=*/true);
 
     std::cout << "=== Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens) "
                  "===\n";

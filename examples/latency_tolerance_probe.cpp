@@ -29,9 +29,7 @@ main(int argc, char **argv)
     request.policy = PolicyKind::LatteCc;
     const RunOutcome outcome = run(request);
     if (!outcome.ok()) {
-        std::cerr << "run failed ("
-                  << runErrorCodeName(outcome.error.code)
-                  << "): " << outcome.error.message << "\n";
+        std::cerr << "run failed: " << to_string(outcome.error) << "\n";
         return 1;
     }
     const WorkloadRunResult &latte = outcome.value();

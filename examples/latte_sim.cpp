@@ -19,6 +19,7 @@
 #include "core/driver.hh"
 #include "metrics/profiler.hh"
 #include "metrics/registry.hh"
+#include "runner/arg_parse.hh"
 #include "runner/json.hh"
 #include "trace/sink.hh"
 #include "workloads/zoo.hh"
@@ -27,40 +28,6 @@ using namespace latte;
 
 namespace
 {
-
-void
-usage()
-{
-    std::cout <<
-        "usage: latte_sim [options]\n"
-        "  --list                 list workloads and exit\n"
-        "  --workload <ABBR>      workload to run (default KM)\n"
-        "  --policy <name>        baseline | static-bdi | static-sc |\n"
-        "                         static-bpc | adaptive-hit | "
-        "adaptive-cmp |\n"
-        "                         latte | latte-bdi-bpc | kernel-opt\n"
-        "  --l1-kb <n>            L1 data cache size in KiB "
-        "(default 16)\n"
-        "  --sms <n>              number of SMs (default 15)\n"
-        "  --hit-latency <n>      base L1 hit latency in cycles\n"
-        "  --ep <n>               LATTE-CC EP length in L1 accesses\n"
-        "  --scheduler <gto|lrr>  warp scheduler\n"
-        "  --max-instr <n>        per-kernel instruction budget\n"
-        "  --trace                print the per-EP policy trace\n"
-        "  --json <path>          write the full run result as JSON\n"
-        "  --trace-out <path>     write a Chrome trace-event JSON\n"
-        "                         (chrome://tracing, ui.perfetto.dev)\n"
-        "  --timeline-out <path>  write the per-EP time series as JSON\n"
-        "  --metrics-out <path>   write sampled time-series metrics\n"
-        "                         (.prom/.txt Prometheus, .csv CSV, "
-        "else JSONL)\n"
-        "  --metrics-interval <n> cycles between metric samples "
-        "(default 100000)\n"
-        "  --profile              measure wall-clock time per simulator "
-        "zone\n"
-        "                         (reported with the metrics export)\n"
-        "  --help                 this text\n";
-}
 
 bool
 parsePolicy(const std::string &name, PolicyKind &kind)
@@ -101,71 +68,91 @@ main(int argc, char **argv)
     std::uint64_t metrics_interval = 0;
     bool profile = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " needs a value\n";
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-
-        if (arg == "--help") {
-            usage();
-            return 0;
-        } else if (arg == "--list") {
-            for (const auto &workload : workloadZoo()) {
-                std::cout << workload.abbr << "\t"
-                          << (workload.cacheSensitive ? "C-Sens  "
-                                                      : "C-InSens")
-                          << "\t" << workload.fullName << " ("
-                          << workload.suite << ")\n";
-            }
-            return 0;
-        } else if (arg == "--workload") {
-            workload_abbr = next();
-        } else if (arg == "--policy") {
-            const std::string name = next();
-            if (!parsePolicy(name, kind)) {
-                std::cerr << "unknown policy '" << name << "'\n";
-                return 1;
-            }
-        } else if (arg == "--l1-kb") {
-            options.cfg.l1SizeBytes =
-                std::stoul(next()) * 1024;
-        } else if (arg == "--sms") {
-            options.cfg.numSms = std::stoul(next());
-        } else if (arg == "--hit-latency") {
-            options.cfg.l1HitLatency = std::stoul(next());
-        } else if (arg == "--ep") {
-            options.cfg.latte.epAccesses = std::stoul(next());
-        } else if (arg == "--scheduler") {
-            const std::string sched = next();
-            options.cfg.schedPolicy =
-                sched == "lrr" ? GpuConfig::SchedPolicy::LRR
-                               : GpuConfig::SchedPolicy::GTO;
-        } else if (arg == "--max-instr") {
-            options.maxInstructionsPerKernel = std::stoull(next());
-        } else if (arg == "--trace") {
-            trace = true;
-        } else if (arg == "--json") {
-            json_path = next();
-        } else if (arg == "--trace-out") {
-            trace_out = next();
-        } else if (arg == "--timeline-out") {
-            timeline_out = next();
-        } else if (arg == "--metrics-out") {
-            metrics_out = next();
-        } else if (arg == "--metrics-interval") {
-            metrics_interval = std::stoull(next());
-        } else if (arg == "--profile") {
-            profile = true;
-        } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            usage();
-            return 1;
-        }
+    // Declarative flag table: lattesim runs ONE cell, so it keeps its
+    // own export flags (--json here is the single cell document, not a
+    // sweep array) instead of registerCommonFlags().
+    runner::ArgParser parser("lattesim");
+    parser.beginGroup("lattesim options");
+    parser.add("--list", "", "", "list workloads and exit",
+               [&](const std::string &) {
+                   for (const auto &workload : workloadZoo()) {
+                       std::cout << workload.abbr << "\t"
+                                 << (workload.cacheSensitive
+                                         ? "C-Sens  "
+                                         : "C-InSens")
+                                 << "\t" << workload.fullName << " ("
+                                 << workload.suite << ")\n";
+                   }
+                   std::exit(0);
+               });
+    parser.add("--workload", "", "ABBR", "workload to run (default KM)",
+               [&](const std::string &v) { workload_abbr = v; });
+    parser.add("--policy", "", "NAME",
+               "baseline | static-bdi | static-sc | static-bpc | "
+               "adaptive-hit | adaptive-cmp | latte | latte-bdi-bpc | "
+               "kernel-opt",
+               [&](const std::string &v) {
+                   if (!parsePolicy(v, kind)) {
+                       std::cerr << "unknown policy '" << v << "'\n";
+                       std::exit(1);
+                   }
+               });
+    parser.add("--l1-kb", "", "N", "L1 data cache size in KiB (default 16)",
+               [&](const std::string &v) {
+                   options.cfg.l1SizeBytes = std::stoul(v) * 1024;
+               });
+    parser.add("--sms", "", "N", "number of SMs (default 15)",
+               [&](const std::string &v) {
+                   options.cfg.numSms = std::stoul(v);
+               });
+    parser.add("--hit-latency", "", "N", "base L1 hit latency in cycles",
+               [&](const std::string &v) {
+                   options.cfg.l1HitLatency = std::stoul(v);
+               });
+    parser.add("--ep", "", "N", "LATTE-CC EP length in L1 accesses",
+               [&](const std::string &v) {
+                   options.cfg.latte.epAccesses = std::stoul(v);
+               });
+    parser.add("--scheduler", "", "gto|lrr", "warp scheduler",
+               [&](const std::string &v) {
+                   options.cfg.schedPolicy =
+                       v == "lrr" ? GpuConfig::SchedPolicy::LRR
+                                  : GpuConfig::SchedPolicy::GTO;
+               });
+    parser.add("--max-instr", "", "N", "per-kernel instruction budget",
+               [&](const std::string &v) {
+                   options.maxInstructionsPerKernel = std::stoull(v);
+               });
+    parser.add("--trace", "", "", "print the per-EP policy trace",
+               [&](const std::string &) { trace = true; });
+    parser.add("--json", "", "PATH",
+               "write the full run result as JSON",
+               [&](const std::string &v) { json_path = v; });
+    parser.add("--trace-out", "", "PATH",
+               "write a Chrome trace-event JSON (chrome://tracing, "
+               "ui.perfetto.dev)",
+               [&](const std::string &v) { trace_out = v; });
+    parser.add("--timeline-out", "", "PATH",
+               "write the per-EP time series as JSON",
+               [&](const std::string &v) { timeline_out = v; });
+    parser.add("--metrics-out", "", "PATH",
+               "write sampled time-series metrics (.prom/.txt "
+               "Prometheus, .csv CSV, else JSONL)",
+               [&](const std::string &v) { metrics_out = v; });
+    parser.add("--metrics-interval", "", "N",
+               "cycles between metric samples (default 100000)",
+               [&](const std::string &v) {
+                   metrics_interval = std::stoull(v);
+               });
+    parser.add("--profile", "", "",
+               "measure wall-clock time per simulator zone (reported "
+               "with the metrics export)",
+               [&](const std::string &) { profile = true; });
+    parser.parse(argc, argv);
+    if (argc > 1) {
+        std::cerr << "unknown option '" << argv[1] << "'\n"
+                  << parser.usage();
+        return 1;
     }
 
     const Workload *workload = findWorkload(workload_abbr);
@@ -209,9 +196,7 @@ main(int argc, char **argv)
     }
 
     if (!outcome.ok()) {
-        std::cerr << "run failed ("
-                  << runErrorCodeName(outcome.error.code)
-                  << "): " << outcome.error.message << "\n";
+        std::cerr << "run failed: " << to_string(outcome.error) << "\n";
         return 1;
     }
     const WorkloadRunResult &result = outcome.value();

@@ -38,8 +38,7 @@ main()
         const RunError &error = base_outcome.ok()
                                     ? latte_outcome.error
                                     : base_outcome.error;
-        std::cerr << "run failed (" << runErrorCodeName(error.code)
-                  << "): " << error.message << "\n";
+        std::cerr << "run failed: " << to_string(error) << "\n";
         return 1;
     }
     const WorkloadRunResult &base = base_outcome.value();

@@ -83,6 +83,17 @@ runErrorCodeFromName(const std::string &name)
     return nullptr;
 }
 
+std::string
+to_string(const RunError &error)
+{
+    std::string text = runErrorCodeName(error.code);
+    if (!error.message.empty()) {
+        text += ": ";
+        text += error.message;
+    }
+    return text;
+}
+
 const char *
 faultKindName(FaultKind kind)
 {

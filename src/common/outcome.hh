@@ -68,6 +68,18 @@ const char *runErrorCodeName(RunErrorCode code);
 const RunStatus *runStatusFromName(const std::string &name);
 const RunErrorCode *runErrorCodeFromName(const std::string &name);
 
+struct RunError;
+
+/**
+ * The one human-readable rendering of a RunError, shared by every
+ * surface that prints one (sweep fatal diagnostics, driver logs,
+ * example CLIs, daemon error events): "<code>: <message>", or just
+ * "<code>" when the message is empty. The code prefix is the stable
+ * runErrorCodeName() token, so the text round-trips back through
+ * runErrorCodeFromName() (pinned by test_resilience).
+ */
+std::string to_string(const RunError &error);
+
 /**
  * One failure, with enough cell context to be actionable after the
  * sweep moved on: which cell, which code, and where in simulated time

@@ -177,9 +177,8 @@ const WorkloadRunResult &
 RunOutcome::value() const
 {
     latte_assert(result.has_value(),
-                 "RunOutcome::value() on a {} outcome: {} ({})",
-                 runStatusName(status), error.message,
-                 runErrorCodeName(error.code));
+                 "RunOutcome::value() on a {} outcome: {}",
+                 runStatusName(status), to_string(error));
     return *result;
 }
 

@@ -13,33 +13,6 @@ namespace latte::metrics
 namespace
 {
 
-/**
- * Shortest round-trippable decimal for @p v (same contract as the
- * runner's canonical JSON: re-parsing yields the identical double).
- */
-std::string
-formatNumber(double v)
-{
-    if (std::isfinite(v) && v == std::floor(v) &&
-        std::abs(v) < 9.007199254740992e15) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%lld",
-                      static_cast<long long>(v));
-        return buf;
-    }
-    for (const int precision : {15, 16, 17}) {
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-        double back = 0;
-        std::sscanf(buf, "%lf", &back);
-        if (back == v)
-            return buf;
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
 /** Minimal JSON string escape (names/labels are near-ASCII already). */
 std::string
 jsonEscape(const std::string &s)
@@ -51,43 +24,6 @@ jsonEscape(const std::string &s)
             out += '\\';
         out += c;
     }
-    return out;
-}
-
-/** Prometheus metric name: [a-zA-Z0-9_:] only, latte_ prefixed. */
-std::string
-promName(const std::string &name)
-{
-    std::string out = "latte_";
-    for (const char c : name) {
-        out += std::isalnum(static_cast<unsigned char>(c)) ||
-                       c == '_' || c == ':'
-                   ? c
-                   : '_';
-    }
-    return out;
-}
-
-std::string
-promLabels(const MetricRegistry::Labels &labels,
-           const std::string &extra = {})
-{
-    if (labels.empty() && extra.empty())
-        return {};
-    std::string out = "{";
-    bool first = true;
-    for (const auto &[key, value] : labels) {
-        if (!first)
-            out += ',';
-        out += key + "=\"" + value + "\"";
-        first = false;
-    }
-    if (!extra.empty()) {
-        if (!first)
-            out += ',';
-        out += extra;
-    }
-    out += '}';
     return out;
 }
 
@@ -116,6 +52,90 @@ class SeriesCollector : public StatVisitor
 };
 
 } // namespace
+
+std::string
+prometheusNumber(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    for (const int precision : {15, 16, 17}) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        double back = 0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "latte_";
+    for (const char c : name) {
+        out += std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':'
+                   ? c
+                   : '_';
+    }
+    return out;
+}
+
+std::string
+prometheusLabels(const MetricLabels &labels, const std::string &extra)
+{
+    if (labels.empty() && extra.empty())
+        return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        out += key + "=\"" + value + "\"";
+        first = false;
+    }
+    if (!extra.empty()) {
+        if (!first)
+            out += ',';
+        out += extra;
+    }
+    out += '}';
+    return out;
+}
+
+void
+writeHistogramPrometheus(std::ostream &os, const std::string &name,
+                         const LatencyHistogram &histogram,
+                         const MetricLabels &labels)
+{
+    const std::string metric = prometheusName(name);
+    os << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < histogram.numBuckets(); ++i) {
+        cumulative += histogram.buckets()[i];
+        os << metric << "_bucket"
+           << prometheusLabels(
+                  labels,
+                  "le=\"" +
+                      prometheusNumber(histogram.bucketUpperBound(i)) +
+                      "\"")
+           << " " << cumulative << "\n";
+    }
+    os << metric << "_bucket" << prometheusLabels(labels, "le=\"+Inf\"")
+       << " " << histogram.count() << "\n";
+    os << metric << "_sum" << prometheusLabels(labels) << " "
+       << prometheusNumber(histogram.sum()) << "\n";
+    os << metric << "_count" << prometheusLabels(labels) << " "
+       << histogram.count() << "\n";
+}
 
 ExportFormat
 exportFormatForPath(const std::string &path)
@@ -246,7 +266,7 @@ void
 MetricRegistry::exportPrometheus(std::ostream &os,
                                  const Labels &labels) const
 {
-    const std::string label_text = promLabels(labels);
+    const std::string label_text = prometheusLabels(labels);
 
     // Final snapshot of every series as a gauge.
     if (!rows_.empty()) {
@@ -255,34 +275,16 @@ MetricRegistry::exportPrometheus(std::ostream &os,
         os << "# Final sample at cycle " << last.cycle << "\n";
         for (std::size_t i = 0;
              i < names.size() && i < last.values.size(); ++i) {
-            const std::string metric = promName(names[i]);
+            const std::string metric = prometheusName(names[i]);
             os << "# TYPE " << metric << " gauge\n";
             os << metric << label_text << " "
-               << formatNumber(last.values[i]) << "\n";
+               << prometheusNumber(last.values[i]) << "\n";
         }
     }
 
     // Histograms in the cumulative le-bucket exposition format.
-    for (const auto &[name, hist] : histograms_) {
-        const std::string metric = promName(name);
-        os << "# TYPE " << metric << " histogram\n";
-        std::uint64_t cumulative = 0;
-        for (unsigned i = 0; i < hist.numBuckets(); ++i) {
-            cumulative += hist.buckets()[i];
-            os << metric << "_bucket"
-               << promLabels(labels,
-                             "le=\"" +
-                                 formatNumber(hist.bucketUpperBound(i)) +
-                                 "\"")
-               << " " << cumulative << "\n";
-        }
-        os << metric << "_bucket" << promLabels(labels, "le=\"+Inf\"")
-           << " " << hist.count() << "\n";
-        os << metric << "_sum" << label_text << " "
-           << formatNumber(hist.sum()) << "\n";
-        os << metric << "_count" << label_text << " " << hist.count()
-           << "\n";
-    }
+    for (const auto &[name, hist] : histograms_)
+        writeHistogramPrometheus(os, name, hist, labels);
 }
 
 void
@@ -301,7 +303,7 @@ MetricRegistry::exportCsv(std::ostream &os, const Labels &labels) const
     for (const Row &row : rows_) {
         os << row.cycle;
         for (const double v : row.values)
-            os << "," << formatNumber(v);
+            os << "," << prometheusNumber(v);
         os << "\n";
     }
 }
@@ -335,7 +337,7 @@ MetricRegistry::exportJsonl(std::ostream &os, const Labels &labels) const
         for (std::size_t i = 0; i < row.values.size(); ++i) {
             if (i)
                 os << ",";
-            os << formatNumber(row.values[i]);
+            os << prometheusNumber(row.values[i]);
         }
         os << "]}\n";
     }
@@ -348,14 +350,14 @@ MetricRegistry::exportJsonl(std::ostream &os, const Labels &labels) const
             os << hist.buckets()[i];
         }
         os << "],\"count\":" << hist.count()
-           << ",\"max\":" << formatNumber(hist.max())
-           << ",\"mean\":" << formatNumber(hist.mean())
-           << ",\"min\":" << formatNumber(hist.min()) << ",\"name\":\""
+           << ",\"max\":" << prometheusNumber(hist.max())
+           << ",\"mean\":" << prometheusNumber(hist.mean())
+           << ",\"min\":" << prometheusNumber(hist.min()) << ",\"name\":\""
            << jsonEscape(name) << "\""
            << ",\"overflow\":" << hist.overflow()
-           << ",\"p50\":" << formatNumber(hist.percentile(50))
-           << ",\"p90\":" << formatNumber(hist.percentile(90))
-           << ",\"p99\":" << formatNumber(hist.percentile(99))
+           << ",\"p50\":" << prometheusNumber(hist.percentile(50))
+           << ",\"p90\":" << prometheusNumber(hist.percentile(90))
+           << ",\"p99\":" << prometheusNumber(hist.percentile(99))
            << ",\"type\":\"histogram\"}\n";
     }
 }

@@ -109,35 +109,17 @@ const ArgSpec kSpecs[] = {
 
 constexpr std::size_t kSpecCount = sizeof(kSpecs) / sizeof(kSpecs[0]);
 
+/** "  -j, --jobs <n>" column head of one flag line. */
 std::string
-renderUsage()
+flagHead(const ArgParser::Flag &flag)
 {
-    // Render "  -j, --jobs <n>" columns wide enough for the longest
-    // flag, then the help text (wrapped naively at the column).
-    std::size_t width = 0;
-    auto headOf = [](const ArgSpec &spec) {
-        std::string head = "  ";
-        if (spec.alias)
-            head += std::string(spec.alias) + ", ";
-        head += spec.name;
-        if (spec.value)
-            head += std::string(" ") + spec.value;
-        return head;
-    };
-    for (const ArgSpec &spec : kSpecs)
-        width = std::max(width, headOf(spec).size());
-    width += 2;
-
-    std::string text;
-    for (const ArgSpec &spec : kSpecs) {
-        std::string line = headOf(spec);
-        line.resize(width, ' ');
-        text += line + spec.help + "\n";
-    }
-    std::string help_line = "  --help";
-    help_line.resize(width, ' ');
-    text += help_line + "print this flag table and exit\n";
-    return text;
+    std::string head = "  ";
+    if (!flag.alias.empty())
+        head += flag.alias + ", ";
+    head += flag.name;
+    if (!flag.value.empty())
+        head += " " + flag.value;
+    return head;
 }
 
 } // namespace
@@ -152,55 +134,151 @@ sweepArgSpecs(std::size_t &count)
 const char *
 sweepArgsUsage()
 {
-    static const std::string text = renderUsage();
+    static const std::string text = [] {
+        ArgParser parser("");
+        static SweepCliOptions sink;
+        parser.registerCommonFlags(sink);
+        return parser.usage();
+    }();
     return text.c_str();
 }
 
-SweepCliOptions
-parseSweepArgs(int &argc, char **argv)
-{
-    SweepCliOptions options;
+ArgParser::ArgParser(std::string program) : program_(std::move(program))
+{}
 
+void
+ArgParser::registerCommonFlags(SweepCliOptions &options)
+{
+    beginGroup("sweep options");
+    for (const ArgSpec &spec : kSpecs) {
+        const ArgSpec *entry = &spec;
+        add(Flag{
+            .name = spec.name,
+            .alias = spec.alias ? spec.alias : "",
+            .value = spec.value ? spec.value : "",
+            .help = spec.help,
+            .apply =
+                [entry, &options](const std::string &value) {
+                    entry->apply(options, value);
+                },
+        });
+    }
+    hasCommon_ = true;
+}
+
+void
+ArgParser::beginGroup(std::string title)
+{
+    groups_.push_back(Group{std::move(title), {}});
+}
+
+void
+ArgParser::add(Flag flag)
+{
+    if (groups_.empty())
+        beginGroup("options");
+    groups_.back().flags.push_back(std::move(flag));
+}
+
+void
+ArgParser::add(const char *name, const char *alias, const char *value,
+               const char *help,
+               std::function<void(const std::string &)> apply)
+{
+    add(Flag{name, alias ? alias : "", value ? value : "", help,
+             std::move(apply)});
+}
+
+const ArgParser::Flag *
+ArgParser::find(const std::string &arg) const
+{
+    for (const Group &group : groups_) {
+        for (const Flag &flag : group.flags) {
+            if (arg == flag.name ||
+                (!flag.alias.empty() && arg == flag.alias))
+                return &flag;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+ArgParser::usage() const
+{
+    // Render every "  -j, --jobs <n>" column head at one shared width
+    // so the groups line up as one table.
+    std::size_t width = 0;
+    for (const Group &group : groups_) {
+        for (const Flag &flag : group.flags)
+            width = std::max(width, flagHead(flag).size());
+    }
+    width = std::max(width, std::string("  --help").size()) + 2;
+
+    std::string text;
+    if (!program_.empty())
+        text += "usage: " + program_ + " [options]\n";
+    for (const Group &group : groups_) {
+        if (!text.empty())
+            text += "\n";
+        text += group.title + ":\n";
+        for (const Flag &flag : group.flags) {
+            std::string line = flagHead(flag);
+            line.resize(width, ' ');
+            text += line + flag.help + "\n";
+        }
+    }
+    std::string help_line = "  --help";
+    help_line.resize(width, ' ');
+    text += help_line + "print this flag table and exit\n";
+    return text;
+}
+
+void
+ArgParser::parse(int &argc, char **argv)
+{
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
 
         if (arg == "--help") {
-            std::fputs("sweep options:\n", stdout);
-            std::fputs(sweepArgsUsage(), stdout);
+            std::fputs(usage().c_str(), stdout);
             std::exit(0);
         }
         // Joined -jN form, kept for muscle memory with make(1).
-        if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+        if (hasCommon_ && arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
             std::isdigit(static_cast<unsigned char>(arg[2]))) {
-            options.jobs = static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 2, nullptr, 10));
-            continue;
-        }
-
-        const ArgSpec *match = nullptr;
-        for (const ArgSpec &spec : kSpecs) {
-            if (arg == spec.name || (spec.alias && arg == spec.alias)) {
-                match = &spec;
-                break;
+            if (const Flag *jobs = find("--jobs")) {
+                jobs->apply(arg.substr(2));
+                continue;
             }
         }
+
+        const Flag *match = find(arg);
         if (!match) {
             argv[out++] = argv[i];
             continue;
         }
 
         std::string value;
-        if (match->value) {
+        if (!match->value.empty()) {
             if (i + 1 >= argc)
                 latte_fatal("{} needs a value\n{}", match->name,
-                            sweepArgsUsage());
+                            usage());
             value = argv[++i];
         }
-        match->apply(options, value);
+        match->apply(value);
     }
     argc = out;
     argv[argc] = nullptr;
+}
+
+SweepCliOptions
+parseSweepArgs(int &argc, char **argv)
+{
+    SweepCliOptions options;
+    ArgParser parser("");
+    parser.registerCommonFlags(options);
+    parser.parse(argc, argv);
     return options;
 }
 

@@ -36,7 +36,9 @@
 #define LATTE_RUNNER_ARG_PARSE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace latte::runner
 {
@@ -85,9 +87,81 @@ struct ArgSpec
 const ArgSpec *sweepArgSpecs(std::size_t &count);
 
 /**
+ * A grouped declarative command-line parser. Binaries that need flags
+ * beyond the shared sweep set build one of these instead of hand-rolled
+ * argv loops: registerCommonFlags() pulls in the whole sweep table
+ * once, add() declares the binary-specific flags, and the generated
+ * --help output keeps the two groups visually separate.
+ *
+ *   ArgParser parser("lattesim");
+ *   parser.registerCommonFlags(cli);            // --json, --cache-dir, ...
+ *   parser.beginGroup("lattesim options");
+ *   parser.add("--workload", nullptr, "<abbr>", "workload to run",
+ *              [&](const std::string &v) { abbr = v; });
+ *   parser.parse(argc, argv);                   // strips known flags
+ */
+class ArgParser
+{
+  public:
+    /** One registered flag; a null/empty `value` marks a boolean. */
+    struct Flag
+    {
+        std::string name;  //!< long form, e.g. "--workload"
+        std::string alias; //!< short form ("-w") or empty
+        std::string value; //!< value placeholder ("<abbr>") or empty
+        std::string help;  //!< one-line description
+        std::function<void(const std::string &)> apply;
+    };
+
+    explicit ArgParser(std::string program);
+
+    /**
+     * Register the shared sweep flag table (--jobs/--cache-dir/--json/
+     * --metrics-out/--retries/...) once, parsing into @p options, under
+     * a "sweep options" help group. @p options must outlive parse().
+     */
+    void registerCommonFlags(SweepCliOptions &options);
+
+    /** Start a titled help group; subsequent add()s land in it. */
+    void beginGroup(std::string title);
+
+    /** Declare one binary-specific flag in the current group. */
+    void add(Flag flag);
+    void add(const char *name, const char *alias, const char *value,
+             const char *help,
+             std::function<void(const std::string &)> apply);
+
+    /**
+     * Strip every registered flag out of @p argv (compacted in place;
+     * unknown arguments are left for the caller). Malformed values
+     * latte_fatal() with the usage text; `--help` prints the grouped
+     * flag table and exits 0. `-jN` joined form is accepted when the
+     * common flags are registered.
+     */
+    void parse(int &argc, char **argv);
+
+    /** The grouped usage text --help prints. */
+    std::string usage() const;
+
+  private:
+    struct Group
+    {
+        std::string title;
+        std::vector<Flag> flags;
+    };
+
+    const Flag *find(const std::string &arg) const;
+
+    std::string program_;
+    std::vector<Group> groups_;
+    bool hasCommon_ = false;
+};
+
+/**
  * Strip the sweep flags out of @p argv, returning the parsed options.
- * Malformed values (e.g. a missing argument) latte_fatal() with usage;
- * `--help` prints the generated flag table and exits 0.
+ * Equivalent to an ArgParser with only registerCommonFlags(). Malformed
+ * values (e.g. a missing argument) latte_fatal() with usage; `--help`
+ * prints the generated flag table and exits 0.
  */
 SweepCliOptions parseSweepArgs(int &argc, char **argv);
 

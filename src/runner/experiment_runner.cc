@@ -111,6 +111,31 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
             const RunRequest &request = requests[i];
             const auto start = std::chrono::steady_clock::now();
 
+            const std::string cell_name =
+                (request.workload ? request.workload->abbr
+                                  : std::string("?")) +
+                "/" + runRequestLabel(request);
+
+            // Sweep-level cancel: cells not yet started complete as
+            // Cancelled outcomes without touching cache or journal
+            // (the journal treats Cancelled as re-runnable, and these
+            // cells never ran). In-flight cells finish normally.
+            if (options_.cancel && options_.cancel->cancelled()) {
+                RunError error;
+                error.code = RunErrorCode::Cancelled;
+                error.message = "sweep cancelled before the cell started";
+                error.workload =
+                    request.workload ? request.workload->abbr : "";
+                error.policyLabel = runRequestLabel(request);
+                error.seed = request.seed;
+                outcomes[i] = RunOutcome::failure(std::move(error));
+                failed.fetch_add(1, std::memory_order_relaxed);
+                if (options_.onCellDone)
+                    options_.onCellDone(i, outcomes[i], false);
+                progress.completed(cell_name, 0.0, true);
+                continue;
+            }
+
             bool shortcut = false;
             // An observed request must actually simulate — a disk hit
             // would return the result without producing any events,
@@ -185,14 +210,13 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
                 }
             }
 
+            if (options_.onCellDone)
+                options_.onCellDone(i, outcomes[i], shortcut);
+
             const double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            const std::string cell_name =
-                (request.workload ? request.workload->abbr
-                                  : std::string("?")) +
-                "/" + runRequestLabel(request);
             progress.completed(cell_name, seconds, shortcut);
         }
     };

@@ -787,6 +787,16 @@ toJson(const RunOutcome &outcome)
     return Json(std::move(object));
 }
 
+Json
+outcomesToJson(const std::vector<RunOutcome> &outcomes)
+{
+    Json::Array array;
+    array.reserve(outcomes.size());
+    for (const RunOutcome &outcome : outcomes)
+        array.push_back(toJson(outcome));
+    return Json(std::move(array));
+}
+
 bool
 fromJson(const Json &json, RunOutcome &outcome)
 {

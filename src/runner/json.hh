@@ -112,6 +112,15 @@ Json toJson(const RunError &error);
 Json toJson(const RunOutcome &outcome);
 
 /**
+ * The sweep export document: every outcome as a schema-3 cell document
+ * in sweep order. One function shared by Sweep::writeJson, the latted
+ * service and latte_client's in-process runner, so the same outcomes
+ * always serialize to byte-identical export text regardless of which
+ * front end produced them.
+ */
+Json outcomesToJson(const std::vector<RunOutcome> &outcomes);
+
+/**
  * Serialize a whole stat hierarchy as nested objects, one per
  * StatGroup, via StatGroup::visit() — the one traversal shared with
  * dump() and collect().

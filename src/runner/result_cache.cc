@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "json.hh"
 #include "metrics/profiler.hh"
@@ -106,10 +108,14 @@ ResultCache::store(const RunKey &key, const RunOutcome &outcome) const
     }
 
     const std::string final_path = path(key);
-    // Unique temp name per thread; rename makes the publish atomic, so
-    // concurrent writers of the same cell cannot interleave bytes.
+    // Unique temp name per writer; rename makes the publish atomic, so
+    // concurrent writers of the same cell cannot interleave bytes. The
+    // pid is part of the name because a cache directory may be shared
+    // by several processes (two sweeps, or the latted daemon next to a
+    // direct run) whose thread-id hashes can collide.
     const std::string tmp_path = strfmt(
-        "{}.tmp{}", final_path,
+        "{}.tmp{}-{}", final_path,
+        static_cast<std::uint64_t>(::getpid()),
         std::hash<std::thread::id>{}(std::this_thread::get_id()));
 
     {

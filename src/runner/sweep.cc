@@ -81,6 +81,19 @@ Sweep::add(RunRequest request)
     indexOf(request);
 }
 
+void
+Sweep::add(const SweepSpec &spec)
+{
+    std::vector<RunRequest> cells;
+    std::string error;
+    if (!spec.expand(cells, &error, defaults_))
+        latte_fatal("invalid sweep spec{}{}: {}",
+                    spec.name.empty() ? "" : " ",
+                    spec.name, error);
+    for (RunRequest &cell : cells)
+        add(std::move(cell));
+}
+
 std::size_t
 Sweep::indexOf(const RunRequest &request)
 {
@@ -161,10 +174,9 @@ Sweep::get(const RunRequest &request)
         // get() is the binary boundary of the failure-as-values API:
         // callers asking for the numbers of a cell that has none get a
         // diagnostic exit, not a dangling reference.
-        latte_fatal("sweep cell {}/{} seed {} did not finish: {} ({})",
+        latte_fatal("sweep cell {}/{} seed {} did not finish: {}",
                     cell.error.workload, cell.error.policyLabel,
-                    cell.error.seed, cell.error.message,
-                    runErrorCodeName(cell.error.code));
+                    cell.error.seed, to_string(cell.error));
     }
     return cell.value();
 }
@@ -205,10 +217,10 @@ Sweep::writeJson() const
     // Every finished cell is exported, failed ones included: a partial
     // sweep still yields a complete document whose failed cells carry
     // their cause and retry history in the outcome envelope.
-    Json::Array array;
+    std::vector<RunOutcome> finished;
     for (std::size_t i = 0; i < outcomes_.size(); ++i) {
         if (done_[i])
-            array.push_back(toJson(outcomes_[i]));
+            finished.push_back(outcomes_[i]);
     }
 
     std::ofstream out(jsonPath_);
@@ -216,7 +228,7 @@ Sweep::writeJson() const
         latte_warn("cannot write --json file {}", jsonPath_);
         return;
     }
-    out << Json(std::move(array)).dump(2) << "\n";
+    out << outcomesToJson(finished).dump(2) << "\n";
 }
 
 void

@@ -27,6 +27,7 @@
 #include "arg_parse.hh"
 #include "experiment_runner.hh"
 #include "result_cache.hh"
+#include "sweep_spec.hh"
 #include "trace/tracer.hh"
 
 namespace latte::metrics
@@ -66,6 +67,13 @@ class Sweep
 
     /** Queue an arbitrary request (custom factory, seed, label). */
     void add(RunRequest request);
+
+    /**
+     * Queue every cell of a declarative spec, expanded over the
+     * sweep's default DriverOptions. An invalid spec is a latte_fatal
+     * — validate() it first when the spec came from outside.
+     */
+    void add(const SweepSpec &spec);
 
     // --- Executing and reading ----------------------------------------
 

@@ -1,0 +1,455 @@
+#include "sweep_spec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "result_cache.hh"
+#include "workloads/zoo.hh"
+
+namespace latte::runner
+{
+
+namespace
+{
+
+bool
+setError(std::string *error, std::string text)
+{
+    if (error)
+        *error = std::move(text);
+    return false;
+}
+
+/** A whole-number JSON value (Uint, or a Double that is integral). */
+bool
+uintOf(const Json &value, std::uint64_t &out)
+{
+    if (value.type() == Json::Type::Uint) {
+        out = value.asUint();
+        return true;
+    }
+    if (value.type() == Json::Type::Double) {
+        const double d = value.asDouble();
+        if (d < 0 || d != static_cast<double>(
+                              static_cast<std::uint64_t>(d)))
+            return false;
+        out = static_cast<std::uint64_t>(d);
+        return true;
+    }
+    return false;
+}
+
+/** One settable DriverOptions knob. */
+struct OptionEntry
+{
+    const char *key;
+    bool (*apply)(DriverOptions &, const Json &, std::string *);
+};
+
+template <typename Field>
+bool
+applyUint(Field &field, const char *key, const Json &value,
+          std::string *error)
+{
+    std::uint64_t v = 0;
+    if (!uintOf(value, v)) {
+        return setError(error, std::string(key) +
+                                   ": expected a non-negative integer");
+    }
+    field = static_cast<Field>(v);
+    return true;
+}
+
+bool
+applyDouble(double &field, const char *key, const Json &value,
+            std::string *error)
+{
+    if (!value.isNumber())
+        return setError(error, std::string(key) + ": expected a number");
+    field = value.asDouble();
+    return true;
+}
+
+// Each entry is a lambda decayed to a function pointer: no captures, so
+// the table stays constexpr-friendly and cheap to scan.
+#define LATTE_UINT_OPTION(KEY, FIELD)                                    \
+    {KEY, [](DriverOptions &o, const Json &v, std::string *e) {          \
+         return applyUint(o.FIELD, KEY, v, e);                           \
+     }}
+#define LATTE_DOUBLE_OPTION(KEY, FIELD)                                  \
+    {KEY, [](DriverOptions &o, const Json &v, std::string *e) {          \
+         return applyDouble(o.FIELD, KEY, v, e);                         \
+     }}
+
+const OptionEntry kOptionTable[] = {
+    LATTE_UINT_OPTION("max_instructions_per_kernel",
+                      maxInstructionsPerKernel),
+    // --- SM organisation ---
+    LATTE_UINT_OPTION("cfg.num_sms", cfg.numSms),
+    LATTE_UINT_OPTION("cfg.max_warps_per_sm", cfg.maxWarpsPerSm),
+    LATTE_UINT_OPTION("cfg.max_blocks_per_sm", cfg.maxBlocksPerSm),
+    LATTE_UINT_OPTION("cfg.schedulers_per_sm", cfg.schedulersPerSm),
+    // --- L1 ---
+    LATTE_UINT_OPTION("cfg.l1_size_bytes", cfg.l1SizeBytes),
+    LATTE_UINT_OPTION("cfg.l1_line_bytes", cfg.l1LineBytes),
+    LATTE_UINT_OPTION("cfg.l1_assoc", cfg.l1Assoc),
+    LATTE_UINT_OPTION("cfg.l1_hit_latency", cfg.l1HitLatency),
+    LATTE_UINT_OPTION("cfg.l1_tag_factor", cfg.l1TagFactor),
+    LATTE_UINT_OPTION("cfg.l1_sub_block_bytes", cfg.l1SubBlockBytes),
+    LATTE_UINT_OPTION("cfg.l1_mshr_entries", cfg.l1MshrEntries),
+    // --- L2 / DRAM ---
+    LATTE_UINT_OPTION("cfg.l2_size_bytes", cfg.l2SizeBytes),
+    LATTE_UINT_OPTION("cfg.l2_assoc", cfg.l2Assoc),
+    LATTE_UINT_OPTION("cfg.l2_banks", cfg.l2Banks),
+    LATTE_UINT_OPTION("cfg.l2_min_latency", cfg.l2MinLatency),
+    LATTE_UINT_OPTION("cfg.dram_min_latency", cfg.dramMinLatency),
+    LATTE_DOUBLE_OPTION("cfg.dram_bytes_per_cycle",
+                        cfg.dramBytesPerCycle),
+    LATTE_DOUBLE_OPTION("cfg.noc_bytes_per_cycle", cfg.nocBytesPerCycle),
+    // --- Decompression engine ---
+    LATTE_UINT_OPTION("cfg.decomp_queue_entries",
+                      cfg.decompQueueEntries),
+    // --- LATTE-CC controller ---
+    LATTE_UINT_OPTION("cfg.latte.ep_accesses", cfg.latte.epAccesses),
+    LATTE_UINT_OPTION("cfg.latte.period_eps", cfg.latte.periodEps),
+    LATTE_UINT_OPTION("cfg.latte.learning_eps", cfg.latte.learningEps),
+    LATTE_UINT_OPTION("cfg.latte.dedicated_sets_per_mode",
+                      cfg.latte.dedicatedSetsPerMode),
+    LATTE_UINT_OPTION("cfg.latte.vft_entries", cfg.latte.vftEntries),
+    // --- Enumerated knobs (string-valued) ---
+    {"cfg.sched_policy",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "cfg.sched_policy: expected a string");
+         const std::string &name = v.asString();
+         if (name == "gto")
+             o.cfg.schedPolicy = GpuConfig::SchedPolicy::GTO;
+         else if (name == "lrr")
+             o.cfg.schedPolicy = GpuConfig::SchedPolicy::LRR;
+         else
+             return setError(e, "cfg.sched_policy: unknown scheduler '" +
+                                    name + "' (gto|lrr)");
+         return true;
+     }},
+    {"cfg.l1_repl",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "cfg.l1_repl: expected a string");
+         const std::string &name = v.asString();
+         if (name == "lru")
+             o.cfg.l1Repl = GpuConfig::ReplPolicy::LRU;
+         else if (name == "fifo")
+             o.cfg.l1Repl = GpuConfig::ReplPolicy::FIFO;
+         else if (name == "srrip")
+             o.cfg.l1Repl = GpuConfig::ReplPolicy::SRRIP;
+         else
+             return setError(e, "cfg.l1_repl: unknown policy '" + name +
+                                    "' (lru|fifo|srrip)");
+         return true;
+     }},
+};
+
+#undef LATTE_UINT_OPTION
+#undef LATTE_DOUBLE_OPTION
+
+/** Human-readable axis value for cell labels ("32768", "lrr"). */
+std::string
+valueLabel(const Json &value)
+{
+    if (value.type() == Json::Type::String)
+        return value.asString();
+    return value.dump();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepOptionKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> out;
+        for (const OptionEntry &entry : kOptionTable)
+            out.push_back(entry.key);
+        std::sort(out.begin(), out.end());
+        return out;
+    }();
+    return keys;
+}
+
+bool
+applyOption(DriverOptions &options, const std::string &key,
+            const Json &value, std::string *error)
+{
+    for (const OptionEntry &entry : kOptionTable) {
+        if (key == entry.key)
+            return entry.apply(options, value, error);
+    }
+    return setError(error, "unknown option key '" + key + "'");
+}
+
+std::string
+SweepSpec::validate() const
+{
+    std::string error;
+    for (const std::string &abbr : workloads) {
+        if (!findWorkload(abbr))
+            return "unknown workload '" + abbr + "'";
+    }
+    if (policies.empty())
+        return "spec names no policies";
+    for (const std::string &policy : policies) {
+        if (!policyKindFromName(policy))
+            return "unknown policy '" + policy + "'";
+    }
+
+    // Fixed overrides and axis values must all apply cleanly to a
+    // scratch DriverOptions, so bad values surface at submit time
+    // rather than as per-cell failures mid-sweep.
+    DriverOptions scratch;
+    for (const auto &[key, value] : options) {
+        if (!applyOption(scratch, key, value, &error))
+            return error;
+    }
+    std::vector<std::string> seen;
+    for (const SweepAxis &axis : axes) {
+        if (axis.values.empty())
+            return "axis '" + axis.key + "' has no values";
+        if (std::find(seen.begin(), seen.end(), axis.key) != seen.end())
+            return "axis '" + axis.key + "' declared twice";
+        seen.push_back(axis.key);
+        if (options.count(axis.key))
+            return "axis '" + axis.key +
+                   "' also appears in fixed options";
+        for (const Json &value : axis.values) {
+            if (!applyOption(scratch, axis.key, value, &error))
+                return error;
+        }
+    }
+    return "";
+}
+
+std::size_t
+SweepSpec::cellCount() const
+{
+    std::size_t cells = workloads.empty() ? workloadZoo().size()
+                                          : workloads.size();
+    cells *= policies.size();
+    cells *= seeds.empty() ? 1 : seeds.size();
+    for (const SweepAxis &axis : axes)
+        cells *= axis.values.size();
+    return cells;
+}
+
+bool
+SweepSpec::expand(std::vector<RunRequest> &out, std::string *error,
+                  const DriverOptions &base) const
+{
+    const std::string problem = validate();
+    if (!problem.empty())
+        return setError(error, problem);
+
+    // Resolve the workload set (empty = whole zoo, Table III order).
+    std::vector<const Workload *> resolved;
+    if (workloads.empty()) {
+        for (const Workload &workload : workloadZoo())
+            resolved.push_back(&workload);
+    } else {
+        for (const std::string &abbr : workloads)
+            resolved.push_back(findWorkload(abbr));
+    }
+
+    DriverOptions fixed = base;
+    for (const auto &[key, value] : options) {
+        if (!applyOption(fixed, key, value, error))
+            return false;
+    }
+
+    const std::vector<std::uint64_t> seed_list =
+        seeds.empty() ? std::vector<std::uint64_t>{0} : seeds;
+
+    // Odometer over the axes: first axis is the slowest-moving digit.
+    std::vector<std::size_t> digits(axes.size(), 0);
+    const std::size_t combos = [&] {
+        std::size_t n = 1;
+        for (const SweepAxis &axis : axes)
+            n *= axis.values.size();
+        return n;
+    }();
+
+    for (const Workload *workload : resolved) {
+        for (std::size_t combo = 0; combo < combos; ++combo) {
+            // Decode this combination and build its options + label.
+            std::size_t rest = combo;
+            for (std::size_t a = axes.size(); a-- > 0;) {
+                digits[a] = rest % axes[a].values.size();
+                rest /= axes[a].values.size();
+            }
+            DriverOptions cell_options = fixed;
+            std::string suffix;
+            for (std::size_t a = 0; a < axes.size(); ++a) {
+                const Json &value = axes[a].values[digits[a]];
+                if (!applyOption(cell_options, axes[a].key, value,
+                                 error))
+                    return false;
+                if (!suffix.empty())
+                    suffix += ",";
+                suffix += axes[a].key + "=" + valueLabel(value);
+            }
+
+            for (const std::string &policy : policies) {
+                for (const std::uint64_t seed : seed_list) {
+                    RunRequest &request = out.emplace_back();
+                    request.workload = workload;
+                    request.policy = *policyKindFromName(policy);
+                    request.options = cell_options;
+                    request.seed = seed;
+                    // Axis cells get a "Policy[axis=value]" label so
+                    // every grid point stays distinguishable in
+                    // exports, cache keys and journal keys; plain
+                    // specs leave the label empty and stay
+                    // cache-compatible with hand-built requests.
+                    if (!suffix.empty())
+                        request.label = policy + "[" + suffix + "]";
+                }
+            }
+        }
+    }
+    return true;
+}
+
+Json
+SweepSpec::toJson() const
+{
+    Json::Object object;
+    object["name"] = Json(name);
+
+    Json::Array workload_array;
+    for (const std::string &abbr : workloads)
+        workload_array.push_back(Json(abbr));
+    object["workloads"] = Json(std::move(workload_array));
+
+    Json::Array policy_array;
+    for (const std::string &policy : policies)
+        policy_array.push_back(Json(policy));
+    object["policies"] = Json(std::move(policy_array));
+
+    Json::Array seed_array;
+    for (const std::uint64_t seed : seeds)
+        seed_array.push_back(Json(seed));
+    object["seeds"] = Json(std::move(seed_array));
+
+    Json::Object option_object;
+    for (const auto &[key, value] : options)
+        option_object[key] = value;
+    object["options"] = Json(std::move(option_object));
+
+    Json::Array axis_array;
+    for (const SweepAxis &axis : axes) {
+        Json::Object axis_object;
+        axis_object["key"] = Json(axis.key);
+        axis_object["values"] = Json(Json::Array(axis.values));
+        axis_array.push_back(Json(std::move(axis_object)));
+    }
+    object["axes"] = Json(std::move(axis_array));
+
+    object["retries"] = Json(static_cast<std::uint64_t>(retries));
+    object["retry_backoff_ms"] = Json(retryBackoffMs);
+    object["cell_timeout_ms"] = Json(cellTimeoutMs);
+    object["cell_cycle_budget"] = Json(cellCycleBudget);
+    return Json(std::move(object));
+}
+
+bool
+SweepSpec::fromJson(const Json &json, SweepSpec &spec,
+                    std::string *error)
+{
+    if (json.type() != Json::Type::Object)
+        return setError(error, "spec: expected a JSON object");
+    spec = SweepSpec{};
+
+    auto stringList = [&](const char *key,
+                          std::vector<std::string> &out) {
+        if (!json.contains(key))
+            return true;
+        const Json &value = json.at(key);
+        if (value.type() != Json::Type::Array)
+            return setError(error,
+                            std::string(key) + ": expected an array");
+        for (const Json &item : value.asArray()) {
+            if (item.type() != Json::Type::String)
+                return setError(error, std::string(key) +
+                                           ": expected strings");
+            out.push_back(item.asString());
+        }
+        return true;
+    };
+    auto uintField = [&](const char *key, auto &out) {
+        if (!json.contains(key))
+            return true;
+        std::uint64_t value = 0;
+        if (!uintOf(json.at(key), value))
+            return setError(error, std::string(key) +
+                                       ": expected an integer");
+        out = static_cast<std::decay_t<decltype(out)>>(value);
+        return true;
+    };
+
+    if (json.contains("name")) {
+        if (json.at("name").type() != Json::Type::String)
+            return setError(error, "name: expected a string");
+        spec.name = json.at("name").asString();
+    }
+    if (!stringList("workloads", spec.workloads) ||
+        !stringList("policies", spec.policies))
+        return false;
+    if (json.contains("seeds")) {
+        const Json &value = json.at("seeds");
+        if (value.type() != Json::Type::Array)
+            return setError(error, "seeds: expected an array");
+        for (const Json &item : value.asArray()) {
+            std::uint64_t seed = 0;
+            if (!uintOf(item, seed))
+                return setError(error, "seeds: expected integers");
+            spec.seeds.push_back(seed);
+        }
+    }
+    if (json.contains("options")) {
+        const Json &value = json.at("options");
+        if (value.type() != Json::Type::Object)
+            return setError(error, "options: expected an object");
+        for (const auto &[key, item] : value.asObject())
+            spec.options.emplace(key, item);
+    }
+    if (json.contains("axes")) {
+        const Json &value = json.at("axes");
+        if (value.type() != Json::Type::Array)
+            return setError(error, "axes: expected an array");
+        for (const Json &item : value.asArray()) {
+            if (item.type() != Json::Type::Object ||
+                !item.contains("key") || !item.contains("values") ||
+                item.at("key").type() != Json::Type::String ||
+                item.at("values").type() != Json::Type::Array) {
+                return setError(
+                    error, "axes: expected {key, values[]} objects");
+            }
+            SweepAxis axis;
+            axis.key = item.at("key").asString();
+            axis.values = item.at("values").asArray();
+            spec.axes.push_back(std::move(axis));
+        }
+    }
+    if (!uintField("retries", spec.retries) ||
+        !uintField("retry_backoff_ms", spec.retryBackoffMs) ||
+        !uintField("cell_timeout_ms", spec.cellTimeoutMs) ||
+        !uintField("cell_cycle_budget", spec.cellCycleBudget))
+        return false;
+    return true;
+}
+
+std::uint64_t
+SweepSpec::hash() const
+{
+    return fnv1a(toJson().dump());
+}
+
+} // namespace latte::runner

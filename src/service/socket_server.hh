@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SocketServer: binds a RequestDispatcher to an AF_UNIX stream socket
+ * speaking line-delimited JSON. One reader thread per connection; event
+ * subscriptions write to the same connection under a per-connection
+ * write mutex, so responses and events never interleave bytes.
+ *
+ * Local-socket-only by design: latted is a per-user/per-machine job
+ * server, and the filesystem socket inherits the directory's
+ * permissions as its access control.
+ */
+
+#ifndef LATTE_SERVICE_SOCKET_SERVER_HH
+#define LATTE_SERVICE_SOCKET_SERVER_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dispatcher.hh"
+
+namespace latte::service
+{
+
+class SocketServer
+{
+  public:
+    SocketServer(RequestDispatcher &dispatcher, std::string socketPath);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind, listen and start the accept thread. False with @p error on
+     * bind failure (e.g. a live daemon already owns the socket). A
+     * stale socket file from a dead daemon is detected (connect fails)
+     * and replaced.
+     */
+    bool start(std::string *error);
+
+    /** Stop accepting, close every connection and join all threads. */
+    void stop();
+
+    const std::string &socketPath() const { return socketPath_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        Session session;
+        std::mutex writeMutex;
+        std::thread reader;
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection &connection);
+
+    RequestDispatcher &dispatcher_;
+    std::string socketPath_;
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::thread acceptThread_;
+    std::mutex connectionsMutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    bool running_ = false;
+};
+
+} // namespace latte::service
+
+#endif // LATTE_SERVICE_SOCKET_SERVER_HH

@@ -528,4 +528,27 @@ TEST(Resilience, ErrorCodeNamesRoundTrip)
     }
 }
 
+TEST(Resilience, ToStringRunErrorRoundTripsItsCode)
+{
+    // to_string(RunError) is THE human-facing form ("<code>: <msg>");
+    // its leading token must parse back through runErrorCodeFromName
+    // so log lines stay machine-greppable by code.
+    RunError error;
+    error.code = RunErrorCode::WallClockTimeout;
+    error.message = "cell exceeded 5000 ms";
+    const std::string text = to_string(error);
+    const std::string token = text.substr(0, text.find(':'));
+    const RunErrorCode *back = runErrorCodeFromName(token);
+    ASSERT_NE(back, nullptr) << text;
+    EXPECT_EQ(*back, error.code);
+    EXPECT_NE(text.find(error.message), std::string::npos) << text;
+
+    // Without a message the whole string IS the code token.
+    RunError bare;
+    bare.code = RunErrorCode::Cancelled;
+    EXPECT_EQ(to_string(bare),
+              runErrorCodeName(RunErrorCode::Cancelled));
+    EXPECT_NE(runErrorCodeFromName(to_string(bare)), nullptr);
+}
+
 } // namespace

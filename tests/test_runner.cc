@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/driver.hh"
@@ -123,6 +124,50 @@ TEST(Runner, DiskCacheHitsOnSecondInvocation)
     EXPECT_EQ(second.stats().cacheHits, requests.size());
 
     EXPECT_EQ(dumpAll(cold), dumpAll(warm));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, ConcurrentRunnersShareOneCacheDirSafely)
+{
+    // Two sweeps over the same grid, racing on one --cache-dir — the
+    // regime latted and direct runs share. Entries are published with
+    // per-process/per-thread tmp names + rename, so concurrent stores
+    // of the same key must never corrupt an entry or fail a run.
+    const std::string dir =
+        ::testing::TempDir() + "/latte_runner_shared_cache_test";
+    std::filesystem::remove_all(dir);
+
+    const auto requests = smallGrid();
+    RunnerOptions options;
+    options.threads = 2;
+    options.progress = false;
+    options.cacheDir = dir;
+
+    std::vector<std::vector<RunOutcome>> results(4);
+    {
+        std::vector<std::thread> racers;
+        for (auto &slot : results)
+            racers.emplace_back([&, out = &slot] {
+                ExperimentRunner runner(options);
+                *out = runner.runAll(requests);
+            });
+        for (std::thread &racer : racers)
+            racer.join();
+    }
+    for (const auto &outcomes : results) {
+        ASSERT_EQ(outcomes.size(), requests.size());
+        EXPECT_EQ(dumpAll(outcomes), dumpAll(results.front()));
+        for (const RunOutcome &outcome : outcomes)
+            EXPECT_TRUE(outcome.ok()) << to_string(outcome.error);
+    }
+
+    // Whatever interleaving won, the surviving entries are sound: a
+    // fresh runner is served entirely from the cache, bit-identically.
+    ExperimentRunner warm(options);
+    const auto cached = warm.runAll(requests);
+    EXPECT_EQ(warm.stats().executed, 0u);
+    EXPECT_EQ(warm.stats().cacheHits, requests.size());
+    EXPECT_EQ(dumpAll(cached), dumpAll(results.front()));
     std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the latted job service: SweepSpec canonical JSON, the
+ * acceptance property (a job submitted through the service produces a
+ * result byte-identical to the same spec run in-process, and a
+ * resubmit is served from cache with zero simulated cells), queue
+ * order / quotas / cancellation, journal recovery after an unclean
+ * stop, and the wire protocol via RequestDispatcher — all in-process,
+ * no socket involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/driver.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_spec.hh"
+#include "service/dispatcher.hh"
+#include "service/sweep_service.hh"
+#include "workloads/zoo.hh"
+
+using namespace latte;
+using namespace latte::service;
+
+namespace
+{
+
+/** A spec whose cells cost milliseconds, mirroring tinyOptions(). */
+runner::SweepSpec
+tinySpec()
+{
+    runner::SweepSpec spec;
+    spec.name = "tiny";
+    spec.workloads = {"KM"};
+    spec.policies = {"Baseline", "LATTE-CC"};
+    spec.options["max_instructions_per_kernel"] =
+        runner::Json(std::uint64_t{20'000});
+    spec.options["cfg.num_sms"] = runner::Json(std::uint64_t{2});
+    return spec;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST(Service, SweepSpecJsonRoundTripsCanonically)
+{
+    runner::SweepSpec spec = tinySpec();
+    spec.axes.push_back({"cfg.l1_size_bytes",
+                         {runner::Json(std::uint64_t{16384}),
+                          runner::Json(std::uint64_t{32768})}});
+    spec.retries = 2;
+    ASSERT_EQ(spec.validate(), "");
+
+    const std::string dump = spec.toJson().dump();
+    std::string error;
+    runner::SweepSpec restored;
+    ASSERT_TRUE(runner::SweepSpec::fromJson(
+        runner::Json::parse(dump, &error), restored, &error))
+        << error;
+    EXPECT_EQ(restored.toJson().dump(), dump);
+    EXPECT_EQ(restored.hash(), spec.hash());
+    EXPECT_EQ(restored.cellCount(), spec.cellCount());
+}
+
+TEST(Service, ResultMatchesInProcessRunAndResubmitHitsCache)
+{
+    const std::string state = freshDir("latte_service_accept_state");
+    const std::string cache = freshDir("latte_service_accept_cache");
+    const std::string ref = freshDir("latte_service_accept_ref.json");
+    const runner::SweepSpec spec = tinySpec();
+
+    // Reference: the same spec run in-process through Sweep --json.
+    {
+        runner::SweepCliOptions cli;
+        cli.jobs = 2;
+        cli.progress = false;
+        cli.jsonPath = ref;
+        runner::Sweep sweep(cli);
+        sweep.add(spec);
+        sweep.run();
+    } // destructor writes the --json export
+    const std::string expected = readFile(ref);
+    ASSERT_FALSE(expected.empty());
+
+    ServiceOptions options;
+    options.stateDir = state;
+    options.cacheDir = cache;
+    options.threads = 2;
+    SweepService service(options);
+
+    std::string error;
+    const std::uint64_t first = service.submit(spec, "tester", 0, &error);
+    ASSERT_NE(first, 0u) << error;
+    JobInfo info;
+    ASSERT_TRUE(service.waitJob(first, info));
+    ASSERT_EQ(info.state, JobState::Done) << info.error;
+    EXPECT_EQ(info.cellsDone, spec.cellCount());
+    EXPECT_EQ(info.cellsFailed, 0u);
+
+    // The acceptance property: byte-identical to the in-process run.
+    EXPECT_EQ(readFile(info.resultPath), expected);
+
+    // Resubmitting the same spec is answered from the shared result
+    // cache without simulating a single cycle.
+    const std::uint64_t second = service.submit(spec, "tester", 0, &error);
+    ASSERT_NE(second, 0u) << error;
+    ASSERT_TRUE(service.waitJob(second, info));
+    ASSERT_EQ(info.state, JobState::Done) << info.error;
+    EXPECT_TRUE(info.servedFromCache);
+    EXPECT_EQ(info.cellsExecuted, 0u);
+    EXPECT_EQ(info.cellsCached, spec.cellCount());
+    EXPECT_EQ(readFile(info.resultPath), expected);
+
+    const ServiceCounters counters = service.counters();
+    EXPECT_EQ(counters.submitted, 2u);
+    EXPECT_EQ(counters.completed, 2u);
+    EXPECT_EQ(counters.jobsServedFromCache, 1u);
+}
+
+TEST(Service, InvalidSpecsAreRejected)
+{
+    ServiceOptions options;
+    options.stateDir = freshDir("latte_service_invalid_state");
+    options.startPaused = true;
+    SweepService service(options);
+
+    runner::SweepSpec spec = tinySpec();
+    spec.policies = {"No-Such-Policy"};
+    std::string error;
+    EXPECT_EQ(service.submit(spec, "tester", 0, &error), 0u);
+    EXPECT_NE(error.find("invalid spec"), std::string::npos) << error;
+
+    spec = tinySpec();
+    spec.options["cfg.no_such_knob"] = runner::Json(std::uint64_t{1});
+    EXPECT_EQ(service.submit(spec, "tester", 0, &error), 0u);
+    EXPECT_NE(error.find("invalid spec"), std::string::npos) << error;
+    EXPECT_EQ(service.counters().rejected, 2u);
+}
+
+TEST(Service, QuotasQueueCapAndPriorities)
+{
+    ServiceOptions options;
+    options.stateDir = freshDir("latte_service_quota_state");
+    options.cacheDir = freshDir("latte_service_quota_cache");
+    options.threads = 2;
+    options.clientQuota = 2;
+    options.maxQueue = 3;
+    options.startPaused = true;
+    SweepService service(options);
+
+    const runner::SweepSpec spec = tinySpec();
+    std::string error;
+    const std::uint64_t low = service.submit(spec, "alice", 0, &error);
+    ASSERT_NE(low, 0u) << error;
+    const std::uint64_t high = service.submit(spec, "alice", 5, &error);
+    ASSERT_NE(high, 0u) << error;
+
+    // Third live job for the same client exceeds its quota...
+    EXPECT_EQ(service.submit(spec, "alice", 0, &error), 0u);
+    EXPECT_NE(error.find("quota"), std::string::npos) << error;
+    // ...but another client still gets in.
+    const std::uint64_t other = service.submit(spec, "bob", 1, &error);
+    ASSERT_NE(other, 0u) << error;
+    // Now the global queue cap kicks in for everyone.
+    EXPECT_EQ(service.submit(spec, "carol", 0, &error), 0u);
+    EXPECT_NE(error.find("queue full"), std::string::npos) << error;
+    EXPECT_EQ(service.queueDepth(), 3u);
+
+    // Highest priority first; FIFO within equal priority.
+    std::vector<std::uint64_t> started;
+    std::mutex started_mutex;
+    const std::uint64_t token =
+        service.addListener([&](const runner::Json &event) {
+            if (event.at("event").asString() == "job_started") {
+                std::lock_guard<std::mutex> lock(started_mutex);
+                started.push_back(event.at("job").asUint());
+            }
+        });
+    service.resume();
+    service.waitIdle();
+    service.removeListener(token);
+    EXPECT_EQ(started,
+              (std::vector<std::uint64_t>{high, other, low}));
+}
+
+TEST(Service, CancelQueuedJobImmediately)
+{
+    ServiceOptions options;
+    options.stateDir = freshDir("latte_service_cancel_state");
+    options.startPaused = true;
+    SweepService service(options);
+
+    std::string error;
+    const std::uint64_t id =
+        service.submit(tinySpec(), "tester", 0, &error);
+    ASSERT_NE(id, 0u) << error;
+    EXPECT_TRUE(service.cancel(id, &error)) << error;
+
+    JobInfo info;
+    ASSERT_TRUE(service.waitJob(id, info));
+    EXPECT_EQ(info.state, JobState::Cancelled);
+    // A terminal job cannot be cancelled again, nor an unknown id.
+    EXPECT_FALSE(service.cancel(id, &error));
+    EXPECT_FALSE(service.cancel(999, &error));
+    EXPECT_EQ(service.counters().cancelled, 1u);
+}
+
+TEST(Service, JournalRecoveryRequeuesUnfinishedJobs)
+{
+    const std::string state = freshDir("latte_service_recover_state");
+    const std::string cache = freshDir("latte_service_recover_cache");
+    const runner::SweepSpec spec = tinySpec();
+    std::uint64_t first = 0, second = 0;
+
+    {
+        ServiceOptions options;
+        options.stateDir = state;
+        options.cacheDir = cache;
+        options.startPaused = true;
+        SweepService service(options);
+        std::string error;
+        first = service.submit(spec, "tester", 0, &error);
+        ASSERT_NE(first, 0u) << error;
+        runner::SweepSpec other = spec;
+        other.name = "tiny-2";
+        other.seeds = {7};
+        second = service.submit(other, "tester", 0, &error);
+        ASSERT_NE(second, 0u) << error;
+    } // destroyed with both jobs still queued — like a SIGKILL
+
+    {
+        ServiceOptions options;
+        options.stateDir = state;
+        options.cacheDir = cache;
+        options.threads = 2;
+        SweepService service(options);
+        EXPECT_EQ(service.counters().recovered, 2u);
+        service.waitIdle();
+        JobInfo info;
+        ASSERT_TRUE(service.waitJob(first, info));
+        EXPECT_EQ(info.state, JobState::Done) << info.error;
+        ASSERT_TRUE(service.waitJob(second, info));
+        EXPECT_EQ(info.state, JobState::Done) << info.error;
+    }
+
+    // A third incarnation sees both jobs terminal: nothing to recover.
+    {
+        ServiceOptions options;
+        options.stateDir = state;
+        options.cacheDir = cache;
+        options.startPaused = true;
+        SweepService service(options);
+        EXPECT_EQ(service.counters().recovered, 0u);
+        const std::vector<JobInfo> jobs = service.jobs();
+        ASSERT_EQ(jobs.size(), 2u);
+        for (const JobInfo &job : jobs)
+            EXPECT_EQ(job.state, JobState::Done);
+    }
+}
+
+TEST(Service, DispatcherSpeaksTheWireProtocol)
+{
+    ServiceOptions options;
+    options.stateDir = freshDir("latte_service_proto_state");
+    options.startPaused = true;
+    SweepService service(options);
+    RequestDispatcher dispatcher(service);
+    Session session;
+
+    auto errorCode = [](const runner::Json &response) {
+        return response.at("error").at("code").asString();
+    };
+
+    runner::Json response =
+        dispatcher.handle(R"({"type":"ping"})", session);
+    EXPECT_TRUE(response.at("ok").asBool());
+
+    EXPECT_EQ(errorCode(dispatcher.handle("{not json", session)),
+              "bad_json");
+    EXPECT_EQ(errorCode(dispatcher.handle(R"({"type":"nope"})", session)),
+              "unknown_type");
+    EXPECT_EQ(errorCode(dispatcher.handle(
+                  R"({"type":"status","job":42})", session)),
+              "unknown_job");
+    EXPECT_EQ(errorCode(dispatcher.handle(
+                  R"({"type":"submit","spec":{"policies":17}})", session)),
+              "invalid_spec");
+
+    // A well-formed submit; the session's client identity sticks.
+    const std::string submit =
+        R"({"type":"submit","client":"wire","spec":)" +
+        tinySpec().toJson().dump() + "}";
+    response = dispatcher.handle(submit, session);
+    ASSERT_TRUE(response.at("ok").asBool());
+    const std::uint64_t id = response.at("job").asUint();
+    EXPECT_EQ(session.client, "wire");
+
+    response = dispatcher.handle(
+        R"({"type":"status","job":)" + std::to_string(id) + "}",
+        session);
+    ASSERT_TRUE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("info").at("state").asString(), "queued");
+
+    response = dispatcher.handle(R"({"type":"stats"})", session);
+    ASSERT_TRUE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("stats").at("submitted").asUint(), 1u);
+    EXPECT_EQ(response.at("stats").at("queue_depth").asUint(), 1u);
+
+    response = dispatcher.handle(R"({"type":"metrics"})", session);
+    ASSERT_TRUE(response.at("ok").asBool());
+    EXPECT_NE(response.at("prometheus").asString().find(
+                  "latte_service_queue_depth"),
+              std::string::npos);
+
+    // Subscribe needs a send channel; this session has none.
+    EXPECT_EQ(errorCode(dispatcher.handle(R"({"type":"subscribe"})",
+                                          session)),
+              "unknown_type");
+
+    bool shutdown_requested = false;
+    dispatcher.onShutdown([&] { shutdown_requested = true; });
+    response = dispatcher.handle(R"({"type":"shutdown"})", session);
+    EXPECT_TRUE(response.at("ok").asBool());
+    EXPECT_TRUE(shutdown_requested);
+    dispatcher.closeSession(session);
+}
+
+} // namespace
