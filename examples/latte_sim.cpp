@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/backend.hh"
 #include "core/driver.hh"
 #include "metrics/profiler.hh"
 #include "metrics/registry.hh"
@@ -122,6 +123,20 @@ main(int argc, char **argv)
     parser.add("--max-instr", "", "N", "per-kernel instruction budget",
                [&](const std::string &v) {
                    options.maxInstructionsPerKernel = std::stoull(v);
+               });
+    parser.add("--compress-backend", "", "NAME",
+               "compression kernel backend: auto|scalar|sse4|avx2 "
+               "(speed only; results are bit-identical)",
+               [&](const std::string &v) {
+                   std::string error;
+                   const CompressorBackend *backend =
+                       resolveCompressorBackend(v, &error);
+                   if (!backend) {
+                       std::cerr << error << "\n";
+                       std::exit(1);
+                   }
+                   setCompressorBackend(*backend);
+                   options.compressBackend = v;
                });
     parser.add("--trace", "", "", "print the per-EP policy trace",
                [&](const std::string &) { trace = true; });

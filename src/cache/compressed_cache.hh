@@ -16,6 +16,7 @@
 #define LATTE_CACHE_COMPRESSED_CACHE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/config.hh"
@@ -195,6 +196,19 @@ class CompressedCache : public StatGroup
     const TagEntry *setBase(std::uint32_t set_index) const;
     Addr tagOf(Addr line_addr) const;
     void insertLine(Cycles now, Addr line_addr);
+    /**
+     * Insert the due fills of one processFills() sweep. When the batch
+     * can be proven equivalent to the sequential per-fill walk (no
+     * round-trip verification, no line already resident, no duplicate
+     * addresses) all probes are funnelled through one batched
+     * probeLines() pass so the backend's SIMD kernels amortise;
+     * otherwise it falls back to per-fill insertLine().
+     */
+    void insertLines(std::span<const PendingFill> due);
+    /** The tail of an insertion once set, mode and meta are known. */
+    void insertPrepared(Cycles now, Addr line_addr, std::uint32_t set,
+                        CompressorId mode, const LineMeta &meta,
+                        const CompressedLine *full_line);
     std::uint8_t subBlocksFor(const LineMeta &meta) const;
     /** Invalidate @p entry and release its sub-blocks in @p set_index. */
     void releaseLine(TagEntry &entry, std::uint32_t set_index);
@@ -223,6 +237,21 @@ class CompressedCache : public StatGroup
     std::vector<std::uint32_t> setUsedSubBlocks_;
     CompressMemo memo_;
     std::vector<PendingFill> pendingFills_;
+    // insertLines() scratch, kept as members so a fill batch does not
+    // allocate once the vectors have grown to steady state.
+    std::vector<PendingFill> dueFills_;
+    std::vector<std::uint32_t> fillSets_;
+    std::vector<CompressorId> fillModes_;
+    std::vector<LineMeta> fillMeta_;
+    std::vector<std::uint8_t> probeBytes_;
+    std::vector<Compressor *> probeEngines_;
+    std::vector<std::uint32_t> probeGens_;
+    std::vector<std::uint32_t> probeSlots_;
+    std::vector<LineMeta> probeMeta_;
+    std::vector<bool> probeDone_;
+    std::vector<std::uint8_t> scratchBytes_;
+    std::vector<std::uint32_t> scratchSlots_;
+    std::vector<LineMeta> scratchMeta_;
     Cycles nextFillCycle_ = kNoCycle;
     std::uint64_t lruClock_ = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "backend.hh"
 #include "common/logging.hh"
 
 namespace latte
@@ -32,28 +33,6 @@ layoutSizeBits(const BdiLayout &layout)
     const std::uint32_t n_blocks = kLineBytes / layout.baseBytes;
     return 8u * layout.baseBytes + n_blocks +
            n_blocks * 8u * layout.deltaBytes;
-}
-
-bool
-allZero(std::span<const std::uint8_t> line)
-{
-    // Word-at-a-time scan; lines are a multiple of 8 bytes.
-    for (std::size_t off = 0; off < line.size(); off += 8) {
-        if (loadLe(line.data() + off, 8) != 0)
-            return false;
-    }
-    return true;
-}
-
-bool
-repeated8(std::span<const std::uint8_t> line)
-{
-    const std::uint64_t first = loadLe(line.data(), 8);
-    for (std::size_t off = 8; off < line.size(); off += 8) {
-        if (loadLe(line.data() + off, 8) != first)
-            return false;
-    }
-    return true;
 }
 
 /**
@@ -102,38 +81,6 @@ classifyLayout(std::span<const std::uint8_t> line, const BdiLayout &layout,
     return true;
 }
 
-/**
- * Feasibility-only variant of classifyLayout — no outputs kept. The
- * block and delta widths are template parameters so the per-block loads
- * and range checks compile to fixed-width instructions; this is the
- * whole cost of a BDI probe, so it has to be lean.
- */
-template <unsigned BaseBytes, unsigned DeltaBytes>
-bool
-layoutFits(std::span<const std::uint8_t> line)
-{
-    constexpr unsigned n_blocks = kLineBytes / BaseBytes;
-
-    std::uint64_t base = 0;
-    bool have_base = false;
-
-    for (unsigned i = 0; i < n_blocks; ++i) {
-        const std::uint64_t raw = loadLe(line.data() + i * BaseBytes,
-                                         BaseBytes);
-        const std::int64_t value = signExtend(raw, 8 * BaseBytes);
-        if (fitsSigned(value, DeltaBytes))
-            continue;
-        if (!have_base) {
-            base = raw;
-            have_base = true;
-        }
-        const std::int64_t delta = signExtend(raw - base, 8 * BaseBytes);
-        if (!fitsSigned(delta, DeltaBytes))
-            return false;
-    }
-    return true;
-}
-
 } // namespace
 
 BdiCompressor::BdiCompressor(const CompressorTimings &timings)
@@ -173,53 +120,23 @@ BdiCompressor::tryLayout(std::span<const std::uint8_t> line,
     return out.sizeBits < kLineBits;
 }
 
-LineMeta
-BdiCompressor::probe(std::span<const std::uint8_t> line)
+void
+BdiCompressor::probeLines(std::span<const std::uint8_t> lines,
+                          std::span<LineMeta> out)
 {
-    latte_assert(line.size() == kLineBytes);
+    latte_assert(lines.size() == out.size() * kLineBytes);
 
-    LineMeta meta;
-    meta.algo = CompressorId::Bdi;
-
-    if (allZero(line)) {
-        meta.encoding = kEncZeros;
-        meta.sizeBits = 8; // one zero byte of payload in the data array
-        return meta;
+    // The layout scan (zero line, repeated qword, then first-fit over
+    // the base+delta layouts in ascending size order) lives in the
+    // backend kernel; hoisting the dispatch out of the loop is what
+    // batching buys.
+    const simd::BdiScanFn scan = activeCompressorBackend().bdiScan;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const simd::BdiScanResult r =
+            scan(lines.data() + i * kLineBytes);
+        out[i] = makeProbedMeta(CompressorId::Bdi, r.encoding,
+                                r.sizeBits);
     }
-
-    if (repeated8(line)) {
-        meta.encoding = kEncRep8;
-        meta.sizeBits = 64;
-        return meta;
-    }
-
-    // Layout sizes are compile-time constants, so "smallest feasible
-    // layout, ties to the earlier probe" is a first-fit scan in
-    // ascending size order: B8D1 (208), B4D1 (320), B8D2 (336),
-    // B4D2 (576), B8D4 (592), B2D1 (592; loses the tie to B8D4 as it
-    // comes later in kLayouts).
-    const auto pick = [&meta](std::uint8_t encoding,
-                              std::uint32_t size_bits) {
-        meta.encoding = encoding;
-        meta.sizeBits = size_bits;
-    };
-    if (layoutFits<8, 1>(line))
-        pick(kEncB8D1, layoutSizeBits(kLayouts[0]));
-    else if (layoutFits<4, 1>(line))
-        pick(kEncB4D1, layoutSizeBits(kLayouts[2]));
-    else if (layoutFits<8, 2>(line))
-        pick(kEncB8D2, layoutSizeBits(kLayouts[1]));
-    else if (layoutFits<4, 2>(line))
-        pick(kEncB4D2, layoutSizeBits(kLayouts[4]));
-    else if (layoutFits<8, 4>(line))
-        pick(kEncB8D4, layoutSizeBits(kLayouts[3]));
-    else if (layoutFits<2, 1>(line))
-        pick(kEncB2D1, layoutSizeBits(kLayouts[5]));
-    else {
-        meta.encoding = kRawEncoding;
-        meta.sizeBits = kLineBits;
-    }
-    return meta;
 }
 
 CompressedLine

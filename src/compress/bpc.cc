@@ -1,5 +1,6 @@
 #include "bpc.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "common/logging.hh"
@@ -164,21 +165,23 @@ BpcCompressor::BpcCompressor(const CompressorTimings &timings)
       decompressNj_(timings.bpcDecompressNj)
 {}
 
-LineMeta
-BpcCompressor::probe(std::span<const std::uint8_t> line)
+void
+BpcCompressor::probeLines(std::span<const std::uint8_t> lines,
+                          std::span<LineMeta> out)
 {
-    latte_assert(line.size() == kLineBytes);
+    latte_assert(lines.size() == out.size() * kLineBytes);
 
-    BitCounter counter;
-    encodeLine(line, counter);
-    if (counter.bitSize() >= kLineBits)
-        return makeRawMeta(CompressorId::Bpc);
-
-    LineMeta meta;
-    meta.algo = CompressorId::Bpc;
-    meta.encoding = 0;
-    meta.sizeBits = static_cast<std::uint32_t>(counter.bitSize());
-    return meta;
+    // The delta/DBP/DBX pipeline is already plane-parallel inside
+    // encodeLine(); the batch form is a plain loop sharing the API
+    // shape (and the amortised dispatch) with the other compressors.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        BitCounter counter;
+        encodeLine(lines.subspan(i * kLineBytes, kLineBytes), counter);
+        out[i] = makeProbedMeta(
+            CompressorId::Bpc, 0,
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(counter.bitSize(), kLineBits)));
+    }
 }
 
 CompressedLine

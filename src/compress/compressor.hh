@@ -165,12 +165,36 @@ class Compressor
     virtual CompressedLine compress(std::span<const std::uint8_t> line) = 0;
 
     /**
-     * Size-only fast path: the exact LineMeta compress() would produce
-     * for @p line — same algo, encoding, sizeBits and generation —
-     * without materialising the bit stream. Pinned to compress() by the
-     * ProbeMatchesCompress property test.
+     * Size-only fast path over a batch: for each of the out.size()
+     * lines concatenated in @p lines (exactly kLineBytes apiece, no
+     * alignment requirement beyond what the caller's buffer gives),
+     * the exact LineMeta compress() would produce — same algo,
+     * encoding, sizeBits and generation — without materialising any
+     * bit stream. Batching is the primitive: it amortises the virtual
+     * dispatch and the backend's SIMD setup across the whole set, so
+     * hot callers (the compressed L1 fill path, the mode-provider
+     * sampler, the throughput bench) should hand over every line they
+     * have rather than loop over probe(). Results are independent per
+     * line and bit-identical across backends and batch sizes. Pinned
+     * to compress() by the ProbeMatchesCompress property test.
+     *
+     * @pre lines.size() == out.size() * kLineBytes.
      */
-    virtual LineMeta probe(std::span<const std::uint8_t> line) = 0;
+    virtual void probeLines(std::span<const std::uint8_t> lines,
+                            std::span<LineMeta> out) = 0;
+
+    /**
+     * Single-line convenience over probeLines() — source-compatible
+     * with the pre-batching interface for external callers; hot paths
+     * should batch.
+     */
+    LineMeta
+    probe(std::span<const std::uint8_t> line)
+    {
+        LineMeta meta;
+        probeLines(line, {&meta, 1});
+        return meta;
+    }
 
     /**
      * Reverse compress() into caller-provided storage (exactly
@@ -208,6 +232,29 @@ CompressedLine makeRawLine(CompressorId id,
 
 /** The LineMeta of a raw encoding (what probe() returns on fallback). */
 LineMeta makeRawMeta(CompressorId id);
+
+/**
+ * The LineMeta of a probe that measured @p size_bits: the shared
+ * reject-path helper. Every compressor funnels its probe results
+ * through here so the raw fallback (anything at or above kLineBits)
+ * can't drift between algorithms — one place owns the uncompressed
+ * size and tag. @p generation is threaded through for SC.
+ */
+inline LineMeta
+makeProbedMeta(CompressorId id, std::uint8_t encoding,
+               std::uint32_t size_bits, std::uint32_t generation = 0)
+{
+    LineMeta meta;
+    if (size_bits >= kLineBits) {
+        meta = makeRawMeta(id);
+    } else {
+        meta.algo = id;
+        meta.encoding = encoding;
+        meta.sizeBits = size_bits;
+    }
+    meta.generation = generation;
+    return meta;
+}
 
 /** Recover the bytes of a raw encoding. */
 std::vector<std::uint8_t> decodeRawLine(const CompressedLine &line);

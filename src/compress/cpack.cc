@@ -109,28 +109,30 @@ CpackCompressor::CpackCompressor(const CompressorTimings &timings)
     : decompressLat_(timings.cpackDecompress)
 {}
 
-LineMeta
-CpackCompressor::probe(std::span<const std::uint8_t> line)
+void
+CpackCompressor::probeLines(std::span<const std::uint8_t> lines,
+                            std::span<LineMeta> out)
 {
-    latte_assert(line.size() == kLineBytes);
+    latte_assert(lines.size() == out.size() * kLineBytes);
 
-    LineMeta meta;
-    meta.algo = CompressorId::CpackZ;
-
-    if (allZero(line)) {
-        meta.encoding = kEncZeroLine;
-        meta.sizeBits = 8;
-        return meta;
+    // The dictionary evolution is inherently serial per line, so the
+    // batch form is a plain loop — it still amortises the virtual
+    // dispatch and keeps callers on one API shape.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::span<const std::uint8_t> line =
+            lines.subspan(i * kLineBytes, kLineBytes);
+        if (allZero(line)) {
+            out[i] = makeProbedMeta(CompressorId::CpackZ, kEncZeroLine,
+                                    8);
+            continue;
+        }
+        BitCounter counter;
+        encodeWords(line, counter);
+        out[i] = makeProbedMeta(
+            CompressorId::CpackZ, kEncPacked,
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(counter.bitSize(), kLineBits)));
     }
-
-    BitCounter counter;
-    encodeWords(line, counter);
-    if (counter.bitSize() >= kLineBits)
-        return makeRawMeta(CompressorId::CpackZ);
-
-    meta.encoding = kEncPacked;
-    meta.sizeBits = static_cast<std::uint32_t>(counter.bitSize());
-    return meta;
 }
 
 CompressedLine

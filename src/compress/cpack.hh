@@ -27,7 +27,8 @@ class CpackCompressor : public Compressor
     std::string name() const override { return "CPACK-Z"; }
 
     CompressedLine compress(std::span<const std::uint8_t> line) override;
-    LineMeta probe(std::span<const std::uint8_t> line) override;
+    void probeLines(std::span<const std::uint8_t> lines,
+                    std::span<LineMeta> out) override;
     void decompressInto(const CompressedLine &line,
                         std::span<std::uint8_t> out) const override;
 

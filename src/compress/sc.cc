@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend.hh"
 #include "common/logging.hh"
 
 namespace latte
@@ -108,38 +109,36 @@ ScCompressor::codeDivergence() const
     return static_cast<double>(missing) / static_cast<double>(top);
 }
 
-LineMeta
-ScCompressor::probe(std::span<const std::uint8_t> line)
+void
+ScCompressor::probeLines(std::span<const std::uint8_t> lines,
+                         std::span<LineMeta> out)
 {
-    latte_assert(line.size() == kLineBytes);
-    LineMeta meta = makeRawMeta(CompressorId::Sc);
-    meta.generation = generation_;
-    if (!codes_.valid())
-        return meta;
+    latte_assert(lines.size() == out.size() * kLineBytes);
 
-    // No per-word early exit here: the running size is monotone, so the
-    // total crosses kLineBits iff compress()'s capped stream does, and
-    // both sides then report the same raw line.
-    // Four accumulators so the adds of neighbouring lookups don't
-    // serialise behind one register.
-    std::uint64_t bits0 = 0, bits1 = 0, bits2 = 0, bits3 = 0;
-    for (unsigned off = 0; off < kLineBytes; off += 16) {
-        const std::uint64_t pa = loadLe(line.data() + off, 8);
-        const std::uint64_t pb = loadLe(line.data() + off + 8, 8);
-        bits0 += codes_.encodedBitsFast(static_cast<std::uint32_t>(pa));
-        bits1 += codes_.encodedBitsFast(
-            static_cast<std::uint32_t>(pa >> 32));
-        bits2 += codes_.encodedBitsFast(static_cast<std::uint32_t>(pb));
-        bits3 += codes_.encodedBitsFast(
-            static_cast<std::uint32_t>(pb >> 32));
+    if (!codes_.valid()) {
+        for (LineMeta &meta : out)
+            meta = makeProbedMeta(CompressorId::Sc, 0, kLineBits,
+                                  generation_);
+        return;
     }
-    const std::uint64_t bits = (bits0 + bits1) + (bits2 + bits3);
-    if (bits >= kLineBits)
-        return meta;
 
-    meta.encoding = 0;
-    meta.sizeBits = static_cast<std::uint32_t>(bits);
-    return meta;
+    // No per-word early exit in the kernel: the running size is
+    // monotone, so the total crosses kLineBits iff compress()'s capped
+    // stream does, and both sides then report the same raw line. The
+    // length-table view is borrowed once for the whole batch — the
+    // code book cannot change mid-call.
+    const simd::ScLineBitsFn lineBits =
+        activeCompressorBackend().scLineBits;
+    const HuffmanCode::LengthView view = codes_.lengthView();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::uint64_t bits =
+            lineBits(lines.data() + i * kLineBytes, view);
+        out[i] = makeProbedMeta(
+            CompressorId::Sc, 0,
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(bits, kLineBits)),
+            generation_);
+    }
 }
 
 CompressedLine

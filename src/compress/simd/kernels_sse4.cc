@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SSE4.1 probe kernels — the AVX2 designs at 128-bit width (see
+ * kernels_avx2.cc for the bit-identity arguments; they carry over lane
+ * for lane). No scLineBits here: the slot gather needs AVX2, so the
+ * SSE4 backend keeps the scalar SC kernel. Compiled with -msse4.1 via
+ * per-file CMake flags and only dispatched after a runtime
+ * __builtin_cpu_supports("sse4.1") check.
+ */
+
+#include <smmintrin.h>
+
+#include <bit>
+
+#include "common/bit_utils.hh"
+#include "compress/simd/kernels.hh"
+
+namespace latte::simd::sse4
+{
+
+namespace
+{
+
+inline __m128i
+loadVec(const std::uint8_t *line, unsigned i)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i *>(line) + i);
+}
+
+inline bool
+allZero(const std::uint8_t *line)
+{
+    __m128i acc = loadVec(line, 0);
+    for (unsigned i = 1; i < 8; ++i)
+        acc = _mm_or_si128(acc, loadVec(line, i));
+    return _mm_testz_si128(acc, acc);
+}
+
+inline bool
+repeated8(const std::uint8_t *line)
+{
+    const __m128i first =
+        _mm_set1_epi64x(static_cast<long long>(loadLe(line, 8)));
+    __m128i acc = _mm_setzero_si128();
+    for (unsigned i = 0; i < 8; ++i)
+        acc = _mm_or_si128(acc, _mm_xor_si128(loadVec(line, i), first));
+    return _mm_testz_si128(acc, acc);
+}
+
+/** 8-byte-base layouts: 16 blocks as 8 vectors of 2 qword lanes. */
+template <unsigned DeltaBytes>
+inline bool
+layoutFitsB8(const std::uint8_t *line)
+{
+    const __m128i bias =
+        _mm_set1_epi64x(std::int64_t{1} << (8 * DeltaBytes - 1));
+    const __m128i himask = _mm_set1_epi64x(static_cast<long long>(
+        ~((std::uint64_t{1} << (8 * DeltaBytes)) - 1)));
+    const __m128i zero = _mm_setzero_si128();
+
+    __m128i v[8];
+    unsigned imm_mask = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        v[k] = loadVec(line, k);
+        const __m128i t =
+            _mm_and_si128(_mm_add_epi64(v[k], bias), himask);
+        const __m128i ok = _mm_cmpeq_epi64(t, zero);
+        imm_mask |= static_cast<unsigned>(
+                        _mm_movemask_pd(_mm_castsi128_pd(ok)))
+                    << (2 * k);
+    }
+    if (imm_mask == 0xffffu)
+        return true;
+
+    const unsigned base_idx = std::countr_zero(~imm_mask & 0xffffu);
+    const __m128i base = _mm_set1_epi64x(
+        static_cast<long long>(loadLe(line + 8 * base_idx, 8)));
+    unsigned ok_mask = imm_mask;
+    for (unsigned k = 0; k < 8; ++k) {
+        const __m128i t = _mm_and_si128(
+            _mm_add_epi64(_mm_sub_epi64(v[k], base), bias), himask);
+        const __m128i ok = _mm_cmpeq_epi64(t, zero);
+        ok_mask |= static_cast<unsigned>(
+                       _mm_movemask_pd(_mm_castsi128_pd(ok)))
+                   << (2 * k);
+    }
+    return ok_mask == 0xffffu;
+}
+
+/** 4-byte-base layouts: 32 blocks as 8 vectors of 4 dword lanes. */
+template <unsigned DeltaBytes>
+inline bool
+layoutFitsB4(const std::uint8_t *line)
+{
+    const __m128i bias = _mm_set1_epi32(1 << (8 * DeltaBytes - 1));
+    const __m128i himask = _mm_set1_epi32(
+        static_cast<int>(~((1u << (8 * DeltaBytes)) - 1)));
+    const __m128i zero = _mm_setzero_si128();
+
+    __m128i v[8];
+    std::uint32_t imm_mask = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        v[k] = loadVec(line, k);
+        const __m128i t =
+            _mm_and_si128(_mm_add_epi32(v[k], bias), himask);
+        const __m128i ok = _mm_cmpeq_epi32(t, zero);
+        imm_mask |= static_cast<std::uint32_t>(
+                        _mm_movemask_ps(_mm_castsi128_ps(ok)))
+                    << (4 * k);
+    }
+    if (imm_mask == 0xffffffffu)
+        return true;
+
+    const unsigned base_idx = std::countr_zero(~imm_mask);
+    const __m128i base = _mm_set1_epi32(
+        static_cast<int>(loadLe(line + 4 * base_idx, 4)));
+    std::uint32_t ok_mask = imm_mask;
+    for (unsigned k = 0; k < 8; ++k) {
+        const __m128i t = _mm_and_si128(
+            _mm_add_epi32(_mm_sub_epi32(v[k], base), bias), himask);
+        const __m128i ok = _mm_cmpeq_epi32(t, zero);
+        ok_mask |= static_cast<std::uint32_t>(
+                       _mm_movemask_ps(_mm_castsi128_ps(ok)))
+                   << (4 * k);
+    }
+    return ok_mask == 0xffffffffu;
+}
+
+} // namespace
+
+BdiScanResult
+bdiScan(const std::uint8_t *line)
+{
+    if (allZero(line))
+        return {BdiCompressor::kEncZeros, 8};
+    if (repeated8(line))
+        return {BdiCompressor::kEncRep8, 64};
+
+    if (layoutFitsB8<1>(line))
+        return {BdiCompressor::kEncB8D1, bdiSizeBits(8, 1)};
+    if (layoutFitsB4<1>(line))
+        return {BdiCompressor::kEncB4D1, bdiSizeBits(4, 1)};
+    if (layoutFitsB8<2>(line))
+        return {BdiCompressor::kEncB8D2, bdiSizeBits(8, 2)};
+    if (layoutFitsB4<2>(line))
+        return {BdiCompressor::kEncB4D2, bdiSizeBits(4, 2)};
+    if (layoutFitsB8<4>(line))
+        return {BdiCompressor::kEncB8D4, bdiSizeBits(8, 4)};
+    if (detail::bdiLayoutFits<2, 1>(line))
+        return {BdiCompressor::kEncB2D1, bdiSizeBits(2, 1)};
+    return {kRawEncoding, kLineBits};
+}
+
+std::uint32_t
+fpcCountBits(const std::uint8_t *line)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i c7 = _mm_set1_epi32(7);
+    const __m128i c127 = _mm_set1_epi32(127);
+    const __m128i c4 = _mm_set1_epi32(4);
+    const __m128i c8 = _mm_set1_epi32(8);
+    const __m128i narrow_lim = _mm_set1_epi32(0x8000);
+    const __m128i lo16 = _mm_set1_epi32(0xffff);
+    const __m128i byte_mask = _mm_set1_epi32(0xff);
+    const __m128i rep_mul = _mm_set1_epi32(0x01010101);
+    const __m128i half_bias = _mm_set1_epi16(128);
+    const __m128i half_mask = _mm_set1_epi16(static_cast<short>(0xff00));
+    const __m128i w35 = _mm_set1_epi32(35);
+    const __m128i w11 = _mm_set1_epi32(11);
+    const __m128i w19 = _mm_set1_epi32(19);
+
+    __m128i acc = zero;
+    std::uint64_t zero_mask = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        const __m128i v = loadVec(line, k);
+
+        const __m128i folded = _mm_xor_si128(v, _mm_srai_epi32(v, 31));
+        const __m128i is_narrow = _mm_cmpgt_epi32(narrow_lim, folded);
+        __m128i narrow = _mm_add_epi32(
+            c7, _mm_and_si128(_mm_cmpgt_epi32(folded, c7), c4));
+        narrow = _mm_add_epi32(
+            narrow, _mm_and_si128(_mm_cmpgt_epi32(folded, c127), c8));
+
+        const __m128i lo = _mm_and_si128(v, lo16);
+        const __m128i is_rep = _mm_cmpeq_epi32(
+            _mm_mullo_epi32(_mm_and_si128(v, byte_mask), rep_mul), v);
+        const __m128i is_two_half = _mm_cmpeq_epi32(
+            _mm_and_si128(_mm_add_epi16(v, half_bias), half_mask), zero);
+        const __m128i is_lo_zero = _mm_cmpeq_epi32(lo, zero);
+
+        __m128i wide = w35;
+        wide = _mm_blendv_epi8(wide, w11, is_rep);
+        wide = _mm_blendv_epi8(wide, w19, is_two_half);
+        wide = _mm_blendv_epi8(wide, w19, is_lo_zero);
+
+        acc = _mm_add_epi32(acc, _mm_blendv_epi8(wide, narrow,
+                                                 is_narrow));
+
+        const __m128i is_zero = _mm_cmpeq_epi32(v, zero);
+        zero_mask |= static_cast<std::uint64_t>(
+                         static_cast<unsigned>(_mm_movemask_ps(
+                             _mm_castsi128_ps(is_zero))))
+                     << (4 * k);
+    }
+
+    acc = _mm_add_epi32(acc,
+                        _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+    acc = _mm_add_epi32(acc,
+                        _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+    std::uint32_t bits =
+        static_cast<std::uint32_t>(_mm_cvtsi128_si32(acc));
+
+    while (zero_mask) {
+        zero_mask >>= std::countr_zero(zero_mask);
+        const unsigned run = std::countr_one(zero_mask);
+        zero_mask >>= run;
+        bits += 6 * static_cast<std::uint32_t>(divCeil(run, 8)) -
+                7 * run;
+    }
+    return bits;
+}
+
+} // namespace latte::simd::sse4

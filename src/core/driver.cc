@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/backend.hh"
 #include "metrics/registry.hh"
 
 namespace latte
@@ -440,6 +441,16 @@ run(const RunRequest &request)
         return RunOutcome::failure(cellError(
             request, RunErrorCode::InvalidConfig,
             strfmt("invalid GpuConfig: {}", *error)));
+    }
+    if (!request.options.compressBackend.empty()) {
+        std::string backend_error;
+        const CompressorBackend *backend = resolveCompressorBackend(
+            request.options.compressBackend, &backend_error);
+        if (!backend) {
+            return RunOutcome::failure(cellError(
+                request, RunErrorCode::InvalidConfig, backend_error));
+        }
+        setCompressorBackend(*backend);
     }
 
     if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {

@@ -125,6 +125,14 @@ struct DriverOptions
     GpuConfig cfg{};
     CacheTuning tuning{};
     std::uint64_t maxInstructionsPerKernel = 50'000'000;
+    /**
+     * Compression kernel backend ("auto", "scalar", "sse4", "avx2";
+     * empty keeps the process-wide selection). Execution speed only:
+     * every backend is pinned bit-identical, so this is deliberately
+     * NOT part of the result-cache fingerprint — a cached result is
+     * valid whichever backend computed it.
+     */
+    std::string compressBackend;
 };
 
 /** A policy selection: a catalogued kind or a custom per-SM factory. */

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "compress/backend.hh"
 
 namespace latte::runner
 {
@@ -104,6 +105,19 @@ const ArgSpec kSpecs[] = {
      "suppress stderr progress lines",
      [](SweepCliOptions &o, const std::string &) {
          o.progress = false;
+     }},
+    {"--compress-backend", nullptr, "<name>",
+     "compression kernel backend: auto|scalar|sse4|avx2 (speed only; "
+     "results are bit-identical)",
+     [](SweepCliOptions &o, const std::string &v) {
+         std::string error;
+         const CompressorBackend *backend =
+             resolveCompressorBackend(v, &error);
+         if (!backend)
+             latte_fatal("--compress-backend: {}\n{}", error,
+                         sweepArgsUsage());
+         setCompressorBackend(*backend);
+         o.compressBackend = v;
      }},
 };
 

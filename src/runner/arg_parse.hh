@@ -25,6 +25,8 @@
  *   --profile             enable the wall-clock zone self-profiler
  *   --bench-out PATH      write an end-to-end throughput report JSON
  *   --no-progress         suppress the stderr progress/ETA lines
+ *   --compress-backend B  compression kernel backend
+ *                         (auto|scalar|sse4|avx2; speed only)
  *   --help                print the generated flag table and exit
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
@@ -56,6 +58,13 @@ struct SweepCliOptions
     bool profile = false;    //!< enable the zone self-profiler
     std::string benchOut;    //!< empty = no throughput report
     bool progress = true;
+    /**
+     * Compression kernel backend (auto|scalar|sse4|avx2). Applied
+     * process-wide at parse time and recorded in DriverOptions for the
+     * result envelopes; bit-identical results either way, so it is not
+     * part of the result-cache key. Empty = auto.
+     */
+    std::string compressBackend;
 
     // --- Resilience ----------------------------------------------------
     std::string resumePath;  //!< sweep journal; empty = no resume

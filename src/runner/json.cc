@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "compress/backend.hh"
 #include "compress/compressor.hh"
 
 namespace latte::runner
@@ -776,6 +777,11 @@ toJson(const RunOutcome &outcome)
     }
 
     object["status"] = Json(runStatusName(outcome.status));
+    // Metadata only: which SIMD backend the compressors dispatched to.
+    // Not part of the cell fingerprint (results are bit-identical
+    // across backends), so fromJson() does not require or restore it.
+    object["compressBackend"] =
+        Json(std::string(activeCompressorBackend().name));
     object["error"] =
         outcome.error.ok() ? Json() : toJson(outcome.error);
     object["attempts"] =
@@ -979,6 +985,11 @@ toJson(const DriverOptions &options)
          })},
         {"maxInstructionsPerKernel",
          Json(options.maxInstructionsPerKernel)},
+        // options.compressBackend is deliberately absent: this JSON is
+        // the result-cache fingerprint (RunKey.configHash), and every
+        // backend produces bit-identical results, so a cached result
+        // must stay valid whichever backend computed it. The backend
+        // name reaches the sweep envelope via outcomeToJson() instead.
     });
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/backend.hh"
 #include "result_cache.hh"
 #include "workloads/zoo.hh"
 
@@ -145,6 +146,20 @@ const OptionEntry kOptionTable[] = {
          else
              return setError(e, "cfg.l1_repl: unknown policy '" + name +
                                     "' (lru|fifo|srrip)");
+         return true;
+     }},
+    {"compress_backend",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "compress_backend: expected a string");
+         // Validated against the backend registry here so a backend
+         // this host lacks fails at submit time, not per cell. The
+         // resolved backend is execution speed only (bit-identical
+         // results) and is excluded from the RunKey fingerprint.
+         std::string resolve_error;
+         if (!resolveCompressorBackend(v.asString(), &resolve_error))
+             return setError(e, "compress_backend: " + resolve_error);
+         o.compressBackend = v.asString();
          return true;
      }},
 };

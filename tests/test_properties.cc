@@ -10,6 +10,7 @@
 
 #include "cache/compressed_cache.hh"
 #include "core/ep_clock.hh"
+#include "compress/backend.hh"
 #include "compress/factory.hh"
 #include "compress/sc.hh"
 #include "workloads/value_gens.hh"
@@ -178,7 +179,9 @@ TEST_P(CompressionInvariants, ProbeMatchesCompress)
     // The size-only probes are hand-tuned twins of the full encoders
     // (BDI's first-fit layout scan, FPC's fused classifier, SC's flat
     // length table), so this equivalence is load-bearing: insertLine()
-    // trusts probe() for every placement decision.
+    // trusts probe() for every placement decision. compress() is always
+    // scalar, so sweeping the dispatch tiers here also pins every SIMD
+    // kernel to the scalar encoding.
     auto gen = makeGen();
     const auto check = [&](Compressor &engine, unsigned lines) {
         for (unsigned i = 0; i < lines; ++i) {
@@ -197,32 +200,40 @@ TEST_P(CompressionInvariants, ProbeMatchesCompress)
         }
     };
 
-    for (const CompressorId id : allCompressorIds()) {
-        auto engine = makeCompressor(id);
-        if (id != CompressorId::Sc) {
-            check(*engine, 64);
+    const CompressorBackend *entry_backend = &activeCompressorBackend();
+    for (const CompressorBackend &backend : compressorBackends()) {
+        if (!compressorBackendSupported(backend))
             continue;
-        }
+        setCompressorBackend(backend);
+        for (const CompressorId id : allCompressorIds()) {
+            auto engine = makeCompressor(id);
+            if (id != CompressorId::Sc) {
+                check(*engine, 64);
+                continue;
+            }
 
-        // SC changes behaviour with its Huffman generation: exercise
-        // the untrained book, a trained one, and a rebuild over a
-        // different sample window (different codes, bumped generation).
-        auto *sc = static_cast<ScCompressor *>(engine.get());
-        check(*engine, 16);
-        std::array<std::uint8_t, 128> line;
-        for (unsigned i = 0; i < 64; ++i) {
-            gen->generate(i * 128, line);
-            sc->trainLine(line);
+            // SC changes behaviour with its Huffman generation:
+            // exercise the untrained book, a trained one, and a rebuild
+            // over a different sample window (different codes, bumped
+            // generation).
+            auto *sc = static_cast<ScCompressor *>(engine.get());
+            check(*engine, 16);
+            std::array<std::uint8_t, 128> line;
+            for (unsigned i = 0; i < 64; ++i) {
+                gen->generate(i * 128, line);
+                sc->trainLine(line);
+            }
+            sc->rebuildCodes();
+            check(*engine, 64);
+            for (unsigned i = 64; i < 96; ++i) {
+                gen->generate(i * 128, line);
+                sc->trainLine(line);
+            }
+            sc->rebuildCodes();
+            check(*engine, 64);
         }
-        sc->rebuildCodes();
-        check(*engine, 64);
-        for (unsigned i = 64; i < 96; ++i) {
-            gen->generate(i * 128, line);
-            sc->trainLine(line);
-        }
-        sc->rebuildCodes();
-        check(*engine, 64);
     }
+    setCompressorBackend(*entry_backend);
 }
 
 INSTANTIATE_TEST_SUITE_P(
