@@ -22,6 +22,7 @@
 #include "metrics/registry.hh"
 #include "runner/arg_parse.hh"
 #include "runner/json.hh"
+#include "sim/thread_pool.hh"
 #include "trace/sink.hh"
 #include "workloads/zoo.hh"
 
@@ -137,6 +138,17 @@ main(int argc, char **argv)
                    }
                    setCompressorBackend(*backend);
                    options.compressBackend = v;
+               });
+    parser.add("--sim-threads", "", "N",
+               "SM-stepping threads: a count or 'auto' (speed only; "
+               "results are bit-identical)",
+               [&](const std::string &v) {
+                   std::string error;
+                   if (resolveSimThreads(v, &error) == 0) {
+                       std::cerr << error << "\n";
+                       std::exit(1);
+                   }
+                   options.simThreads = v;
                });
     parser.add("--trace", "", "", "print the per-EP policy trace",
                [&](const std::string &) { trace = true; });

@@ -229,6 +229,12 @@ CompressedCache::releaseLine(TagEntry &entry, std::uint32_t set_index)
     entry.payload.clear();
 }
 
+void
+CompressedCache::recordHist(metrics::LatencyHistogram *hist, double value)
+{
+    hist->record(value);
+}
+
 LineMeta
 CompressedCache::probeForInsertion(CompressorId mode,
                                    std::span<const std::uint8_t> bytes)
@@ -272,7 +278,13 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
                 tracer_->record(ev);
             }
         }
-        l2_->access(now, line_addr, true);
+        if (stage_) {
+            stage_->hasL2Write = true;
+            stage_->l2WriteAddr = line_addr;
+            stage_->noteSplit();
+        } else {
+            l2_->access(now, line_addr, true);
+        }
         provider_->observeAccess({now, set, was_hit, true, old_mode});
         return {was_hit, now + 1, false, false};
     }
@@ -289,10 +301,8 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             Compressor *engine = engines_->get(entry->mode);
             DecompressionQueue &queue = queueFor(entry->mode);
             ready = queue.enqueue(ready, engine->decompressLatency());
-            if (decompWaitHist_) {
-                decompWaitHist_->record(static_cast<double>(
-                    ready - (now + cfg_.l1HitLatency)));
-            }
+            recordHitHist(decompWaitHist_, static_cast<double>(
+                              ready - (now + cfg_.l1HitLatency)));
             if (tracer_) {
                 TraceEvent ev = makeTraceEvent(
                     now, TraceEventKind::DecompEnqueue, smId_);
@@ -317,8 +327,7 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
                                     truth.begin()),
                          "round-trip mismatch at line {}", line_addr);
         }
-        if (hitLatencyHist_)
-            hitLatencyHist_->record(static_cast<double>(ready - now));
+        recordHitHist(hitLatencyHist_, static_cast<double>(ready - now));
         if (tracer_) {
             TraceEvent ev = makeTraceEvent(now, TraceEventKind::L1Hit, smId_);
             ev.arg0 = line_addr;
@@ -363,6 +372,23 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
         return {false, now, false, true};
     }
 
+    if (stage_) {
+        // Parallel phase: the L2 is shared, so the whole miss tail —
+        // including the policy's access observation, whose EP boundary
+        // reads the miss-latency average this tail samples — runs at
+        // the epoch barrier via finishMiss().
+        stage_->deferredMiss = true;
+        stage_->missAddr = line_addr;
+        stage_->noteSplit();
+        return {false, 0, false, false, true};
+    }
+    return {false, finishMiss(now, line_addr), false, false};
+}
+
+Cycles
+CompressedCache::finishMiss(Cycles now, Addr line_addr)
+{
+    const std::uint32_t set = setIndexOf(line_addr);
     ++misses;
     const L2Result res = l2_->access(now, line_addr, false);
     missLatency.sample(static_cast<double>(res.readyCycle - now));
@@ -382,7 +408,7 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
         tracer_->record(ev);
     }
     provider_->observeAccess({now, set, false, false, CompressorId::None});
-    return {false, res.readyCycle, false, false};
+    return res.readyCycle;
 }
 
 void

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The per-SM staging buffer for the barrier-synchronous parallel
+ * simulation mode. During the parallel phase every SM runs against
+ * private state only; anything that would touch the shared memory
+ * system (the single L2 call of a write-through or a primary miss) or a
+ * shared metrics histogram is parked here instead and replayed at the
+ * epoch barrier in canonical SM-index order, which makes the parallel
+ * schedule observationally identical to the sequential loop.
+ *
+ * `split` remembers how many trace events the SM had staged when the L2
+ * operation was parked: the barrier drains events [0, split), performs
+ * the L2 call (whose own L2/NOC/DRAM events go straight to the real
+ * tracer), then drains the rest — reproducing the exact interleaving
+ * the sequential loop records.
+ */
+
+#ifndef LATTE_CACHE_L1_STAGE_HH
+#define LATTE_CACHE_L1_STAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/tracer.hh"
+
+namespace latte
+{
+
+namespace metrics
+{
+class LatencyHistogram;
+} // namespace metrics
+
+/** One histogram sample deferred to the epoch barrier. */
+struct StagedHistSample
+{
+    metrics::LatencyHistogram *hist;
+    double value;
+};
+
+/** Per-SM parking lot for one parallel epoch's shared-state effects. */
+struct L1Stage
+{
+    /** The SM's staging tracer (null when the run is untraced). */
+    Tracer *events = nullptr;
+    /**
+     * Hit-path samples into run-shared histograms, in record order.
+     * (Miss-path histograms only record inside the barrier-side commit,
+     * so they never need staging.)
+     */
+    std::vector<StagedHistSample> histSamples;
+    /** Staged trace events recorded before the parked L2 operation. */
+    std::size_t split = 0;
+    /** A write-through L2 notification parked for the barrier. */
+    bool hasL2Write = false;
+    Addr l2WriteAddr = 0;
+    /** A primary read miss whose whole tail runs at the barrier. */
+    bool deferredMiss = false;
+    Addr missAddr = 0;
+
+    /** Mark the point the parked L2 operation splits the event stream. */
+    void noteSplit() { split = events ? events->size() : 0; }
+
+    void
+    reset()
+    {
+        histSamples.clear();
+        split = 0;
+        hasL2Write = false;
+        deferredMiss = false;
+    }
+};
+
+} // namespace latte
+
+#endif // LATTE_CACHE_L1_STAGE_HH

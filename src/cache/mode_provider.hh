@@ -22,11 +22,26 @@
 namespace latte
 {
 
+class Tracer;
+
 /** Decides the compression mode of inserted lines. */
 class CompressionModeProvider
 {
   public:
     virtual ~CompressionModeProvider() = default;
+
+    /**
+     * Point the provider's event recording at @p tracer. The parallel
+     * simulation mode swaps in a per-SM staging tracer for the duration
+     * of a kernel so policy events (EP boundaries, mode changes, SC
+     * rebuilds) stay in canonical order; providers that do not trace
+     * ignore it.
+     */
+    virtual void
+    redirectTracer(Tracer *tracer)
+    {
+        (void)tracer;
+    }
 
     /** Mode for a line about to be inserted into @p set_index. */
     virtual CompressorId modeForInsertion(std::uint32_t set_index) = 0;

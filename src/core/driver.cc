@@ -259,6 +259,8 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
 
     Gpu gpu(options.cfg, &mem, options.tuning, request.tracer);
     gpu.setControl(&request.control);
+    // Validated by run(); resolveSimThreads cannot fail here.
+    gpu.setSimThreads(resolveSimThreads(options.simThreads, nullptr));
 
     std::vector<std::unique_ptr<Policy>> policies;
     policies.reserve(gpu.numSms());
@@ -452,17 +454,32 @@ run(const RunRequest &request)
         }
         setCompressorBackend(*backend);
     }
-
-    if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {
-        if (*kind == PolicyKind::KernelOpt)
-            return runKernelOpt(request);
-        const PolicyKind k = *kind;
-        return runConcrete(
-            request,
-            [k](const GpuConfig &cfg) { return makePolicy(k, cfg); }, k);
+    std::string threads_error;
+    const unsigned sim_threads =
+        resolveSimThreads(request.options.simThreads, &threads_error);
+    if (sim_threads == 0) {
+        return RunOutcome::failure(cellError(
+            request, RunErrorCode::InvalidConfig, threads_error));
     }
-    return runConcrete(request, std::get<PolicyFactory>(request.policy),
-                       PolicyKind::Baseline);
+
+    RunOutcome outcome;
+    if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {
+        if (*kind == PolicyKind::KernelOpt) {
+            outcome = runKernelOpt(request);
+        } else {
+            const PolicyKind k = *kind;
+            outcome = runConcrete(
+                request,
+                [k](const GpuConfig &cfg) { return makePolicy(k, cfg); },
+                k);
+        }
+    } else {
+        outcome = runConcrete(request,
+                              std::get<PolicyFactory>(request.policy),
+                              PolicyKind::Baseline);
+    }
+    outcome.simThreads = sim_threads;
+    return outcome;
 }
 
 double

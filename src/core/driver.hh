@@ -133,6 +133,16 @@ struct DriverOptions
      * valid whichever backend computed it.
      */
     std::string compressBackend;
+    /**
+     * SM-stepping threads inside one run ("auto" = hardware
+     * concurrency, a positive integer, or empty = LATTE_SIM_THREADS /
+     * default 1). The parallel cycle loop is barrier-synchronous and
+     * bit-identical to sequential, so like compressBackend this is
+     * execution speed only and deliberately NOT part of the
+     * result-cache fingerprint — a cached result is valid whichever
+     * thread count computed it.
+     */
+    std::string simThreads;
 };
 
 /** A policy selection: a catalogued kind or a custom per-SM factory. */
@@ -211,6 +221,12 @@ struct RunOutcome
     std::uint32_t attempts = 1;
     /** Errors of the failed attempts that preceded the last one. */
     std::vector<RunError> retryHistory;
+    /**
+     * SM-stepping threads the run resolved to (metadata for the result
+     * envelope; never part of the cell fingerprint, since every thread
+     * count is bit-identical).
+     */
+    std::uint32_t simThreads = 1;
 
     bool ok() const { return status == RunStatus::Ok; }
 

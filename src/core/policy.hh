@@ -73,6 +73,13 @@ class Policy : public CompressionModeProvider
         traceSmId_ = sm_id;
     }
 
+    /** Swap the recording target (parallel staging); keeps the SM id. */
+    void
+    redirectTracer(Tracer *tracer) override
+    {
+        tracer_ = tracer;
+    }
+
     // --- CompressionModeProvider ---
     void
     observeAccess(const AccessEvent &event) override

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/logging.hh"
 
@@ -18,7 +19,7 @@ MemoryImage::addRegion(Addr base, Addr size,
 }
 
 MemoryImage::Line &
-MemoryImage::materialise(Addr line_addr)
+MemoryImage::materialiseLocked(Addr line_addr)
 {
     const auto it = lines_.find(line_addr);
     if (it != lines_.end())
@@ -36,10 +37,26 @@ MemoryImage::materialise(Addr line_addr)
     return line;
 }
 
+MemoryImage::Line &
+MemoryImage::materialise(Addr line_addr)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return materialiseLocked(line_addr);
+}
+
 const MemoryImage::Line &
 MemoryImage::line(Addr addr)
 {
-    return materialise(lineAddr(addr));
+    const Addr base = lineAddr(addr);
+    {
+        // Fast path: after warmup nearly every line is resident.
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        const auto it = lines_.find(base);
+        if (it != lines_.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return materialiseLocked(base);
 }
 
 void

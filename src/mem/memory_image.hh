@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -46,7 +47,15 @@ class MemoryImage
      */
     void addRegion(Addr base, Addr size, std::shared_ptr<LineGenerator> gen);
 
-    /** Read the full line containing @p addr (materialising it). */
+    /**
+     * Read the full line containing @p addr (materialising it). Safe to
+     * call concurrently from the parallel SM-stepping phase: resident
+     * lines are found under a shared lock, first-touch materialisation
+     * takes the lock exclusively, and node-based map storage keeps the
+     * returned reference stable across later insertions. Line content
+     * is a pure function of the address, so materialisation order
+     * cannot change what any reader sees.
+     */
     const Line &line(Addr addr);
 
     /** Read @p out.size() bytes starting at @p addr. */
@@ -56,12 +65,19 @@ class MemoryImage
     void writeBytes(Addr addr, std::span<const std::uint8_t> in);
 
     /** Number of lines materialised so far. */
-    std::size_t residentLines() const { return lines_.size(); }
+    std::size_t
+    residentLines() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return lines_.size();
+    }
 
     /** Align @p addr down to its line base. */
     static Addr lineAddr(Addr addr) { return addr & ~Addr{kLineBytes - 1}; }
 
   private:
+    /** Find-or-fill under an exclusive lock held by the caller. */
+    Line &materialiseLocked(Addr line_addr);
     Line &materialise(Addr line_addr);
 
     struct Region
@@ -73,6 +89,8 @@ class MemoryImage
 
     std::vector<Region> regions_;
     std::unordered_map<Addr, Line> lines_;
+    /** Guards lines_ against the parallel SM-stepping phase. */
+    mutable std::shared_mutex mutex_;
 };
 
 } // namespace latte

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "compress/backend.hh"
+#include "sim/thread_pool.hh"
 
 namespace latte::runner
 {
@@ -118,6 +119,16 @@ const ArgSpec kSpecs[] = {
                          sweepArgsUsage());
          setCompressorBackend(*backend);
          o.compressBackend = v;
+     }},
+    {"--sim-threads", nullptr, "<n|auto>",
+     "SM-stepping threads inside each run: a count or 'auto' (speed "
+     "only; results are bit-identical)",
+     [](SweepCliOptions &o, const std::string &v) {
+         std::string error;
+         if (resolveSimThreads(v, &error) == 0)
+             latte_fatal("--sim-threads: {}\n{}", error,
+                         sweepArgsUsage());
+         o.simThreads = v;
      }},
 };
 

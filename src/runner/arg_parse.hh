@@ -27,6 +27,8 @@
  *   --no-progress         suppress the stderr progress/ETA lines
  *   --compress-backend B  compression kernel backend
  *                         (auto|scalar|sse4|avx2; speed only)
+ *   --sim-threads N       SM-stepping threads inside each run
+ *                         (count or "auto"; speed only)
  *   --help                print the generated flag table and exit
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
@@ -65,6 +67,13 @@ struct SweepCliOptions
      * part of the result-cache key. Empty = auto.
      */
     std::string compressBackend;
+    /**
+     * SM-stepping threads inside each run ("auto", a positive count, or
+     * empty = LATTE_SIM_THREADS / default 1). The parallel cycle loop
+     * is bit-identical to sequential, so like compressBackend this is
+     * speed only and not part of the result-cache key.
+     */
+    std::string simThreads;
 
     // --- Resilience ----------------------------------------------------
     std::string resumePath;  //!< sweep journal; empty = no resume

@@ -782,6 +782,13 @@ toJson(const RunOutcome &outcome)
     // across backends), so fromJson() does not require or restore it.
     object["compressBackend"] =
         Json(std::string(activeCompressorBackend().name));
+    // Metadata only, like compressBackend: how many SM-stepping threads
+    // the run resolved to. Not part of the cell fingerprint (every
+    // thread count is bit-identical); fromJson() restores it when
+    // present so a cache-served cell reports the thread count of the
+    // run that actually computed it.
+    object["simThreads"] =
+        Json(static_cast<std::uint64_t>(outcome.simThreads));
     object["error"] =
         outcome.error.ok() ? Json() : toJson(outcome.error);
     object["attempts"] =
@@ -825,6 +832,11 @@ fromJson(const Json &json, RunOutcome &outcome)
         return false;
     outcome.attempts =
         static_cast<std::uint32_t>(json.at("attempts").asUint());
+    // Optional so pre-simThreads schema-3 cache entries stay valid.
+    if (json.contains("simThreads")) {
+        outcome.simThreads = static_cast<std::uint32_t>(
+            json.at("simThreads").asUint());
+    }
     for (const Json &elem : json.at("retryHistory").asArray()) {
         RunError error;
         if (!fromJson(elem, error))
@@ -985,11 +997,12 @@ toJson(const DriverOptions &options)
          })},
         {"maxInstructionsPerKernel",
          Json(options.maxInstructionsPerKernel)},
-        // options.compressBackend is deliberately absent: this JSON is
-        // the result-cache fingerprint (RunKey.configHash), and every
-        // backend produces bit-identical results, so a cached result
-        // must stay valid whichever backend computed it. The backend
-        // name reaches the sweep envelope via outcomeToJson() instead.
+        // options.compressBackend and options.simThreads are
+        // deliberately absent: this JSON is the result-cache
+        // fingerprint (RunKey.configHash), and every backend and every
+        // SM-stepping thread count produce bit-identical results, so a
+        // cached result must stay valid whichever computed it. Both
+        // reach the sweep envelope via the RunOutcome JSON instead.
     });
 }
 

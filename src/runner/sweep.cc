@@ -7,6 +7,7 @@
 #include "json.hh"
 #include "metrics/profiler.hh"
 #include "metrics/registry.hh"
+#include "sim/thread_pool.hh"
 #include "trace/sink.hh"
 
 namespace latte::runner
@@ -52,6 +53,24 @@ Sweep::Sweep(SweepCliOptions cli, DriverOptions defaults)
     // carry the name (it is not part of the result-cache key).
     if (!cli.compressBackend.empty())
         defaults_.compressBackend = cli.compressBackend;
+    // --sim-threads is per-run, not process-wide: the driver resolves
+    // it when each cell starts. Also speed-only, also not cache-keyed.
+    if (!cli.simThreads.empty()) {
+        defaults_.simThreads = cli.simThreads;
+        // -j worker threads each drive their own SM pool, so the two
+        // knobs multiply; epoch barriers thrash once threads exceed
+        // cores.
+        if (cli.jobs != 1 &&
+            resolveSimThreads(cli.simThreads, nullptr) > 1)
+            latte_warn("--sim-threads with -j != 1 multiplies thread "
+                       "counts; prefer -j 1 for parallel-SM sweeps");
+    }
+}
+
+void
+Sweep::addBenchExtra(const std::string &key, Json value)
+{
+    benchExtra_[key] = std::move(value);
 }
 
 Sweep::~Sweep()
@@ -355,6 +374,9 @@ Sweep::writeBench() const
     report["instructions_per_second"] =
         runSeconds_ > 0 ? static_cast<double>(instructions) / runSeconds_
                         : 0.0;
+
+    for (const auto &[key, value] : benchExtra_)
+        report[key] = value;
 
     std::ofstream out(benchOut_);
     if (!out) {

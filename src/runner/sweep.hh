@@ -120,6 +120,16 @@ class Sweep
     /** Write the throughput report now (no-op without --bench-out). */
     void writeBench() const;
 
+    /**
+     * Merge one extra top-level entry into the --bench-out report
+     * (e.g. the fig11 --sim-threads scaling probe). Last writer wins
+     * on key collisions, including with the built-in fields.
+     */
+    void addBenchExtra(const std::string &key, Json value);
+
+    /** The --bench-out path; empty when no report was requested. */
+    const std::string &benchPath() const { return benchOut_; }
+
     const DriverOptions &defaults() const { return defaults_; }
     const ExperimentRunner &runner() const { return runner_; }
 
@@ -138,6 +148,8 @@ class Sweep
     std::string metricsOut_;
     std::uint64_t metricsInterval_ = 0;
     std::string benchOut_;
+    /** Extra top-level --bench-out entries (addBenchExtra). */
+    Json::Object benchExtra_;
     /** Wall-clock seconds spent inside runner_.runAll() calls. */
     double runSeconds_ = 0;
 

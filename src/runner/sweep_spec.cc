@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "compress/backend.hh"
 #include "result_cache.hh"
+#include "sim/thread_pool.hh"
 #include "workloads/zoo.hh"
 
 namespace latte::runner
@@ -160,6 +161,20 @@ const OptionEntry kOptionTable[] = {
          if (!resolveCompressorBackend(v.asString(), &resolve_error))
              return setError(e, "compress_backend: " + resolve_error);
          o.compressBackend = v.asString();
+         return true;
+     }},
+    {"sim_threads",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "sim_threads: expected a string");
+         // Validated here so a bad spelling fails at submit time, not
+         // per cell. The parallel cycle loop is bit-identical to
+         // sequential, so like compress_backend this is execution
+         // speed only and excluded from the RunKey fingerprint.
+         std::string resolve_error;
+         if (resolveSimThreads(v.asString(), &resolve_error) == 0)
+             return setError(e, "sim_threads: " + resolve_error);
+         o.simThreads = v.asString();
          return true;
      }},
 };

@@ -30,6 +30,19 @@ Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning,
 }
 
 void
+Gpu::setSimThreads(unsigned threads)
+{
+    simThreads_ = std::max(1u, threads);
+    pool_.reset();
+    if (simThreads_ > 1) {
+        pool_ = std::make_unique<SimThreadPool>(simThreads_ - 1);
+        epochJob_ = [this](std::size_t k) {
+            sms_[due_[k]]->stagedTick(epochNow_);
+        };
+    }
+}
+
+void
 Gpu::setMetrics(metrics::MetricRegistry *metrics)
 {
     metrics_ = metrics;
@@ -126,6 +139,16 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
     for (auto &sm : sms_)
         sm->startKernel(&program);
 
+    // An epoch with fewer due SMs than this runs staged-but-inline:
+    // commit follows each tick immediately (same canonical order), so
+    // drain phases never pay the pool's wakeup latency.
+    constexpr std::size_t kMinParallelDue = 4;
+    const bool parallel = simThreads_ > 1;
+    if (parallel) {
+        for (auto &sm : sms_)
+            sm->beginStaged();
+    }
+
     std::uint32_t next_cta = 0;
     const std::uint32_t num_ctas = program.numCtas();
 
@@ -155,8 +178,7 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
             next = std::min(next, t);
         if (next == kNoCycle)
             break; // every SM drained and no CTAs left
-        latte_assert(next >= now_ || next == now_,
-                     "clock went backwards");
+        latte_assert(next >= now_, "clock went backwards");
         now_ = std::max(now_, next);
 
         if ((interrupt = checkControl())) {
@@ -171,6 +193,7 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
             break;
         }
 
+        due_.clear();
         for (std::uint32_t i = 0; i < sms_.size(); ++i) {
             if (next_tick[i] > now_)
                 continue;
@@ -178,7 +201,26 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
             if (gap > 1)
                 sms_[i]->noteIdle(gap - 1);
             last_tick[i] = now_;
-            next_tick[i] = sms_[i]->tick(now_);
+            due_.push_back(i);
+        }
+
+        if (parallel && due_.size() >= kMinParallelDue) {
+            // Phase A: due SMs tick concurrently against private state.
+            epochNow_ = now_;
+            pool_->run(due_.size(), epochJob_);
+            // Phase B: shared effects commit in canonical SM order.
+            for (const std::uint32_t i : due_)
+                next_tick[i] = sms_[i]->commitStage(now_);
+        } else if (parallel) {
+            for (const std::uint32_t i : due_) {
+                sms_[i]->stagedTick(now_);
+                next_tick[i] = sms_[i]->commitStage(now_);
+            }
+        } else {
+            for (const std::uint32_t i : due_)
+                next_tick[i] = sms_[i]->tick(now_);
+        }
+        for (const std::uint32_t i : due_) {
             latte_assert(next_tick[i] == kNoCycle || next_tick[i] > now_,
                          "SM must request a future tick");
         }
@@ -190,6 +232,11 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
             budget_hit = true;
             break;
         }
+    }
+
+    if (parallel) {
+        for (auto &sm : sms_)
+            sm->endStaged();
     }
 
     const Cycles duration = now_ - start;

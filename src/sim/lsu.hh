@@ -66,6 +66,16 @@ class LoadStoreUnit : public StatGroup
         }
         retryAt_ = 0;
         ++accessesIssued;
+        if (res.deferred) {
+            // Parallel phase: the miss tail (and hence the warp's ready
+            // cycle) is only known at the epoch barrier, which calls
+            // completeDeferred() with it.
+            latte_assert(!hasDeferred_);
+            hasDeferred_ = true;
+            deferredSlot_ = req.warpSlot;
+            queue_.pop_front();
+            return;
+        }
         if (req.warpSlot >= 0) {
             Warp &warp = warps[req.warpSlot];
             latte_assert(warp.pendingAccesses > 0);
@@ -78,9 +88,29 @@ class LoadStoreUnit : public StatGroup
         queue_.pop_front();
     }
 
+    /** True when this tick's access was deferred to the barrier. */
+    bool hasDeferred() const { return hasDeferred_; }
+
+    /** Finish a deferred access with its now-known @p ready cycle. */
+    void
+    completeDeferred(Cycles ready, std::span<Warp> warps)
+    {
+        latte_assert(hasDeferred_);
+        hasDeferred_ = false;
+        if (deferredSlot_ < 0)
+            return;
+        Warp &warp = warps[deferredSlot_];
+        latte_assert(warp.pendingAccesses > 0);
+        warp.memReady = std::max(warp.memReady, ready);
+        if (--warp.pendingAccesses == 0) {
+            warp.readyAt = warp.memReady;
+            warp.state = WarpState::Active;
+        }
+    }
+
     bool busy() const { return !queue_.empty(); }
     std::size_t depth() const { return queue_.size(); }
-    void clear() { queue_.clear(); retryAt_ = 0; }
+    void clear() { queue_.clear(); retryAt_ = 0; hasDeferred_ = false; }
 
     /** Next cycle the LSU can make progress (valid while busy()). */
     Cycles
@@ -102,6 +132,8 @@ class LoadStoreUnit : public StatGroup
 
     std::deque<Request> queue_;
     Cycles retryAt_ = 0;
+    bool hasDeferred_ = false;
+    int deferredSlot_ = -1;
 };
 
 } // namespace latte

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The epoch-oriented worker pool behind `--sim-threads`. Unlike the
+ * runner's job pool (one long task per thread), the simulator needs a
+ * parallel-for that fires once per simulated epoch — potentially
+ * millions of times per run — so the pool is built around a reusable
+ * barrier: publishing an epoch is one atomic generation bump, workers
+ * spin (then sleep) between epochs, items are claimed from a shared
+ * atomic cursor, and the caller participates instead of blocking. No
+ * memory is allocated after construction.
+ */
+
+#ifndef LATTE_SIM_THREAD_POOL_HH
+#define LATTE_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace latte
+{
+
+/**
+ * Resolve a `--sim-threads` / `LATTE_SIM_THREADS` value to a thread
+ * count. "" consults the environment and defaults to 1 (sequential);
+ * "auto" means hardware concurrency; otherwise a positive integer.
+ * @return the thread count, or 0 with @p error set when @p text is
+ *         malformed.
+ */
+unsigned resolveSimThreads(std::string_view text, std::string *error);
+
+/** Epoch-reusable parallel-for pool; see the file comment. */
+class SimThreadPool
+{
+  public:
+    /**
+     * Spawn up to @p workers threads — clamped to the machine's cores
+     * minus one for the caller of run(), which participates in every
+     * epoch. A pool with zero workers runs every epoch inline.
+     */
+    explicit SimThreadPool(unsigned workers);
+    ~SimThreadPool();
+
+    SimThreadPool(const SimThreadPool &) = delete;
+    SimThreadPool &operator=(const SimThreadPool &) = delete;
+
+    /**
+     * Run job(0..count-1) across the workers and the calling thread;
+     * returns when every item has finished. @p job must stay alive for
+     * the duration of the call and be safe to invoke concurrently.
+     */
+    void run(std::size_t count, const std::function<void(std::size_t)> &job);
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+    /** Pull items off the shared cursor until the epoch is drained. */
+    void claim();
+
+    std::vector<std::thread> threads_;
+    /**
+     * Pause iterations a worker spins for the next epoch before
+     * sleeping on cv_. Full budget only when the machine has a core
+     * per thread (caller included); oversubscribed pools sleep
+     * immediately — spinning there steals the core the caller needs
+     * to publish the next epoch.
+     */
+    int spinBudget_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    /** Bumped (under mutex_, released) to publish a new epoch. */
+    std::atomic<std::uint64_t> generation_{0};
+    /** Workers currently blocked on cv_ (notify only when > 0). */
+    std::atomic<int> sleepers_{0};
+    std::atomic<bool> stop_{false};
+
+    // --- Per-epoch state, published by the generation_ bump ----------
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t count_ = 0;
+    /** Next unclaimed item. */
+    std::atomic<std::size_t> next_{0};
+    /** Items fully executed; run() returns when this reaches count_. */
+    std::atomic<std::size_t> done_{0};
+    /**
+     * Workers that have left the claim loop of the current epoch. The
+     * next run() resets the cursor only once every worker has checked
+     * out, so a straggler can never claim against recycled state.
+     */
+    std::atomic<unsigned> checkedOut_{0};
+};
+
+} // namespace latte
+
+#endif // LATTE_SIM_THREAD_POOL_HH

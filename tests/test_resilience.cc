@@ -379,6 +379,60 @@ TEST(Resilience, ResumedSweepIsByteIdenticalToUninterrupted)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Resilience, ResumeWithSimThreadsIsByteIdentical)
+{
+    // Kill-and-resume with the parallel cycle loop enabled: a sweep
+    // computed at --sim-threads=4 must journal, resume and replay
+    // byte-identically to an uninterrupted run — including the
+    // simThreads envelope field, which fromJson restores so
+    // cache-served cells report the computing run's value.
+    const std::string dir =
+        ::testing::TempDir() + "/latte_resilience_simthreads_test";
+    std::filesystem::remove_all(dir);
+    const std::string journal = dir + "/journal.jsonl";
+
+    std::vector<RunRequest> grid;
+    for (const char *abbr : {"KM", "PRK", "SS"}) {
+        RunRequest request = tinyRequest(abbr, PolicyKind::LatteCc);
+        request.options.cfg.numSms = 8;
+        request.options.simThreads = "4";
+        grid.push_back(std::move(request));
+    }
+
+    RunnerOptions plain;
+    plain.threads = 2;
+    plain.progress = false;
+    const auto reference = ExperimentRunner(plain).runAll(grid);
+    for (const RunOutcome &outcome : reference) {
+        ASSERT_TRUE(outcome.ok()) << to_string(outcome.error);
+        EXPECT_EQ(outcome.simThreads, 4u);
+    }
+
+    // "Crash" after the first cell, then resume the whole grid.
+    RunnerOptions durable = plain;
+    durable.cacheDir = dir + "/cache";
+    durable.journalPath = journal;
+    {
+        const std::vector<RunRequest> partial(grid.begin(),
+                                              grid.begin() + 1);
+        ExperimentRunner(durable).runAll(partial);
+    }
+    ExperimentRunner resumed(durable);
+    const auto outcomes = resumed.runAll(grid);
+    EXPECT_EQ(resumed.stats().journalSkips, 1u);
+    EXPECT_EQ(resumed.stats().executed, 2u);
+    EXPECT_EQ(dumpAll(outcomes), dumpAll(reference));
+
+    // Warm replay: everything served from the journal + cache, still
+    // byte-identical, simThreads envelope value included.
+    ExperimentRunner warm(durable);
+    const auto warm_outcomes = warm.runAll(grid);
+    EXPECT_EQ(warm.stats().executed, 0u);
+    EXPECT_EQ(dumpAll(warm_outcomes), dumpAll(reference));
+
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Resilience, JournalReplaysFailuresWithoutRerunning)
 {
     const std::string dir =

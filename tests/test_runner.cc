@@ -10,8 +10,10 @@
 
 #include <filesystem>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/driver.hh"
@@ -22,6 +24,7 @@
 #include "runner/json.hh"
 #include "runner/result_cache.hh"
 #include "runner/sweep.hh"
+#include "trace/sink.hh"
 #include "trace/tracer.hh"
 #include "workloads/zoo.hh"
 
@@ -235,6 +238,95 @@ TEST(Runner, ExecutionShortcutsAreBitIdentical)
                 << name << "/" << policyName(kind) << " profiler on";
         }
     }
+}
+
+TEST(Runner, SimThreadsAreBitIdentical)
+{
+    // The barrier-synchronous parallel cycle loop is an execution
+    // shortcut in the ExecutionShortcutsAreBitIdentical sense: not one
+    // simulated bit may depend on the thread count. Golden check over
+    // the whole policy catalogue: the full result JSON, the sampled
+    // metric rows and the Chrome trace export are all byte-identical
+    // between --sim-threads=1 and =4. Eight SMs so epochs clear the
+    // pool's inline threshold and genuinely run concurrently.
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+
+    for (const PolicyKind kind :
+         {PolicyKind::Baseline, PolicyKind::StaticBdi,
+          PolicyKind::StaticSc, PolicyKind::StaticBpc,
+          PolicyKind::AdaptiveHitCount, PolicyKind::AdaptiveCmp,
+          PolicyKind::LatteCc, PolicyKind::LatteCcBdiBpc,
+          PolicyKind::KernelOpt}) {
+        const auto runOnce = [&](const char *threads) {
+            RunRequest request;
+            request.workload = workload;
+            request.policy = kind;
+            request.options = tinyOptions();
+            request.options.cfg.numSms = 8;
+            request.options.simThreads = threads;
+            Tracer tracer(1 << 14);
+            metrics::MetricRegistry registry;
+            request.tracer = &tracer;
+            request.metrics = &registry;
+            const RunOutcome outcome = run(request);
+            EXPECT_TRUE(outcome.ok()) << to_string(outcome.error);
+
+            std::ostringstream trace;
+            ChromeTraceSink sink(trace);
+            sink.writeRun("t", tracer);
+            sink.finish();
+            std::ostringstream rows;
+            registry.exportAs(rows, metrics::ExportFormat::Jsonl);
+            return std::tuple(toJson(outcome.value()).dump(),
+                              trace.str(), rows.str());
+        };
+
+        const auto sequential = runOnce("1");
+        const auto parallel = runOnce("4");
+        EXPECT_EQ(std::get<0>(parallel), std::get<0>(sequential))
+            << policyName(kind) << " result";
+        EXPECT_EQ(std::get<1>(parallel), std::get<1>(sequential))
+            << policyName(kind) << " trace";
+        EXPECT_EQ(std::get<2>(parallel), std::get<2>(sequential))
+            << policyName(kind) << " metrics";
+    }
+}
+
+TEST(Runner, RunKeyIgnoresSimThreads)
+{
+    // Like compressBackend, simThreads is execution speed only: every
+    // thread count produces bit-identical results, so a cached cell is
+    // valid whichever count computed it and the fingerprint must not
+    // split on the knob.
+    const Workload *workload = findWorkload("KM");
+    ASSERT_NE(workload, nullptr);
+
+    RunRequest request;
+    request.workload = workload;
+    request.policy = PolicyKind::LatteCc;
+    request.options = tinyOptions();
+    const RunKey base = RunKey::of(request);
+
+    for (const char *threads : {"1", "2", "4", "auto"}) {
+        RunRequest threaded = request;
+        threaded.options.simThreads = threads;
+        EXPECT_EQ(RunKey::of(threaded), base) << threads;
+        EXPECT_EQ(RunKey::of(threaded).fingerprint(),
+                  base.fingerprint())
+            << threads;
+    }
+
+    // The resolved count still reaches the outcome envelope, and an
+    // unresolvable spelling is a structured failure, not an exit.
+    RunRequest threaded = request;
+    threaded.options.simThreads = "2";
+    EXPECT_EQ(run(threaded).simThreads, 2u);
+    RunRequest bad = request;
+    bad.options.simThreads = "zero";
+    const RunOutcome outcome = run(bad);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error.code, RunErrorCode::InvalidConfig);
 }
 
 TEST(Runner, ObservationalOutputsBypassDiskCache)

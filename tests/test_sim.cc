@@ -2,13 +2,22 @@
  * @file
  * Unit and integration tests for the SIMT core model: the GTO/LRR
  * schedulers, CTA placement, end-to-end kernel execution, idle-gap
- * skipping, and the memory pipeline under the full GPU.
+ * skipping, the memory pipeline under the full GPU, and the
+ * barrier-synchronous parallel SM stepping (SimThreadPool, the
+ * --sim-threads resolver, and parallel-vs-sequential bit-identity).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <vector>
+
 #include "sim/gpu.hh"
 #include "sim/scheduler.hh"
+#include "sim/thread_pool.hh"
 #include "workloads/synthetic_kernel.hh"
 #include "workloads/value_gens.hh"
 
@@ -301,4 +310,85 @@ TEST(SyntheticKernel, AddressesStayInRegion)
             }
         }
     }
+}
+
+// ------------------------------------------------- parallel SM stepping
+
+TEST(SimParallel, ResolveSimThreads)
+{
+    std::string error;
+
+    // Explicit counts and the "auto" keyword.
+    EXPECT_EQ(resolveSimThreads("1", &error), 1u);
+    EXPECT_EQ(resolveSimThreads("4", &error), 4u);
+    EXPECT_GE(resolveSimThreads("auto", &error), 1u);
+
+    // Rejections carry a message and return 0.
+    for (const char *bad : {"0", "-2", "four", "4x", " 4"}) {
+        error.clear();
+        EXPECT_EQ(resolveSimThreads(bad, &error), 0u) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+
+    // Empty defers to LATTE_SIM_THREADS, defaulting to 1; an invalid
+    // environment value warns and falls back instead of failing the run.
+    ::unsetenv("LATTE_SIM_THREADS");
+    EXPECT_EQ(resolveSimThreads("", nullptr), 1u);
+    ::setenv("LATTE_SIM_THREADS", "3", 1);
+    EXPECT_EQ(resolveSimThreads("", nullptr), 3u);
+    ::setenv("LATTE_SIM_THREADS", "banana", 1);
+    EXPECT_EQ(resolveSimThreads("", nullptr), 1u);
+    ::unsetenv("LATTE_SIM_THREADS");
+}
+
+TEST(SimParallel, ThreadPoolRunsEveryItemExactlyOnce)
+{
+    SimThreadPool pool(3);
+    // Spawn count is clamped to spare cores; zero workers means every
+    // epoch runs inline on the caller, which this test still covers.
+    EXPECT_LE(pool.workers(), 3u);
+
+    // Many epochs of varying width against the same pool: every item
+    // index must be visited exactly once per epoch, including widths
+    // below, equal to and above the worker count, and width 0/1 (which
+    // run inline on the caller).
+    for (const std::size_t count : {0u, 1u, 2u, 3u, 4u, 7u, 64u, 257u}) {
+        std::vector<std::atomic<int>> visits(count ? count : 1);
+        for (auto &v : visits)
+            v.store(0);
+        pool.run(count, [&](std::size_t i) {
+            visits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(visits[i].load(), 1) << "count " << count
+                                           << " item " << i;
+    }
+}
+
+TEST(SimParallel, GpuMatchesSequentialBitForBit)
+{
+    // The barrier-synchronous parallel loop must be indistinguishable
+    // from the sequential one: same cycle count, same instruction
+    // count, same L1 totals, same full stat dump. 16 SMs so epochs
+    // clear the kMinParallelDue inline threshold and actually exercise
+    // the pool.
+    const auto runOnce = [](unsigned threads) {
+        MemoryImage mem;
+        GpuConfig cfg;
+        cfg.numSms = 16;
+        Gpu gpu(cfg, &mem);
+        gpu.setSimThreads(threads);
+        SyntheticKernel kernel(tinyKernel(32, 2, 16));
+        const RunResult result = gpu.runKernel(kernel);
+        std::map<std::string, double> stats;
+        gpu.collect(stats);
+        return std::tuple(result.cycles, result.instructions,
+                          gpu.totalL1Hits(), gpu.totalL1Misses(),
+                          std::move(stats));
+    };
+
+    const auto sequential = runOnce(1);
+    for (const unsigned threads : {2u, 4u, 8u})
+        EXPECT_EQ(runOnce(threads), sequential)
+            << "sim-threads " << threads;
 }
