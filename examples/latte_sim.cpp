@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.hh"
 #include "compress/backend.hh"
 #include "core/driver.hh"
 #include "metrics/profiler.hh"
@@ -175,6 +176,23 @@ main(int argc, char **argv)
                "measure wall-clock time per simulator zone (reported "
                "with the metrics export)",
                [&](const std::string &) { profile = true; });
+    parser.add("--log-level", "", "LEVEL",
+               "stderr log threshold: error|warn|info|debug|trace "
+               "(default info, or LATTE_LOG_LEVEL)",
+               [&](const std::string &v) {
+                   LogLevel level;
+                   if (!logLevelFromName(v, level)) {
+                       std::cerr << "unknown log level '" << v << "'\n";
+                       std::exit(1);
+                   }
+                   setLogLevel(level);
+               });
+    parser.add("--log-json", "", "",
+               "emit log lines as JSON records (one object per line)",
+               [&](const std::string &) { setLogJson(true); });
+    parser.add("--quiet", "-q", "",
+               "raise the log threshold to warn",
+               [&](const std::string &) { setLogLevel(LogLevel::Warn); });
     parser.parse(argc, argv);
     if (argc > 1) {
         std::cerr << "unknown option '" << argv[1] << "'\n"

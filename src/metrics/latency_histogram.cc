@@ -101,6 +101,27 @@ LatencyHistogram::percentile(double p) const
 }
 
 void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    latte_assert(numBuckets() == other.numBuckets(),
+                 "merging histograms with different bucket counts");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (unsigned i = 0; i < numBuckets(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 LatencyHistogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -66,6 +66,12 @@ class LatencyHistogram
      */
     double percentile(double p) const;
 
+    /**
+     * Fold @p other into this histogram (bucket-wise add). Both sides
+     * must have the same bucket count.
+     */
+    void merge(const LatencyHistogram &other);
+
     void reset();
 
   private:

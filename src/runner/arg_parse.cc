@@ -130,6 +130,31 @@ const ArgSpec kSpecs[] = {
                          sweepArgsUsage());
          o.simThreads = v;
      }},
+    {"--log-level", nullptr, "<level>",
+     "stderr log threshold: error|warn|info|debug|trace "
+     "(default info, or LATTE_LOG_LEVEL)",
+     [](SweepCliOptions &o, const std::string &v) {
+         LogLevel level;
+         if (!logLevelFromName(v, level))
+             latte_fatal("--log-level: unknown level '{}' "
+                         "(want error|warn|info|debug|trace)\n{}",
+                         v, sweepArgsUsage());
+         setLogLevel(level);
+         o.logLevel = v;
+     }},
+    {"--log-json", nullptr, nullptr,
+     "emit log lines as JSON records (one object per line)",
+     [](SweepCliOptions &o, const std::string &) {
+         setLogJson(true);
+         o.logJson = true;
+     }},
+    {"--quiet", "-q", nullptr,
+     "suppress progress lines and raise the log threshold to warn",
+     [](SweepCliOptions &o, const std::string &) {
+         o.progress = false;
+         o.quiet = true;
+         setLogLevel(LogLevel::Warn);
+     }},
 };
 
 constexpr std::size_t kSpecCount = sizeof(kSpecs) / sizeof(kSpecs[0]);

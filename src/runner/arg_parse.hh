@@ -29,6 +29,10 @@
  *                         (auto|scalar|sse4|avx2; speed only)
  *   --sim-threads N       SM-stepping threads inside each run
  *                         (count or "auto"; speed only)
+ *   --log-level L         stderr log threshold
+ *                         (error|warn|info|debug|trace)
+ *   --log-json            JSON-lines log records
+ *   -q, --quiet           no progress lines, threshold raised to warn
  *   --help                print the generated flag table and exit
  *
  * Recognised flags are consumed (argc/argv are compacted in place);
@@ -85,6 +89,18 @@ struct SweepCliOptions
     std::uint32_t retries = 0;
     /** Base backoff before a retry, doubled per attempt. */
     std::uint64_t retryBackoffMs = 100;
+
+    // --- Observability -------------------------------------------------
+    /**
+     * Log threshold name (error|warn|info|debug|trace). Applied
+     * process-wide at parse time via setLogLevel(); empty = default
+     * (info, or LATTE_LOG_LEVEL). Observational only.
+     */
+    std::string logLevel;
+    /** JSON-lines log records instead of text (setLogJson at parse). */
+    bool logJson = false;
+    /** --quiet: no progress lines, log threshold raised to warn. */
+    bool quiet = false;
 };
 
 /**

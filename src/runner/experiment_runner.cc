@@ -2,16 +2,135 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <thread>
 
+#include "common/logging.hh"
+#include "json.hh"
+#include "metrics/live.hh"
 #include "metrics/profiler.hh"
 #include "progress.hh"
 #include "resilience.hh"
 #include "result_cache.hh"
+#include "sim/thread_pool.hh"
+#include "trace/tracer.hh"
 
 namespace latte::runner
 {
+
+namespace
+{
+
+/** Make a cell label safe to use as a file name. */
+std::string
+sanitizeLabel(std::string label)
+{
+    for (char &c : label) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return label;
+}
+
+/** Retained trace events included in a diagnostics snapshot. */
+constexpr std::size_t kDiagTraceTail = 64;
+
+/**
+ * Dump a correlation-tagged JSON snapshot of a failed cell: the outcome
+ * envelope plus whatever observational state the process holds at that
+ * moment (profiler zones, sim pool counters, trace tail). Best-effort —
+ * a write failure is a warning, never an error, and the snapshot is
+ * never read back by the runner itself.
+ */
+void
+writeDiagnostics(const std::string &dir, std::size_t index,
+                 const std::string &cell, const RunRequest &request,
+                 const RunOutcome &outcome, double wallMs)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    Json::Object doc;
+    doc.emplace("schema", "latte-diag-v1");
+    doc.emplace("context", logContext());
+    doc.emplace("cell", cell);
+    doc.emplace("cell_index", static_cast<std::uint64_t>(index));
+    doc.emplace("workload", request.workload ? request.workload->abbr
+                                             : std::string());
+    doc.emplace("policy", runRequestLabel(request));
+    doc.emplace("seed", static_cast<std::uint64_t>(request.seed));
+    doc.emplace("wall_ms", wallMs);
+
+    RunOutcome envelope = outcome;
+    envelope.result.reset();
+    doc.emplace("outcome", toJson(envelope));
+
+    if (metrics::profilerEnabled()) {
+        const auto zones = metrics::profilerSnapshot();
+        Json::Object zonesJson;
+        for (std::size_t z = 0; z < zones.size(); ++z) {
+            Json::Object zone;
+            zone.emplace("calls", zones[z].calls);
+            zone.emplace("nanos", zones[z].nanos);
+            zonesJson.emplace(
+                metrics::profileZoneName(
+                    static_cast<metrics::ProfileZone>(z)),
+                Json(std::move(zone)));
+        }
+        doc.emplace("profiler_zones", Json(std::move(zonesJson)));
+    }
+
+    const SimPoolStats pool = simPoolGlobalStats();
+    Json::Object poolJson;
+    poolJson.emplace("epochs", pool.epochs);
+    poolJson.emplace("items", pool.items);
+    poolJson.emplace("caller_items", pool.callerItems);
+    poolJson.emplace("sleep_transitions", pool.sleepTransitions);
+    poolJson.emplace("barrier_waits", pool.barrierWaitNs.count());
+    doc.emplace("sim_pool", Json(std::move(poolJson)));
+
+    if (request.tracer) {
+        const std::size_t total = request.tracer->size();
+        const std::size_t skip =
+            total > kDiagTraceTail ? total - kDiagTraceTail : 0;
+        std::size_t seen = 0;
+        Json::Array tail;
+        request.tracer->forEach([&](const TraceEvent &event) {
+            if (seen++ < skip)
+                return;
+            Json::Object entry;
+            entry.emplace("ts", static_cast<std::uint64_t>(event.ts));
+            entry.emplace("kind", traceEventKindName(event.kind));
+            entry.emplace("arg0", event.arg0);
+            entry.emplace("arg1", event.arg1);
+            entry.emplace("value", event.value);
+            entry.emplace("sm", static_cast<std::uint64_t>(event.sm));
+            tail.push_back(Json(std::move(entry)));
+        });
+        doc.emplace("trace_tail", Json(std::move(tail)));
+        doc.emplace("trace_recorded", request.tracer->recorded());
+        doc.emplace("trace_dropped", request.tracer->dropped());
+    }
+
+    const std::string path = dir + "/" + sanitizeLabel(cell) + "-" +
+                             std::to_string(index) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        latte_warn("diagnostics: cannot write {}", path);
+        return;
+    }
+    out << Json(std::move(doc)).dump(2) << "\n";
+    latte_inform("cell {} failed; diagnostics snapshot at {}", cell,
+                 path);
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : options_(std::move(options))
@@ -35,6 +154,7 @@ std::vector<RunOutcome>
 ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
 {
     stats_ = Stats{};
+    cellWallMs_ = metrics::LatencyHistogram();
     std::vector<RunOutcome> outcomes(requests.size());
     if (requests.empty())
         return outcomes;
@@ -49,6 +169,15 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
     if (options_.cellTimeoutMs > 0)
         watchdog = std::make_unique<Watchdog>();
 
+    // Failed cells dump a diagnostics snapshot next to the journal
+    // unless the caller pointed the snapshots somewhere else.
+    std::string diag_dir = options_.diagnosticsDir;
+    if (diag_dir.empty() && !options_.journalPath.empty())
+        diag_dir = (std::filesystem::path(options_.journalPath)
+                        .parent_path() /
+                    "diagnostics")
+                       .string();
+
     const RetryPolicy retry{.maxRetries = options_.maxRetries,
                             .backoffMs = options_.retryBackoffMs};
 
@@ -62,13 +191,16 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
     std::atomic<std::size_t> journal_skips{0};
     std::atomic<std::size_t> failed{0};
     std::atomic<std::size_t> retried{0};
+    std::mutex wall_mutex;
+    metrics::LatencyHistogram wall_ms;
 
     // One cell, all attempts: each attempt gets a fresh cancel token
     // (unless the request carries its own), the runner's cycle budget
     // when the request sets none, and only the fault points armed for
     // that attempt number — so a transient FaultPoint{firstAttempts=1}
     // clears on retry. The watchdog guards every attempt separately.
-    auto attemptCell = [&](const RunRequest &request) -> RunOutcome {
+    auto attemptCell = [&](const RunRequest &request,
+                           const std::string &cell_name) -> RunOutcome {
         std::vector<RunError> history;
         for (std::uint32_t attempt = 1;; ++attempt) {
             RunRequest attempt_request = request;
@@ -85,7 +217,7 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
             {
                 WatchdogScope guard(watchdog.get(),
                                     attempt_request.control.cancel,
-                                    options_.cellTimeoutMs);
+                                    options_.cellTimeoutMs, cell_name);
                 outcome = run(attempt_request);
             }
             outcome.attempts = attempt;
@@ -110,6 +242,12 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
                 return;
             const RunRequest &request = requests[i];
             const auto start = std::chrono::steady_clock::now();
+
+            // Every log line this cell emits — from the runner, the
+            // simulator or the watchdog-adjacent retry machinery —
+            // carries the same correlation id.
+            LogScope cell_ctx(options_.logContext + "cell-" +
+                              std::to_string(i));
 
             const std::string cell_name =
                 (request.workload ? request.workload->abbr
@@ -196,7 +334,11 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
                 }
             }
             if (!done) {
-                outcomes[i] = attemptCell(request);
+                // Register with the live-metrics surface so a /metrics
+                // scrape mid-run sees this cell's cycle/instruction
+                // progress (the Gpu publishes into the thread's slot).
+                metrics::live::CellScope live(cell_name);
+                outcomes[i] = attemptCell(request, cell_name);
                 executed.fetch_add(1, std::memory_order_relaxed);
                 if (!outcomes[i].ok())
                     failed.fetch_add(1, std::memory_order_relaxed);
@@ -217,6 +359,14 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+            {
+                std::lock_guard<std::mutex> lock(wall_mutex);
+                wall_ms.record(seconds * 1e3);
+            }
+            if (!diag_dir.empty() && !shortcut && !outcomes[i].ok() &&
+                outcomes[i].status != RunStatus::Cancelled)
+                writeDiagnostics(diag_dir, i, cell_name, request,
+                                 outcomes[i], seconds * 1e3);
             progress.completed(cell_name, seconds, shortcut);
         }
     };
@@ -227,7 +377,10 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, t] {
+                setLogThreadName(strfmt("run-w{}", t));
+                worker();
+            });
         for (std::thread &thread : pool)
             thread.join();
     }
@@ -237,6 +390,10 @@ ExperimentRunner::runAll(const std::vector<RunRequest> &requests)
     stats_.journalSkips = journal_skips.load();
     stats_.failed = failed.load();
     stats_.retried = retried.load();
+    stats_.nearMisses =
+        watchdog ? static_cast<std::size_t>(watchdog->nearMissCount())
+                 : 0;
+    cellWallMs_ = wall_ms;
     return outcomes;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/driver.hh"
+#include "metrics/latency_histogram.hh"
 
 namespace latte::runner
 {
@@ -44,6 +45,23 @@ struct RunnerOptions
     std::string cacheDir;
     /** Progress/ETA lines on stderr. */
     bool progress = true;
+
+    // --- Observability -------------------------------------------------
+    /**
+     * Correlation prefix for every log line a cell emits: worker
+     * threads push "<logContext>cell-<i>" as their log context while a
+     * cell runs, so one grep for the prefix reconstructs a job's
+     * lifetime across threads. The service sets "job-<id>/".
+     */
+    std::string logContext;
+    /**
+     * Directory for crash-diagnostics snapshots: every cell that
+     * finishes with a non-Ok outcome dumps a correlation-tagged JSON
+     * snapshot (error, attempts, pool counters, profiler zones, trace
+     * tail) here. Empty derives "<journal dir>/diagnostics" when a
+     * journal path is set; with neither, no snapshots are written.
+     */
+    std::string diagnosticsDir;
 
     // --- Resilience ----------------------------------------------------
     /** Sweep journal path; empty = no checkpoint/resume. */
@@ -92,6 +110,8 @@ class ExperimentRunner
         std::size_t journalSkips = 0; //!< cells resumed from journal
         std::size_t failed = 0;       //!< cells with a non-Ok outcome
         std::size_t retried = 0;      //!< cells needing >1 attempt
+        /** Cells that finished in budget but used over half of it. */
+        std::size_t nearMisses = 0;
     };
 
     explicit ExperimentRunner(RunnerOptions options = {});
@@ -107,6 +127,16 @@ class ExperimentRunner
     /** Counters from the most recent runAll(). */
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Wall-time distribution (milliseconds) of every cell completed by
+     * the most recent runAll(), shortcut cells included. Observational
+     * only — never part of results or RunKeys.
+     */
+    const metrics::LatencyHistogram &cellWallMs() const
+    {
+        return cellWallMs_;
+    }
+
     /** The worker count a sweep of @p cells would actually use. */
     unsigned effectiveThreads(std::size_t cells) const;
 
@@ -115,6 +145,7 @@ class ExperimentRunner
   private:
     RunnerOptions options_;
     Stats stats_;
+    metrics::LatencyHistogram cellWallMs_;
 };
 
 } // namespace latte::runner

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/logging.hh"
+
 namespace latte::runner
 {
 
@@ -34,10 +36,13 @@ ProgressReporter::completed(const std::string &label, double seconds,
         std::snprintf(buf, sizeof(buf), "%.0fs", estimate);
         eta = buf;
     }
-    std::fprintf(stderr, "[%zu/%zu] %-28s %6.2fs%s  eta %s\n", done_,
-                 total_, label.c_str(), seconds,
-                 cached ? " (cached)" : "         ", eta.c_str());
-    std::fflush(stderr);
+    // Built whole, emitted through the logger's serialized sink:
+    // progress lines can never tear against concurrent log lines.
+    char line[192];
+    std::snprintf(line, sizeof(line), "[%zu/%zu] %-28s %6.2fs%s  eta %s",
+                  done_, total_, label.c_str(), seconds,
+                  cached ? " (cached)" : "         ", eta.c_str());
+    logRawLine(line);
 }
 
 } // namespace latte::runner

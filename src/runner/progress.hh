@@ -1,9 +1,11 @@
 /**
  * @file
- * Thread-safe sweep progress/ETA reporting on stderr. One line per
- * completed cell: counter, label, wall time, cache-hit marker and a
+ * Thread-safe sweep progress/ETA reporting. One line per completed
+ * cell: counter, label, wall time, cache-hit marker and a
  * remaining-time estimate from the mean completed-cell duration scaled
- * by the worker count.
+ * by the worker count. Lines are emitted through the logger's
+ * serialized sink (logRawLine), so they cannot tear against concurrent
+ * log output and stay machine-readable under --log-json.
  */
 
 #ifndef LATTE_RUNNER_PROGRESS_HH

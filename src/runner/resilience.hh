@@ -123,14 +123,24 @@ class Watchdog
     /**
      * Watch @p token and cancel it (reason WallClockTimeout) if it is
      * still armed after @p timeoutMs. Returns a slot id for disarm().
+     * @p label names the guarded cell in the watchdog's own log lines
+     * (the monitor thread has no access to the worker's log context).
      */
-    std::uint64_t arm(CancelToken *token, std::uint64_t timeoutMs);
+    std::uint64_t arm(CancelToken *token, std::uint64_t timeoutMs,
+                      std::string label = {});
 
     /** Stop watching slot @p id (the cell finished). */
     void disarm(std::uint64_t id);
 
     /** Tokens the watchdog has cancelled since construction. */
     std::uint64_t expiredCount() const;
+
+    /**
+     * Cells that finished inside their budget but consumed more than
+     * half of it — the early-warning signal that a config's timeout is
+     * about to start biting.
+     */
+    std::uint64_t nearMissCount() const;
 
   private:
     void loop();
@@ -139,6 +149,9 @@ class Watchdog
     {
         CancelToken *token;
         Clock::time_point deadline;
+        Clock::time_point armedAt;
+        std::uint64_t timeoutMs;
+        std::string label;
     };
 
     mutable std::mutex mutex_;
@@ -146,6 +159,7 @@ class Watchdog
     std::map<std::uint64_t, Slot> slots_;
     std::uint64_t nextId_ = 1;
     std::uint64_t expired_ = 0;
+    std::uint64_t nearMisses_ = 0;
     bool stop_ = false;
     std::chrono::milliseconds poll_;
     std::thread thread_;
@@ -159,9 +173,11 @@ class WatchdogScope
 {
   public:
     WatchdogScope(Watchdog *watchdog, CancelToken *token,
-                  std::uint64_t timeoutMs)
+                  std::uint64_t timeoutMs, std::string label = {})
         : watchdog_(watchdog),
-          id_(watchdog ? watchdog->arm(token, timeoutMs) : 0)
+          id_(watchdog ? watchdog->arm(token, timeoutMs,
+                                       std::move(label))
+                       : 0)
     {}
 
     ~WatchdogScope()

@@ -374,6 +374,39 @@ Sweep::writeBench() const
     report["instructions_per_second"] =
         runSeconds_ > 0 ? static_cast<double>(instructions) / runSeconds_
                         : 0.0;
+    report["near_miss_cells"] =
+        static_cast<std::uint64_t>(stats.nearMisses);
+
+    // Runtime introspection of the --sim-threads pool: process-wide
+    // aggregate over every pool the sweep's runs created. Purely
+    // observational — deliberately outside the result documents.
+    {
+        const SimPoolStats pool = simPoolGlobalStats();
+        Json::Object poolJson;
+        poolJson["epochs"] = pool.epochs;
+        poolJson["items"] = pool.items;
+        poolJson["caller_items"] = pool.callerItems;
+        poolJson["sleep_transitions"] = pool.sleepTransitions;
+        Json::Object wait;
+        wait["count"] = pool.barrierWaitNs.count();
+        wait["p50_ns"] = pool.barrierWaitNs.percentile(50.0);
+        wait["p90_ns"] = pool.barrierWaitNs.percentile(90.0);
+        wait["p99_ns"] = pool.barrierWaitNs.percentile(99.0);
+        wait["max_ns"] = pool.barrierWaitNs.max();
+        poolJson["barrier_wait"] = Json(std::move(wait));
+        report["sim_pool"] = Json(std::move(poolJson));
+    }
+
+    // Cell wall-time distribution of this sweep, in milliseconds.
+    {
+        const metrics::LatencyHistogram &wall = runner_.cellWallMs();
+        Json::Object wallJson;
+        wallJson["count"] = wall.count();
+        wallJson["p50_ms"] = wall.percentile(50.0);
+        wallJson["p90_ms"] = wall.percentile(90.0);
+        wallJson["max_ms"] = wall.max();
+        report["cell_wall_ms"] = Json(std::move(wallJson));
+    }
 
     for (const auto &[key, value] : benchExtra_)
         report[key] = value;

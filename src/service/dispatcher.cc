@@ -205,10 +205,11 @@ RequestDispatcher::handle(const std::string &line, Session &session)
     }
 
     if (type == "shutdown") {
-        const Json response(okResponse("shutdown", request));
+        // Deferred: invoking the hook here would let the daemon close
+        // this connection before the acknowledgement is written.
         if (shutdown_)
-            shutdown_();
-        return response;
+            session.afterResponse = shutdown_;
+        return Json(okResponse("shutdown", request));
     }
 
     return errorResponse("unknown_type",

@@ -38,6 +38,12 @@ struct Session
     std::function<void(const runner::Json &)> send;
     /** Listener tokens to detach when the session closes. */
     std::vector<std::uint64_t> listeners;
+    /**
+     * Deferred action the transport must invoke once the response line
+     * is on the wire. "shutdown" parks its hook here so the daemon
+     * cannot tear the connection down under its own acknowledgement.
+     */
+    std::function<void()> afterResponse;
 };
 
 class RequestDispatcher

@@ -1,0 +1,324 @@
+#include "http_server.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "sweep_service.hh"
+
+namespace latte::service
+{
+
+namespace
+{
+
+/** Write all of @p text, retrying short writes; false on a dead peer. */
+bool
+writeAll(int fd, const std::string &text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n = ::send(fd, text.data() + off,
+                                 text.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      default: return "Error";
+    }
+}
+
+/**
+ * Split "host:port" / ":port" / "port" into its parts. False when the
+ * port is missing or not a number.
+ */
+bool
+splitAddress(const std::string &addr, std::string &host,
+             std::uint16_t &port)
+{
+    host = "127.0.0.1";
+    std::string portText = addr;
+    const std::size_t colon = addr.rfind(':');
+    if (colon != std::string::npos) {
+        if (colon > 0)
+            host = addr.substr(0, colon);
+        portText = addr.substr(colon + 1);
+    }
+    if (portText.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(portText.c_str(), &end, 10);
+    if (!end || *end != '\0' || value > 65535)
+        return false;
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+/** Cap on the request head we are willing to buffer. */
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+} // namespace
+
+HttpServer::HttpServer(std::string addr) : addr_(std::move(addr)) {}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::handle(std::string path, Handler handler)
+{
+    handlers_[std::move(path)] = std::move(handler);
+}
+
+bool
+HttpServer::start(std::string *error)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!splitAddress(addr_, host, port)) {
+        if (error)
+            *error = "bad http address '" + addr_ +
+                     "' (want [host:]port)";
+        return false;
+    }
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad http host '" + host + "' (want an IPv4 address)";
+        return false;
+    }
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 16) != 0) {
+        if (error)
+            *error = std::string("bind/listen ") + addr_ + ": " +
+                     std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    // Resolve the actual port so ":0" callers can find the server.
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = port;
+
+    if (::pipe(stopPipe_) != 0) {
+        if (error)
+            *error = std::string("pipe: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    running_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    std::vector<std::unique_ptr<Connection>> connections;
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections.swap(connections_);
+    }
+    for (const auto &connection : connections) {
+        ::shutdown(connection->fd, SHUT_RDWR);
+        if (connection->worker.joinable())
+            connection->worker.join();
+        ::close(connection->fd);
+    }
+
+    ::close(stopPipe_[0]);
+    ::close(stopPipe_[1]);
+    stopPipe_[0] = stopPipe_[1] = -1;
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+HttpServer::acceptLoop()
+{
+    setLogThreadName("http");
+    for (;;) {
+        pollfd fds[2] = {
+            {listenFd_, POLLIN, 0},
+            {stopPipe_[0], POLLIN, 0},
+        };
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[1].revents != 0)
+            return; // stop() requested
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        // Connections are one-request-one-response; reap finished
+        // threads here so a long-lived daemon does not accumulate one
+        // joinable thread per scrape ever made.
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                if ((*it)->worker.joinable())
+                    (*it)->worker.join();
+                ::close((*it)->fd);
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        connections_.push_back(std::make_unique<Connection>());
+        Connection &connection = *connections_.back();
+        connection.fd = fd;
+        connection.worker = std::thread([this, &connection] {
+            setLogThreadName("http-c");
+            serveConnection(connection.fd);
+            connection.done.store(true, std::memory_order_release);
+        });
+    }
+}
+
+HttpServer::Response
+HttpServer::dispatch(const std::string &method,
+                     const std::string &path) const
+{
+    if (method != "GET") {
+        return Response{405, "text/plain; charset=utf-8",
+                        "method not allowed\n"};
+    }
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end())
+        return Response{404, "text/plain; charset=utf-8", "not found\n"};
+    return it->second();
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    // Read until the end of the request head; the body (there should
+    // be none on a GET) is ignored.
+    std::string buffer;
+    char chunk[2048];
+    while (buffer.find("\r\n\r\n") == std::string::npos &&
+           buffer.find("\n\n") == std::string::npos &&
+           buffer.size() < kMaxRequestBytes) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    Response response;
+    const std::size_t eol = buffer.find_first_of("\r\n");
+    std::istringstream line(buffer.substr(0, eol));
+    std::string method, target, version;
+    if (!(line >> method >> target >> version)) {
+        response =
+            Response{400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+        // Exact-path routing; strip any query string.
+        const std::size_t query = target.find('?');
+        if (query != std::string::npos)
+            target.erase(query);
+        response = dispatch(method, target);
+        latte_debug("http {} {} -> {}", method, target, response.status);
+    }
+
+    std::ostringstream head;
+    head << "HTTP/1.0 " << response.status << " "
+         << statusReason(response.status) << "\r\n"
+         << "Content-Type: " << response.contentType << "\r\n"
+         << "Content-Length: " << response.body.size() << "\r\n"
+         << "Connection: close\r\n\r\n";
+    writeAll(fd, head.str() + response.body);
+    ::shutdown(fd, SHUT_WR);
+}
+
+void
+registerServiceEndpoints(HttpServer &server, SweepService &service)
+{
+    server.handle("/metrics", [&service] {
+        HttpServer::Response response;
+        // The Prometheus exposition format version tag.
+        response.contentType = "text/plain; version=0.0.4";
+        response.body = service.metricsPrometheus();
+        return response;
+    });
+    server.handle("/healthz", [&service] {
+        HttpServer::Response response;
+        response.contentType = "application/json";
+        response.body = service.healthzJson().dump(2) + "\n";
+        return response;
+    });
+    server.handle("/jobs", [&service] {
+        HttpServer::Response response;
+        response.contentType = "application/json";
+        runner::Json::Array jobs;
+        for (const JobInfo &info : service.jobs())
+            jobs.push_back(info.toJson());
+        response.body = runner::Json(std::move(jobs)).dump(2) + "\n";
+        return response;
+    });
+}
+
+} // namespace latte::service

@@ -152,6 +152,7 @@ SocketServer::stop()
 void
 SocketServer::acceptLoop()
 {
+    setLogThreadName("accept");
     for (;;) {
         pollfd fds[2] = {
             {listenFd_, POLLIN, 0},
@@ -189,6 +190,7 @@ SocketServer::acceptLoop()
 void
 SocketServer::serveConnection(Connection &connection)
 {
+    setLogThreadName("ipc-c");
     std::string buffer;
     char chunk[4096];
     for (;;) {
@@ -212,10 +214,20 @@ SocketServer::serveConnection(Connection &connection)
                 continue;
             const runner::Json response =
                 dispatcher_.handle(line, connection.session);
-            std::lock_guard<std::mutex> write_lock(
-                connection.writeMutex);
-            if (!writeAll(connection.fd, response.dump() + "\n"))
-                break;
+            {
+                std::lock_guard<std::mutex> write_lock(
+                    connection.writeMutex);
+                if (!writeAll(connection.fd, response.dump() + "\n"))
+                    break;
+            }
+            // Post-write actions (shutdown) fire only after the
+            // acknowledgement is on the wire.
+            if (connection.session.afterResponse) {
+                const std::function<void()> hook =
+                    std::move(connection.session.afterResponse);
+                connection.session.afterResponse = nullptr;
+                hook();
+            }
         }
         buffer.erase(0, start);
     }

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "metrics/live.hh"
 #include "metrics/registry.hh"
 #include "runner/experiment_runner.hh"
+#include "sim/thread_pool.hh"
 
 namespace latte::service
 {
@@ -456,11 +458,18 @@ SweepService::metricsPrometheus() const
     std::ostringstream os;
     std::lock_guard<std::mutex> lock(mutex_);
 
-    std::size_t queued = 0;
+    std::size_t perState[sizeof(kStateTable) / sizeof(kStateTable[0])] =
+        {};
     for (const auto &[id, job] : jobs_) {
-        if (job.info.state == JobState::Queued)
-            ++queued;
+        for (std::size_t s = 0;
+             s < sizeof(kStateTable) / sizeof(kStateTable[0]); ++s) {
+            if (job.info.state == kStateTable[s].state)
+                ++perState[s];
+        }
     }
+    const std::size_t queued =
+        perState[static_cast<std::size_t>(JobState::Queued)];
+
     const auto gauge = [&](const char *name, double value) {
         const std::string metric = metrics::prometheusName(name);
         os << "# TYPE " << metric << " gauge\n";
@@ -471,8 +480,25 @@ SweepService::metricsPrometheus() const
         os << "# TYPE " << metric << " counter\n";
         os << metric << " " << value << "\n";
     };
+    gauge("service_uptime_seconds",
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - startedAt_)
+              .count());
     gauge("service_queue_depth", static_cast<double>(queued));
     gauge("service_jobs_running", runningJob_ != 0 ? 1.0 : 0.0);
+    {
+        // Per-state job gauges: one block, one labeled sample each.
+        const std::string metric =
+            metrics::prometheusName("service_jobs");
+        os << "# TYPE " << metric << " gauge\n";
+        for (std::size_t s = 0;
+             s < sizeof(kStateTable) / sizeof(kStateTable[0]); ++s) {
+            os << metric
+               << metrics::prometheusLabels(
+                      {{"state", kStateTable[s].name}})
+               << " " << perState[s] << "\n";
+        }
+    }
     counter("service_jobs_submitted_total", counters_.submitted);
     counter("service_jobs_rejected_total", counters_.rejected);
     counter("service_jobs_completed_total", counters_.completed);
@@ -481,11 +507,63 @@ SweepService::metricsPrometheus() const
     counter("service_jobs_served_from_cache_total",
             counters_.jobsServedFromCache);
     counter("service_jobs_recovered_total", counters_.recovered);
+    counter("service_cells_done_total", cellsDoneTotal_);
+    counter("service_cells_failed_total", cellsFailedTotal_);
+    counter("service_cells_cached_total", cellsCachedTotal_);
+    counter("service_cells_executed_total", cellsExecutedTotal_);
+    counter("service_cell_near_misses_total", cellNearMissesTotal_);
     metrics::writeHistogramPrometheus(os, "service_job_queue_wait_ms",
                                       queueWaitMs_);
     metrics::writeHistogramPrometheus(os, "service_job_run_ms",
                                       runDurationMs_);
+    metrics::writeHistogramPrometheus(os, "service_cell_wall_ms",
+                                      cellWallMs_);
+
+    // Live mid-run gauges and the sim-pool aggregate ride along, so
+    // the wire "metrics" verb and GET /metrics serve identical text.
+    metrics::live::writePrometheus(os);
+    os << simPoolPrometheus();
     return os.str();
+}
+
+runner::Json
+SweepService::healthzJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    runner::Json::Object doc;
+    doc["status"] = runner::Json(stop_ ? "shutting_down" : "ok");
+    doc["uptime_seconds"] = runner::Json(
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startedAt_)
+            .count());
+
+    std::size_t queued = 0;
+    runner::Json::Object states;
+    for (const StateEntry &entry : kStateTable) {
+        std::uint64_t n = 0;
+        for (const auto &[id, job] : jobs_) {
+            if (job.info.state == entry.state)
+                ++n;
+        }
+        states[entry.name] = runner::Json(n);
+        if (entry.state == JobState::Queued)
+            queued = n;
+    }
+    doc["queue_depth"] =
+        runner::Json(static_cast<std::uint64_t>(queued));
+    doc["running_job"] = runner::Json(runningJob_);
+    doc["jobs"] = runner::Json(std::move(states));
+
+    runner::Json::Object cells;
+    cells["done"] = runner::Json(cellsDoneTotal_);
+    cells["failed"] = runner::Json(cellsFailedTotal_);
+    cells["cached"] = runner::Json(cellsCachedTotal_);
+    cells["executed"] = runner::Json(cellsExecutedTotal_);
+    cells["near_misses"] = runner::Json(cellNearMissesTotal_);
+    doc["cells"] = runner::Json(std::move(cells));
+    doc["last_error"] = runner::Json(lastError_);
+    return runner::Json(std::move(doc));
 }
 
 std::uint64_t
@@ -545,6 +623,7 @@ SweepService::pickNext() const
 void
 SweepService::schedulerLoop()
 {
+    setLogThreadName("sched");
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         wake_.wait(lock, [&] {
@@ -582,17 +661,26 @@ SweepService::execute(Job &job)
     const std::uint64_t id = job.info.id;
     const runner::SweepSpec &spec = job.info.spec;
 
+    // Correlate every log line of this job — the scheduler thread's
+    // own lines here, and each worker's per-cell lines through
+    // RunnerOptions::logContext — under one greppable "job-<id>/" id.
+    const std::string correlation = strfmt("job-{}/", id);
+    LogScope job_ctx(correlation);
+
     std::vector<RunRequest> cells;
     std::string error;
     if (!spec.expand(cells, &error)) {
         finishJob(job, JobState::Failed, std::move(error));
         return;
     }
+    latte_inform("job {} started: {} cell(s), client '{}'", id,
+                 cells.size(), job.info.client);
 
     runner::RunnerOptions runner_options;
     runner_options.threads = options_.threads;
     runner_options.cacheDir = options_.cacheDir;
     runner_options.progress = options_.progress;
+    runner_options.logContext = correlation;
     runner_options.journalPath = cellJournalPathFor(id);
     runner_options.cellTimeoutMs = spec.cellTimeoutMs;
     runner_options.cellCycleBudget = spec.cellCycleBudget;
@@ -608,10 +696,15 @@ SweepService::execute(Job &job)
             // job executes, so this cannot deadlock.
             std::lock_guard<std::mutex> lock(mutex_);
             ++job.info.cellsDone;
-            if (!outcome.ok())
+            ++cellsDoneTotal_;
+            if (!outcome.ok()) {
                 ++job.info.cellsFailed;
-            if (shortcut)
+                ++cellsFailedTotal_;
+            }
+            if (shortcut) {
                 ++job.info.cellsCached;
+                ++cellsCachedTotal_;
+            }
         }
         runner::Json::Object event;
         event["event"] = runner::Json("cell_done");
@@ -629,6 +722,9 @@ SweepService::execute(Job &job)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job.info.cellsExecuted = runner.stats().executed;
+        cellsExecutedTotal_ += runner.stats().executed;
+        cellNearMissesTotal_ += runner.stats().nearMisses;
+        cellWallMs_.merge(runner.cellWallMs());
         if (stop_ && job.cancelToken.cancelled()) {
             // Shutdown, not a user cancel: journal nothing, so the
             // next start replays the submit record and requeues the
@@ -695,7 +791,17 @@ SweepService::finishJob(Job &job, JobState state, std::string error)
           case JobState::Cancelled: ++counters_.cancelled; break;
           default: latte_panic("finishJob with live state");
         }
+        if (state != JobState::Done && !job.info.error.empty())
+            lastError_ = strfmt("job {}: {}", job.info.id,
+                                job.info.error);
     }
+    latte_inform("job {} {}: {}/{} cell(s) done, {} failed, {} cached, "
+                 "{} executed{}",
+                 job.info.id, jobStateName(state), job.info.cellsDone,
+                 job.info.cellsTotal, job.info.cellsFailed,
+                 job.info.cellsCached, job.info.cellsExecuted,
+                 job.info.error.empty() ? std::string()
+                                        : " — " + job.info.error);
 
     runner::Json::Object record;
     record["type"] = runner::Json("done");

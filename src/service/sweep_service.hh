@@ -191,12 +191,21 @@ class SweepService
     std::size_t queueDepth() const;
 
     /**
-     * Prometheus exposition of the service gauges (queue depth, running
-     * jobs, lifetime counters) and the job queue-wait / run-duration
+     * Prometheus exposition of the service gauges (queue depth, per-
+     * state job counts, uptime), the lifetime job and cell counters,
+     * and the job queue-wait / run-duration / cell wall-time
      * histograms, via the metrics helpers — same text format as
-     * --metrics-out .prom exports.
+     * --metrics-out .prom exports. Served verbatim by both the wire
+     * "metrics" verb and the HTTP /metrics endpoint.
      */
     std::string metricsPrometheus() const;
+
+    /**
+     * Liveness summary for GET /healthz: status, uptime, queue depth,
+     * the running job (if any), per-state job counts, lifetime cell
+     * counters and the most recent job error.
+     */
+    runner::Json healthzJson() const;
 
     // --- Events -------------------------------------------------------
 
@@ -247,6 +256,18 @@ class SweepService
     ServiceCounters counters_;
     metrics::LatencyHistogram queueWaitMs_;
     metrics::LatencyHistogram runDurationMs_;
+    /** Per-cell wall times folded from every finished job's runner. */
+    metrics::LatencyHistogram cellWallMs_;
+    // Lifetime cell counters across all jobs (mutex_-guarded).
+    std::uint64_t cellsDoneTotal_ = 0;
+    std::uint64_t cellsFailedTotal_ = 0;
+    std::uint64_t cellsCachedTotal_ = 0;
+    std::uint64_t cellsExecutedTotal_ = 0;
+    std::uint64_t cellNearMissesTotal_ = 0;
+    /** Most recent Failed/Cancelled job error, for /healthz. */
+    std::string lastError_;
+    const std::chrono::steady_clock::time_point startedAt_ =
+        std::chrono::steady_clock::now();
 
     std::ofstream journalOut_;
     std::mutex journalMutex_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "metrics/live.hh"
 #include "metrics/registry.hh"
 
 namespace latte
@@ -157,6 +158,10 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
 
     bool budget_hit = false;
     std::optional<SimInterrupt> interrupt;
+    // Simulated-cycle cadence of live-gauge publication (observational
+    // only; the stores land in this thread's metrics::live slot).
+    constexpr Cycles kLivePublishPeriod = Cycles{1} << 16;
+    Cycles next_live_publish = start;
     while (true) {
         // Distribute CTAs round-robin to SMs with capacity.
         bool assigned = true;
@@ -228,9 +233,19 @@ Gpu::runKernel(KernelProgram &program, std::uint64_t max_instructions,
         if (metrics_ && metrics_->due(now_))
             metrics_->sample(now_);
 
-        if (totalInstructions() - instr_start >= max_instructions) {
+        const std::uint64_t executed =
+            totalInstructions() - instr_start;
+        if (executed >= max_instructions) {
             budget_hit = true;
             break;
+        }
+
+        // Feed the thread's live-metrics slot so a /metrics scrape
+        // mid-run sees the cell advancing. Throttled: the stores are
+        // relaxed, but there is no reason to publish every cycle.
+        if (now_ >= next_live_publish) {
+            metrics::live::CellScope::publish(now_, executed);
+            next_live_publish = now_ + kLivePublishPeriod;
         }
     }
 

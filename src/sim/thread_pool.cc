@@ -1,8 +1,11 @@
 #include "thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace latte
 {
@@ -65,7 +68,72 @@ parsePositive(std::string_view text)
     return value;
 }
 
+/** Destroyed pools fold their counters here. */
+std::mutex g_poolStatsMutex;
+SimPoolStats g_poolStats;
+
+void
+foldGlobalPoolStats(const SimPoolStats &stats)
+{
+    std::lock_guard<std::mutex> lock(g_poolStatsMutex);
+    g_poolStats.merge(stats);
+}
+
 } // namespace
+
+void
+SimPoolStats::merge(const SimPoolStats &other)
+{
+    epochs += other.epochs;
+    items += other.items;
+    callerItems += other.callerItems;
+    sleepTransitions += other.sleepTransitions;
+    barrierWaitNs.merge(other.barrierWaitNs);
+}
+
+SimPoolStats
+simPoolGlobalStats()
+{
+    std::lock_guard<std::mutex> lock(g_poolStatsMutex);
+    return g_poolStats;
+}
+
+SimPoolStatGroup::SimPoolStatGroup(const SimPoolStats &stats)
+    : StatGroup("sim_pool"),
+      epochs(this, "epochs", "parallel epochs run"),
+      items(this, "items", "SM ticks executed across all threads"),
+      callerItems(this, "caller_items",
+                  "SM ticks claimed by the publishing thread"),
+      sleepTransitions(this, "sleep_transitions",
+                       "worker spin budgets exhausted into cv sleeps"),
+      barrierWaits(this, "barrier_waits",
+                   "caller end-of-epoch barrier waits recorded")
+{
+    epochs += stats.epochs;
+    items += stats.items;
+    callerItems += stats.callerItems;
+    sleepTransitions += stats.sleepTransitions;
+    barrierWaits += stats.barrierWaitNs.count();
+}
+
+std::string
+simPoolPrometheus()
+{
+    const SimPoolStats stats = simPoolGlobalStats();
+    std::ostringstream os;
+    const auto counter = [&](const char *name, std::uint64_t value) {
+        const std::string metric = metrics::prometheusName(name);
+        os << "# TYPE " << metric << " counter\n";
+        os << metric << " " << value << "\n";
+    };
+    counter("sim_pool_epochs_total", stats.epochs);
+    counter("sim_pool_items_total", stats.items);
+    counter("sim_pool_caller_items_total", stats.callerItems);
+    counter("sim_pool_sleep_transitions_total", stats.sleepTransitions);
+    metrics::writeHistogramPrometheus(os, "sim_pool_barrier_wait_ns",
+                                      stats.barrierWaitNs);
+    return os.str();
+}
 
 unsigned
 resolveSimThreads(std::string_view text, std::string *error)
@@ -108,17 +176,22 @@ SimThreadPool::SimThreadPool(unsigned workers)
     const unsigned hw = std::thread::hardware_concurrency();
     if (hw != 0 && !std::getenv("LATTE_SIM_THREADS_NO_CLAMP"))
         workers = std::min(workers, hw - 1);
-    threads_.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
-    // All workers start checked out of the (nonexistent) epoch 0.
-    checkedOut_.store(workers, std::memory_order_relaxed);
     // The pool can still be outnumbered by external load (a -j sweep
     // running one pool per runner thread): spin between epochs only
     // when a core per thread plausibly exists, sleep immediately when
-    // the spin would steal the publisher's core.
+    // the spin would steal the publisher's core. Set before the first
+    // worker spawns — they read it unsynchronized.
     if (hw >= workers + 1)
         spinBudget_ = kSpinsBeforeSleep;
+    // All workers start checked out of the (nonexistent) epoch 0.
+    checkedOut_.store(workers, std::memory_order_relaxed);
+    workerClaimed_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workerClaimed_[i].store(0, std::memory_order_relaxed);
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 SimThreadPool::~SimThreadPool()
@@ -130,16 +203,38 @@ SimThreadPool::~SimThreadPool()
     cv_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+    foldGlobalPoolStats(stats());
+}
+
+SimPoolStats
+SimThreadPool::stats() const
+{
+    SimPoolStats out;
+    out.epochs = epochs_;
+    out.callerItems = callerClaimed_.load(std::memory_order_relaxed);
+    out.items = out.callerItems;
+    out.sleepTransitions =
+        sleepTransitions_.load(std::memory_order_relaxed);
+    out.barrierWaitNs = barrierWaitNs_;
+    out.workerItems.reserve(threads_.size());
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        const std::uint64_t claimed =
+            workerClaimed_[i].load(std::memory_order_relaxed);
+        out.workerItems.push_back(claimed);
+        out.items += claimed;
+    }
+    return out;
 }
 
 void
-SimThreadPool::claim()
+SimThreadPool::claim(std::atomic<std::uint64_t> &claimed)
 {
     for (;;) {
         const std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
         if (i >= count_)
             return;
         (*job_)(i);
+        claimed.fetch_add(1, std::memory_order_relaxed);
         done_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -176,18 +271,29 @@ SimThreadPool::run(std::size_t count,
     if (sleepers_.load(std::memory_order_acquire) > 0)
         cv_.notify_all();
 
-    claim();
+    claim(callerClaimed_);
 
     // The release increments of done_ order every item's effects before
-    // the barrier-side commit that follows this call.
+    // the barrier-side commit that follows this call. The wait is timed
+    // (two clock reads per epoch, noise against an epoch's work): the
+    // distribution is the direct measure of barrier-staging overhead
+    // that the bench report and /metrics surface.
+    const auto wait_start = std::chrono::steady_clock::now();
     spinUntil([this] {
         return done_.load(std::memory_order_acquire) == count_;
     });
+    barrierWaitNs_.record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
+    ++epochs_;
 }
 
 void
-SimThreadPool::workerLoop()
+SimThreadPool::workerLoop(unsigned index)
 {
+    setLogThreadName(strfmt("sim-w{}", index));
+    std::atomic<std::uint64_t> &claimed = workerClaimed_[index];
     std::uint64_t seen = 0;
     for (;;) {
         std::uint64_t gen;
@@ -200,6 +306,9 @@ SimThreadPool::workerLoop()
                 cpuRelax();
                 continue;
             }
+            // One transition per cv wait entered (spin budget spent,
+            // or zero budget on an oversubscribed host).
+            sleepTransitions_.fetch_add(1, std::memory_order_relaxed);
             sleepers_.fetch_add(1, std::memory_order_acq_rel);
             {
                 std::unique_lock<std::mutex> lock(mutex_);
@@ -214,7 +323,7 @@ SimThreadPool::workerLoop()
         if (stop_.load(std::memory_order_acquire))
             return;
         seen = gen;
-        claim();
+        claim(claimed);
         checkedOut_.fetch_add(1, std::memory_order_release);
     }
 }

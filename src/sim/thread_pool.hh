@@ -8,6 +8,13 @@
  * spin (then sleep) between epochs, items are claimed from a shared
  * atomic cursor, and the caller participates instead of blocking. No
  * memory is allocated after construction.
+ *
+ * Introspection: every pool counts epochs, per-thread claimed items and
+ * worker spin->sleep transitions (relaxed atomics), and the caller
+ * records its end-of-epoch barrier wait into a LatencyHistogram. A
+ * destroyed pool folds its counters into a process-wide aggregate
+ * (simPoolGlobalStats()) that the bench report and the latted /metrics
+ * endpoint expose — purely observational, never part of results.
  */
 
 #ifndef LATTE_SIM_THREAD_POOL_HH
@@ -17,11 +24,15 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/stats.hh"
+#include "metrics/latency_histogram.hh"
 
 namespace latte
 {
@@ -34,6 +45,46 @@ namespace latte
  *         malformed.
  */
 unsigned resolveSimThreads(std::string_view text, std::string *error);
+
+/** Point-in-time view of one pool's (or the process aggregate's) work. */
+struct SimPoolStats
+{
+    std::uint64_t epochs = 0;           //!< parallel epochs run
+    std::uint64_t items = 0;            //!< items executed, all threads
+    std::uint64_t callerItems = 0;      //!< items claimed by the caller
+    std::uint64_t sleepTransitions = 0; //!< worker spin->sleep falls
+    /** Caller-side wait for the last worker at each epoch end, in ns. */
+    metrics::LatencyHistogram barrierWaitNs;
+    /** Items per worker (empty in the process aggregate). */
+    std::vector<std::uint64_t> workerItems;
+
+    /** Fold @p other in (workerItems are summed into items only). */
+    void merge(const SimPoolStats &other);
+};
+
+/** Aggregate over every destroyed pool since process start. */
+SimPoolStats simPoolGlobalStats();
+
+/**
+ * The aggregate as a StatGroup ("sim_pool"), so it flows through
+ * StatVisitor consumers (bench report, JSON dumps) like any other stat
+ * tree. Standalone by design: parenting it to the Gpu would leak
+ * wall-clock-dependent values into results and break bit-identity.
+ */
+class SimPoolStatGroup : public StatGroup
+{
+  public:
+    explicit SimPoolStatGroup(const SimPoolStats &stats);
+
+    Counter epochs;
+    Counter items;
+    Counter callerItems;
+    Counter sleepTransitions;
+    Counter barrierWaits;
+};
+
+/** Prometheus exposition of simPoolGlobalStats(). */
+std::string simPoolPrometheus();
 
 /** Epoch-reusable parallel-for pool; see the file comment. */
 class SimThreadPool
@@ -62,10 +113,17 @@ class SimThreadPool
         return static_cast<unsigned>(threads_.size());
     }
 
+    /**
+     * Snapshot this pool's counters. Exact only between epochs (the
+     * histogram is written by the run() caller; counters are relaxed
+     * atomics), which is when every consumer reads it.
+     */
+    SimPoolStats stats() const;
+
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
     /** Pull items off the shared cursor until the epoch is drained. */
-    void claim();
+    void claim(std::atomic<std::uint64_t> &claimed);
 
     std::vector<std::thread> threads_;
     /**
@@ -98,6 +156,15 @@ class SimThreadPool
      * out, so a straggler can never claim against recycled state.
      */
     std::atomic<unsigned> checkedOut_{0};
+
+    // --- Introspection (observational; never touches results) -------
+    /** Items claimed per worker thread; stable addresses for claim(). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> workerClaimed_;
+    std::atomic<std::uint64_t> callerClaimed_{0};
+    std::atomic<std::uint64_t> sleepTransitions_{0};
+    /** Written by the run() caller only. */
+    std::uint64_t epochs_ = 0;
+    metrics::LatencyHistogram barrierWaitNs_;
 };
 
 } // namespace latte

@@ -151,19 +151,8 @@ TEST(BitStream, WordAtATimeMatchesPerBitReference)
 }
 
 // ------------------------------------------------------------- logging
-
-TEST(Logging, StrfmtSubstitutes)
-{
-    EXPECT_EQ(strfmt("a {} c {}", 1, "x"), "a 1 c x");
-    EXPECT_EQ(strfmt("no placeholders"), "no placeholders");
-    EXPECT_EQ(strfmt("{} {}", 1.5, 2), "1.5 2");
-}
-
-TEST(Logging, AssertPassesOnTrue)
-{
-    latte_assert(1 + 1 == 2, "should not fire");
-    SUCCEED();
-}
+// The structured logger itself (levels, scopes, JSON records, sink) is
+// covered by the Logging fixture suite in test_logging.cc.
 
 TEST(LoggingDeath, PanicAborts)
 {

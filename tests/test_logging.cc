@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the leveled structured logger: level names and gating,
+ * text/JSON record rendering, correlation scopes, raw-line passthrough
+ * and the whole-line guarantee under concurrent writers. Every test
+ * diverts the sink with setLogSink() and restores the process-wide
+ * logger state on teardown, so suites running after these are
+ * unaffected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/json.hh"
+
+using namespace latte;
+
+namespace
+{
+
+// setLogSink takes a plain function pointer, so the capture buffer is
+// file-static. The sink runs under the logger's write mutex; the local
+// lock only orders it against the test body's reads.
+std::mutex g_linesMutex;
+std::vector<std::string> g_lines;
+
+void
+captureSink(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(g_linesMutex);
+    g_lines.push_back(line);
+}
+
+std::vector<std::string>
+capturedLines()
+{
+    std::lock_guard<std::mutex> lock(g_linesMutex);
+    return g_lines;
+}
+
+class Logging : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        {
+            std::lock_guard<std::mutex> lock(g_linesMutex);
+            g_lines.clear();
+        }
+        setLogSink(&captureSink);
+        setLogLevel(LogLevel::Info);
+        setLogJson(false);
+        setLogThreadName("log-test");
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(nullptr);
+        setLogLevel(LogLevel::Info);
+        setLogJson(false);
+    }
+};
+
+TEST_F(Logging, LevelNamesRoundTrip)
+{
+    const LogLevel levels[] = {LogLevel::Error, LogLevel::Warn,
+                               LogLevel::Info, LogLevel::Debug,
+                               LogLevel::Trace};
+    for (const LogLevel level : levels) {
+        LogLevel parsed;
+        ASSERT_TRUE(logLevelFromName(logLevelName(level), parsed))
+            << logLevelName(level);
+        EXPECT_EQ(parsed, level);
+    }
+
+    LogLevel out = LogLevel::Debug;
+    EXPECT_FALSE(logLevelFromName("loud", out));
+    EXPECT_EQ(out, LogLevel::Debug); // untouched on failure
+    EXPECT_FALSE(logLevelFromName("", out));
+}
+
+TEST_F(Logging, ThresholdGatesRecords)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Trace));
+
+    latte_inform("suppressed {}", 1);
+    latte_debug("suppressed {}", 2);
+    latte_warn("emitted {}", 3);
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("warn"), std::string::npos);
+    EXPECT_NE(lines[0].find("emitted 3"), std::string::npos);
+    EXPECT_EQ(lines[0].find("suppressed"), std::string::npos);
+}
+
+TEST_F(Logging, TextRecordsCarryThreadAndContext)
+{
+    LogScope scope("job-7/cell-3");
+    latte_inform("hello {}", 42);
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+    // [     0.000123] info  log-test job-7/cell-3: hello 42
+    EXPECT_EQ(lines[0].front(), '[');
+    EXPECT_NE(lines[0].find("info"), std::string::npos);
+    EXPECT_NE(lines[0].find(" log-test job-7/cell-3: hello 42"),
+              std::string::npos);
+}
+
+TEST_F(Logging, ScopesNestAndRestore)
+{
+    EXPECT_EQ(logContext(), "");
+    {
+        LogScope outer("job-1/");
+        EXPECT_EQ(logContext(), "job-1/");
+        {
+            LogScope inner("job-1/cell-4");
+            EXPECT_EQ(logContext(), "job-1/cell-4");
+        }
+        EXPECT_EQ(logContext(), "job-1/");
+    }
+    EXPECT_EQ(logContext(), "");
+}
+
+TEST_F(Logging, JsonRecordsParseAndEscape)
+{
+    setLogJson(true);
+    LogScope scope("job-9/cell-0");
+    latte_warn("quote \" backslash \\ newline \n tab \t bell \x07 end");
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+
+    std::string error;
+    const runner::Json record = runner::Json::parse(lines[0], &error);
+    ASSERT_TRUE(error.empty()) << error << "\n" << lines[0];
+    EXPECT_EQ(record.at("level").asString(), "warn");
+    EXPECT_EQ(record.at("thread").asString(), "log-test");
+    EXPECT_EQ(record.at("ctx").asString(), "job-9/cell-0");
+    EXPECT_GE(record.at("ts").asDouble(), 0.0);
+    // The parser unescapes, so the message round-trips bytewise.
+    EXPECT_EQ(record.at("msg").asString(),
+              "quote \" backslash \\ newline \n tab \t bell \x07 end");
+}
+
+TEST_F(Logging, JsonRecordsOmitEmptyContext)
+{
+    setLogJson(true);
+    latte_inform("no scope here");
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+    std::string error;
+    const runner::Json record = runner::Json::parse(lines[0], &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_FALSE(record.contains("ctx"));
+}
+
+TEST_F(Logging, RawLinesPassThroughVerbatimInTextMode)
+{
+    const std::string progress =
+        "[3/4] KM/LATTE-CC                   0.52s  eta 0.2s";
+    logRawLine(progress);
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], progress); // no timestamp/level decoration
+}
+
+TEST_F(Logging, RawLinesBecomeRecordsInJsonMode)
+{
+    setLogJson(true);
+    logRawLine("[1/4] KM/Baseline 0.1s");
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(), 1u);
+    std::string error;
+    const runner::Json record = runner::Json::parse(lines[0], &error);
+    ASSERT_TRUE(error.empty()) << error << "\n" << lines[0];
+    EXPECT_EQ(record.at("level").asString(), "info");
+    EXPECT_EQ(record.at("msg").asString(), "[1/4] KM/Baseline 0.1s");
+}
+
+TEST_F(Logging, ConcurrentWritersNeverTearLines)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            setLogThreadName(strfmt("w{}", t));
+            // A uniform payload per thread: any interleaving inside a
+            // line would mix characters from two payloads.
+            const std::string payload(48, static_cast<char>('A' + t));
+            for (int i = 0; i < kPerThread; ++i)
+                latte_warn("{}", payload);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const std::vector<std::string> lines = capturedLines();
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    for (const std::string &line : lines) {
+        const std::size_t colon = line.rfind(": ");
+        ASSERT_NE(colon, std::string::npos) << line;
+        const std::string payload = line.substr(colon + 2);
+        ASSERT_EQ(payload.size(), 48u) << line;
+        for (const char c : payload)
+            ASSERT_EQ(c, payload[0]) << line;
+    }
+}
+
+TEST_F(Logging, StrfmtFormatsPlaceholders)
+{
+    EXPECT_EQ(strfmt("a {} b {} c", 1, "x"), "a 1 b x c");
+    EXPECT_EQ(strfmt("no placeholders"), "no placeholders");
+    EXPECT_EQ(strfmt("extra {} {}", 7), "extra 7 {}");
+    EXPECT_EQ(strfmt("{}", 2.5), "2.5");
+}
+
+TEST_F(Logging, AssertPassesOnTrue)
+{
+    latte_assert(1 + 1 == 2, "should not fire");
+    SUCCEED();
+}
+
+} // namespace

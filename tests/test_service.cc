@@ -5,8 +5,9 @@
  * result byte-identical to the same spec run in-process, and a
  * resubmit is served from cache with zero simulated cells), queue
  * order / quotas / cancellation, journal recovery after an unclean
- * stop, and the wire protocol via RequestDispatcher — all in-process,
- * no socket involved.
+ * stop, the wire protocol via RequestDispatcher, and the AF_UNIX
+ * SocketServer itself (concurrent clients, stale-socket takeover, the
+ * live-daemon probe).
  */
 
 #include <gtest/gtest.h>
@@ -17,10 +18,19 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "core/driver.hh"
 #include "runner/sweep.hh"
 #include "runner/sweep_spec.hh"
 #include "service/dispatcher.hh"
+#include "service/socket_server.hh"
 #include "service/sweep_service.hh"
 #include "workloads/zoo.hh"
 
@@ -341,8 +351,143 @@ TEST(Service, DispatcherSpeaksTheWireProtocol)
     dispatcher.onShutdown([&] { shutdown_requested = true; });
     response = dispatcher.handle(R"({"type":"shutdown"})", session);
     EXPECT_TRUE(response.at("ok").asBool());
+    // The hook is deferred so the ack reaches the wire first; the
+    // transport invokes it after writing the response.
+    EXPECT_FALSE(shutdown_requested);
+    ASSERT_TRUE(static_cast<bool>(session.afterResponse));
+    session.afterResponse();
     EXPECT_TRUE(shutdown_requested);
     dispatcher.closeSession(session);
+}
+
+/** Connect to @p path, send @p line, read one newline-delimited reply. */
+std::string
+unixRequest(const std::string &path, const std::string &line)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ADD_FAILURE() << "connect " << path << ": "
+                      << std::strerror(errno);
+        ::close(fd);
+        return {};
+    }
+    const std::string request = line + "\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+
+    std::string reply;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n')
+        reply += c;
+    ::close(fd);
+    return reply;
+}
+
+TEST(Service, SocketServerHandlesConcurrentClients)
+{
+    const std::string dir = freshDir("latte_socket_concurrent");
+    std::filesystem::create_directories(dir);
+    const std::string socket_path = dir + "/latted.sock";
+
+    ServiceOptions options;
+    options.stateDir = dir;
+    options.startPaused = true;
+    SweepService service(options);
+    RequestDispatcher dispatcher(service);
+    SocketServer server(dispatcher, socket_path);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    constexpr int kClients = 8;
+    std::vector<std::thread> clients;
+    std::vector<std::string> replies(kClients);
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&socket_path, &replies, i] {
+            replies[i] =
+                unixRequest(socket_path, R"({"type":"ping"})");
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    for (int i = 0; i < kClients; ++i) {
+        std::string parse_error;
+        const runner::Json reply =
+            runner::Json::parse(replies[i], &parse_error);
+        ASSERT_TRUE(parse_error.empty())
+            << "client " << i << ": " << parse_error;
+        EXPECT_TRUE(reply.at("ok").asBool()) << "client " << i;
+    }
+    server.stop();
+}
+
+TEST(Service, SocketServerReplacesStaleSocketButNotALiveOne)
+{
+    const std::string dir = freshDir("latte_socket_stale");
+    std::filesystem::create_directories(dir);
+    const std::string socket_path = dir + "/latted.sock";
+
+    // A SIGKILLed daemon leaves its socket file behind with nobody
+    // listening. Manufacture that state directly.
+    {
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, socket_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0)
+            << std::strerror(errno);
+        ::close(fd); // no unlink: the file stays, dead
+    }
+    ASSERT_TRUE(std::filesystem::exists(socket_path));
+
+    ServiceOptions options;
+    options.stateDir = dir;
+    options.startPaused = true;
+    SweepService service(options);
+    RequestDispatcher dispatcher(service);
+
+    // The probe finds nobody answering and takes the path over.
+    SocketServer server(dispatcher, socket_path);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::string parse_error;
+    const runner::Json reply = runner::Json::parse(
+        unixRequest(socket_path, R"({"type":"ping"})"), &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    EXPECT_TRUE(reply.at("ok").asBool());
+
+    // With the first daemon live, a second one must refuse to start —
+    // the probe connects successfully and backs off.
+    SocketServer rival(dispatcher, socket_path);
+    EXPECT_FALSE(rival.start(&error));
+    EXPECT_NE(error.find("another daemon is live"), std::string::npos)
+        << error;
+
+    // The loser's failed start must not have unlinked the winner's
+    // socket: the original server still answers.
+    parse_error.clear();
+    const runner::Json again = runner::Json::parse(
+        unixRequest(socket_path, R"({"type":"ping"})"), &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    EXPECT_TRUE(again.at("ok").asBool());
+
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(socket_path));
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 
 #include "common/logging.hh"
 #include "runner/arg_parse.hh"
+#include "service/http_server.hh"
 #include "service/socket_server.hh"
 
 namespace
@@ -68,6 +69,7 @@ main(int argc, char **argv)
     service::ServiceOptions options;
     std::string socket_path;
     std::string metrics_out;
+    std::string http_addr;
 
     // latted takes its own flag set, not the full sweep CLI: a daemon
     // has no --json/--trace-out of its own — those belong to jobs.
@@ -105,6 +107,22 @@ main(int argc, char **argv)
                [&](const std::string &v) {
                    options.progress = v != "0";
                });
+    parser.add("--http-addr", "", "[HOST:]PORT",
+               "serve GET /metrics, /healthz and /jobs over HTTP "
+               "(127.0.0.1 unless HOST is given; off by default)",
+               [&](const std::string &v) { http_addr = v; });
+    parser.add("--log-level", "", "LEVEL",
+               "stderr log threshold: error|warn|info|debug|trace "
+               "(default info, or LATTE_LOG_LEVEL)",
+               [&](const std::string &v) {
+                   LogLevel level;
+                   if (!logLevelFromName(v, level))
+                       latte_fatal("latted: unknown log level '{}'", v);
+                   setLogLevel(level);
+               });
+    parser.add("--log-json", "", nullptr,
+               "emit log lines as JSON records (one object per line)",
+               [&](const std::string &) { setLogJson(true); });
     parser.parse(argc, argv);
     if (argc > 1)
         latte_fatal("latted: unknown argument '{}' (try --help)",
@@ -129,16 +147,35 @@ main(int argc, char **argv)
     if (!server.start(&error))
         latte_fatal("latted: {}", error);
 
+    service::HttpServer http(http_addr.empty() ? "0" : http_addr);
+    if (!http_addr.empty()) {
+        service::registerServiceEndpoints(http, sweep_service);
+        if (!http.start(&error))
+            latte_fatal("latted: {}", error);
+    }
+
+    // The resolved configuration, logged once at startup so a journal
+    // of the daemon's life starts with what it was actually running.
     const service::ServiceCounters startup = sweep_service.counters();
     latte_inform("latted: serving on {} (state {}, {} job{} recovered)",
                  socket_path, options.stateDir, startup.recovered,
                  startup.recovered == 1 ? "" : "s");
+    latte_inform("latted: config: cache-dir='{}' threads={} "
+                 "max-queue={} client-quota={} progress={}",
+                 options.cacheDir, options.threads, options.maxQueue,
+                 options.clientQuota, options.progress ? 1 : 0);
+    if (!http_addr.empty())
+        latte_inform("latted: http on '{}' port {} "
+                     "(/metrics, /healthz, /jobs)",
+                     http_addr, http.port());
 
     latch.wait();
 
     latte_inform("latted: shutting down");
-    // Order matters: wake blocked wait requests first, then tear down
-    // the socket (joins reader threads), then destroy the service.
+    // Order matters: stop the scrape surface, wake blocked wait
+    // requests, then tear down the socket (joins reader threads),
+    // then destroy the service.
+    http.stop();
     sweep_service.shutdown();
     server.stop();
 
