@@ -24,7 +24,7 @@ main(int argc, char **argv)
             continue;
         for (const Cycles extra : extra_latencies) {
             DriverOptions options;
-            options.cfg.l1HitLatency = 1 + extra;
+            options.cfg.l1.hitLatency = 1 + extra;
             sweep.add(*workload, PolicyKind::Baseline, options);
         }
     }
@@ -42,7 +42,7 @@ main(int argc, char **argv)
         double base_ipc = 0;
         for (const Cycles extra : extra_latencies) {
             DriverOptions options;
-            options.cfg.l1HitLatency = 1 + extra;
+            options.cfg.l1.hitLatency = 1 + extra;
             const auto &result =
                 sweep.get(*workload, PolicyKind::Baseline, options);
             const double ipc =

@@ -83,6 +83,67 @@ runScalingProbe(Sweep &sweep)
                         runner::Json(std::move(entries)));
 }
 
+/**
+ * Compression-down-the-hierarchy probe: the fig11 grid with the L2
+ * also compressed. One BDI-friendly workload (NW) and one
+ * BDI-resistant one (KM) across l2.compress in {off, static:bdi,
+ * latte}, recorded in the --bench-out report so CI tracks that the
+ * compressed-L2 rows keep running end-to-end and that the adaptive
+ * row never loses to off by more than noise.
+ */
+void
+runL2CompressGrid(Sweep &sweep)
+{
+    const struct { const char *spec; PolicyKind kind; } rows[] = {
+        {"off", PolicyKind::Baseline},
+        {"static:bdi", PolicyKind::L2StaticBdi},
+        {"latte", PolicyKind::L2Latte},
+    };
+
+    runner::Json::Array entries;
+    for (const char *abbr : {"NW", "KM"}) {
+        const Workload *workload = findWorkload(abbr);
+        if (!workload)
+            continue;
+        double off_cycles = 0;
+        for (const auto &row : rows) {
+            RunRequest request;
+            request.workload = workload;
+            request.policy = row.kind;
+            request.options = sweep.defaults();
+            const RunOutcome outcome = latte::run(request);
+            if (!outcome.ok())
+                latte_fatal("l2-compress grid failed on {} at "
+                            "l2.compress={}: {}",
+                            abbr, row.spec, outcome.error.message);
+            const WorkloadRunResult &result = outcome.value();
+            if (off_cycles == 0)
+                off_cycles = static_cast<double>(result.cycles);
+
+            runner::Json::Object entry;
+            entry["workload"] = std::string(abbr);
+            entry["l2_compress"] = std::string(row.spec);
+            entry["cycles"] = result.cycles;
+            entry["speedup_vs_off"] =
+                off_cycles > 0
+                    ? off_cycles / static_cast<double>(result.cycles)
+                    : 0.0;
+            const auto compressed = result.stats.find(
+                "gpu.l2.compress.compressed_insertions");
+            entry["l2_compressed_insertions"] =
+                compressed != result.stats.end() ? compressed->second
+                                                 : 0.0;
+            entry["energy_mj"] = result.energy.totalMj();
+            entries.push_back(runner::Json(std::move(entry)));
+            std::cout << "l2-compress grid: " << abbr
+                      << " l2.compress=" << row.spec << " "
+                      << result.cycles << " cycles\n";
+        }
+    }
+    sweep.addBenchExtra("l2_compress_grid",
+                        runner::Json(std::move(entries)));
+}
+
 } // namespace
 
 int
@@ -123,7 +184,9 @@ main(int argc, char **argv)
                  "Static-BDI > 1.0 > Static-SC; LATTE-CC >= Kernel-OPT. "
                  "C-InSens: LATTE/BDI ~1.0, SC < 1.0.\n";
 
-    if (!sweep.benchPath().empty())
+    if (!sweep.benchPath().empty()) {
         runScalingProbe(sweep);
+        runL2CompressGrid(sweep);
+    }
     return 0;
 }

@@ -53,7 +53,7 @@ main(int argc, char **argv)
         sweep.add(*workload, kind);
 
     const GpuConfig cfg;
-    const double base_kb = cfg.l1SizeBytes / 1024.0;
+    const double base_kb = cfg.l1.sizeBytes / 1024.0;
 
     std::cout << "=== Figure 16: effective cache capacity over time "
                  "(SS, SM 0) ===\n";

@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     DriverOptions big;
-    big.cfg.l1SizeBytes = 48 * 1024;
+    big.cfg.l1.sizeBytes = 48 * 1024;
     big.cfg.sharedMemBytes = 16 * 1024;
     Sweep sweep(argc, argv, big);
 

@@ -14,7 +14,7 @@ main(int argc, char **argv)
 {
     Sweep sweep(argc, argv);
     DriverOptions big_opts;
-    big_opts.cfg.l1SizeBytes = 64 * 1024;
+    big_opts.cfg.l1.sizeBytes = 64 * 1024;
 
     for (const auto &workload : workloadZoo()) {
         sweep.add(workload, PolicyKind::Baseline);

@@ -45,6 +45,9 @@ parsePolicy(const std::string &name, PolicyKind &kind)
         {"latte", PolicyKind::LatteCc},
         {"latte-bdi-bpc", PolicyKind::LatteCcBdiBpc},
         {"kernel-opt", PolicyKind::KernelOpt},
+        {"l2-static-bdi", PolicyKind::L2StaticBdi},
+        {"l2-latte", PolicyKind::L2Latte},
+        {"latte-l1l2", PolicyKind::LatteCcL1L2},
     };
     for (const auto &entry : table) {
         if (name == entry.name) {
@@ -93,7 +96,7 @@ main(int argc, char **argv)
     parser.add("--policy", "", "NAME",
                "baseline | static-bdi | static-sc | static-bpc | "
                "adaptive-hit | adaptive-cmp | latte | latte-bdi-bpc | "
-               "kernel-opt",
+               "kernel-opt | l2-static-bdi | l2-latte | latte-l1l2",
                [&](const std::string &v) {
                    if (!parsePolicy(v, kind)) {
                        std::cerr << "unknown policy '" << v << "'\n";
@@ -102,7 +105,7 @@ main(int argc, char **argv)
                });
     parser.add("--l1-kb", "", "N", "L1 data cache size in KiB (default 16)",
                [&](const std::string &v) {
-                   options.cfg.l1SizeBytes = std::stoul(v) * 1024;
+                   options.cfg.l1.sizeBytes = std::stoul(v) * 1024;
                });
     parser.add("--sms", "", "N", "number of SMs (default 15)",
                [&](const std::string &v) {
@@ -110,7 +113,7 @@ main(int argc, char **argv)
                });
     parser.add("--hit-latency", "", "N", "base L1 hit latency in cycles",
                [&](const std::string &v) {
-                   options.cfg.l1HitLatency = std::stoul(v);
+                   options.cfg.l1.hitLatency = std::stoul(v);
                });
     parser.add("--ep", "", "N", "LATTE-CC EP length in L1 accesses",
                [&](const std::string &v) {

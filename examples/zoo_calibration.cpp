@@ -28,7 +28,7 @@ main(int argc, char **argv)
 
     DriverOptions base_opts;
     DriverOptions big_opts;
-    big_opts.cfg.l1SizeBytes = 64 * 1024;
+    big_opts.cfg.l1.sizeBytes = 64 * 1024;
 
     for (const auto &workload : workloadZoo()) {
         if (!only.empty() && workload.abbr != only)

@@ -40,25 +40,14 @@ CompressedCache::CompressedCache(const GpuConfig &cfg, SmId sm_id,
                      "mean compression ratio of inserted lines"),
       missLatency(this, "miss_latency",
                   "observed miss service time (cycles)"),
-      mshrs(cfg.l1MshrEntries, this),
+      mshrs(cfg.l1.mshrEntries, this),
       cfg_(cfg), tuning_(tuning), smId_(static_cast<std::uint16_t>(sm_id)),
       engines_(engines), l2_(l2), mem_(mem),
       provider_(&defaultProvider_),
-      numSets_(cfg.l1NumSets()),
-      tagsPerSet_(cfg.l1Assoc * cfg.l1TagFactor),
-      subBlocksPerSet_(cfg.l1Assoc * (cfg.l1LineBytes / cfg.l1SubBlockBytes)),
-      tags_(static_cast<std::size_t>(numSets_) * tagsPerSet_),
-      setUsedSubBlocks_(numSets_, 0),
       memo_(this),
-      bdiQueue_("decomp_bdi", this),
-      scQueue_("decomp_sc", this),
-      bpcQueue_("decomp_bpc", this),
-      fpcQueue_("decomp_fpc", this),
-      cpackQueue_("decomp_cpack", this)
+      domain_(cfg.l1, cfg.l1Repl, tuning.capacityBenefit, this)
 {
     latte_assert(engines_ && l2_ && mem_);
-    latte_assert(numSets_ > 0);
-    latte_assert(cfg.l1LineBytes == kLineBytes);
 }
 
 void
@@ -80,153 +69,21 @@ CompressedCache::setMetrics(metrics::MetricRegistry *metrics)
 }
 
 std::uint32_t
-CompressedCache::setIndexOf(Addr addr) const
-{
-    // Modulo rather than mask: the 48 KB configuration of Section V-E
-    // has 96 sets.
-    return static_cast<std::uint32_t>(
-        (addr / cfg_.l1LineBytes) % numSets_);
-}
-
-Addr
-CompressedCache::tagOf(Addr line_addr) const
-{
-    return line_addr / cfg_.l1LineBytes / numSets_;
-}
-
-CompressedCache::TagEntry *
-CompressedCache::setBase(std::uint32_t set_index)
-{
-    return &tags_[static_cast<std::size_t>(set_index) * tagsPerSet_];
-}
-
-const CompressedCache::TagEntry *
-CompressedCache::setBase(std::uint32_t set_index) const
-{
-    return &tags_[static_cast<std::size_t>(set_index) * tagsPerSet_];
-}
-
-CompressedCache::TagEntry *
-CompressedCache::findLine(Addr line_addr)
-{
-    TagEntry *ways = setBase(setIndexOf(line_addr));
-    const Addr tag = tagOf(line_addr);
-    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
-            return &ways[w];
-    }
-    return nullptr;
-}
-
-std::uint32_t
 CompressedCache::usedSubBlocksInSet(std::uint32_t set_index) const
 {
-    const TagEntry *ways = setBase(set_index);
-    std::uint32_t used = 0;
-    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-        if (ways[w].valid)
-            used += ways[w].subBlocks;
-    }
-    return used;
+    return domain_.usedSubBlocksInSet(set_index);
 }
 
 DecompressionQueue &
 CompressedCache::queueFor(CompressorId mode)
 {
-    switch (mode) {
-      case CompressorId::Bdi: return bdiQueue_;
-      case CompressorId::Sc: return scQueue_;
-      case CompressorId::Bpc: return bpcQueue_;
-      case CompressorId::Fpc: return fpcQueue_;
-      case CompressorId::CpackZ: return cpackQueue_;
-      case CompressorId::None: break;
-    }
-    latte_panic("no decompression queue for {}", compressorName(mode));
+    return domain_.queueFor(mode);
 }
 
 const DecompressionQueue &
 CompressedCache::queueFor(CompressorId mode) const
 {
-    return const_cast<CompressedCache *>(this)->queueFor(mode);
-}
-
-void
-CompressedCache::touchOnHit(TagEntry &entry)
-{
-    switch (cfg_.l1Repl) {
-      case GpuConfig::ReplPolicy::LRU:
-        entry.lruStamp = ++lruClock_;
-        break;
-      case GpuConfig::ReplPolicy::FIFO:
-        break; // insertion order only
-      case GpuConfig::ReplPolicy::SRRIP:
-        entry.rrpv = 0;
-        break;
-    }
-}
-
-void
-CompressedCache::touchOnFill(TagEntry &entry)
-{
-    entry.lruStamp = ++lruClock_;
-    // SRRIP inserts with a "long" (but not distant) prediction.
-    entry.rrpv = 2;
-}
-
-CompressedCache::TagEntry *
-CompressedCache::pickVictim(std::uint32_t set_index)
-{
-    TagEntry *ways = setBase(set_index);
-
-    if (cfg_.l1Repl == GpuConfig::ReplPolicy::SRRIP) {
-        // Find an RRPV-3 line, aging the set until one exists.
-        for (;;) {
-            for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-                if (ways[w].valid && ways[w].rrpv >= 3)
-                    return &ways[w];
-            }
-            for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-                if (ways[w].valid && ways[w].rrpv < 3)
-                    ++ways[w].rrpv;
-            }
-        }
-    }
-
-    // LRU and FIFO: smallest stamp (touch order vs fill order).
-    TagEntry *victim = nullptr;
-    for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-        if (ways[w].valid &&
-            (!victim || ways[w].lruStamp < victim->lruStamp)) {
-            victim = &ways[w];
-        }
-    }
-    latte_assert(victim, "no victim but set is full");
-    return victim;
-}
-
-std::uint8_t
-CompressedCache::subBlocksFor(const LineMeta &meta) const
-{
-    const std::uint32_t full =
-        cfg_.l1LineBytes / cfg_.l1SubBlockBytes;
-    if (!tuning_.capacityBenefit || !meta.compressed() ||
-        meta.encoding == kRawEncoding) {
-        return static_cast<std::uint8_t>(full);
-    }
-    const auto blocks = static_cast<std::uint32_t>(
-        divCeil(std::max<std::uint32_t>(meta.sizeBytes(), 1),
-                cfg_.l1SubBlockBytes));
-    return static_cast<std::uint8_t>(std::min(blocks, full));
-}
-
-void
-CompressedCache::releaseLine(TagEntry &entry, std::uint32_t set_index)
-{
-    latte_assert(entry.valid);
-    latte_assert(setUsedSubBlocks_[set_index] >= entry.subBlocks);
-    setUsedSubBlocks_[set_index] -= entry.subBlocks;
-    entry.valid = false;
-    entry.payload.clear();
+    return domain_.queueFor(mode);
 }
 
 void
@@ -261,13 +118,13 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
 
     if (is_write) {
         ++stores;
-        TagEntry *entry = findLine(line_addr);
+        TagEntry *entry = domain_.findLine(line_addr);
         const bool was_hit = entry != nullptr;
         const CompressorId old_mode =
             was_hit ? entry->mode : CompressorId::None;
         if (entry) {
             // Write-avoid: drop the copy instead of recompressing it.
-            releaseLine(*entry, set);
+            domain_.releaseLine(*entry, set);
             ++writeInvalidations;
             if (tracer_) {
                 TraceEvent ev =
@@ -290,11 +147,11 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
     }
 
     ++loads;
-    TagEntry *entry = findLine(line_addr);
+    TagEntry *entry = domain_.findLine(line_addr);
     if (entry) {
         ++hits;
-        touchOnHit(*entry);
-        Cycles ready = now + cfg_.l1HitLatency;
+        domain_.touchOnHit(*entry);
+        Cycles ready = now + cfg_.l1.hitLatency;
         if (entry->mode != CompressorId::None &&
             entry->encoding != kRawEncoding &&
             tuning_.chargeDecompression) {
@@ -302,7 +159,7 @@ CompressedCache::access(Cycles now, Addr addr, bool is_write)
             DecompressionQueue &queue = queueFor(entry->mode);
             ready = queue.enqueue(ready, engine->decompressLatency());
             recordHitHist(decompWaitHist_, static_cast<double>(
-                              ready - (now + cfg_.l1HitLatency)));
+                              ready - (now + cfg_.l1.hitLatency)));
             if (tracer_) {
                 TraceEvent ev = makeTraceEvent(
                     now, TraceEventKind::DecompEnqueue, smId_);
@@ -445,7 +302,7 @@ CompressedCache::insertLines(std::span<const PendingFill> due)
     bool batch = due.size() > 1 && !tuning_.verifyRoundTrip;
     if (batch) {
         for (std::size_t i = 0; i < due.size() && batch; ++i) {
-            if (findLine(due[i].lineAddr))
+            if (domain_.findLine(due[i].lineAddr))
                 batch = false;
             for (std::size_t j = 0; j < i && batch; ++j) {
                 if (due[j].lineAddr == due[i].lineAddr)
@@ -541,7 +398,7 @@ void
 CompressedCache::insertLine(Cycles now, Addr line_addr)
 {
     // If the line raced in already (e.g. duplicate fill), skip.
-    if (findLine(line_addr))
+    if (domain_.findLine(line_addr))
         return;
 
     const std::uint32_t set = setIndexOf(line_addr);
@@ -581,47 +438,27 @@ CompressedCache::insertPrepared(Cycles now, Addr line_addr,
       case CompressorId::Bpc: ++bpcCompressions; break;
       default: break;
     }
-    const std::uint8_t need = subBlocksFor(meta);
+    const std::uint8_t need = domain_.subBlocksFor(meta);
 
     // Evict LRU lines until a tag and enough sub-blocks are free.
-    TagEntry *ways = setBase(set);
-    auto free_tag = [&]() -> TagEntry * {
-        for (std::uint32_t w = 0; w < tagsPerSet_; ++w)
-            if (!ways[w].valid)
-                return &ways[w];
-        return nullptr;
-    };
-    TagEntry *slot = free_tag();
-    while (!slot || setUsedSubBlocks_[set] + need > subBlocksPerSet_) {
-        TagEntry *victim = pickVictim(set);
-        releaseLine(*victim, set);
-        ++evictions;
-        if (tracer_) {
-            TraceEvent ev =
-                makeTraceEvent(now, TraceEventKind::L1Evict, smId_);
-            ev.arg0 = victim->tag;
-            ev.arg1 = set;
-            ev.mode = static_cast<std::uint8_t>(victim->mode);
-            tracer_->record(ev);
-        }
-        if (!slot)
-            slot = victim;
-    }
-
-    slot->valid = true;
-    slot->tag = tagOf(line_addr);
-    touchOnFill(*slot);
-    slot->mode = meta.algo;
-    slot->encoding = meta.encoding;
-    slot->sizeBits = meta.sizeBits;
-    slot->generation = meta.generation;
-    slot->subBlocks = need;
-    setUsedSubBlocks_[set] += need;
+    TagEntry &slot = domain_.allocateSlot(
+        set, need, [&](const TagEntry &victim) {
+            ++evictions;
+            if (tracer_) {
+                TraceEvent ev =
+                    makeTraceEvent(now, TraceEventKind::L1Evict, smId_);
+                ev.arg0 = victim.tag;
+                ev.arg1 = set;
+                ev.mode = static_cast<std::uint8_t>(victim.mode);
+                tracer_->record(ev);
+            }
+        });
+    domain_.commitFill(slot, domain_.tagOf(line_addr), meta, need, set);
     if (full_line && mode != CompressorId::None)
-        slot->payload.assign(full_line->payload.begin(),
-                             full_line->payload.end());
+        slot.payload.assign(full_line->payload.begin(),
+                            full_line->payload.end());
     else
-        slot->payload.clear();
+        slot.payload.clear();
 
     ++insertions;
     if (meta.compressed() && meta.encoding != kRawEncoding)
@@ -643,45 +480,26 @@ CompressedCache::insertPrepared(Cycles now, Addr line_addr,
 std::uint64_t
 CompressedCache::effectiveCapacityBytes() const
 {
-    return validLines() * cfg_.l1LineBytes;
+    return domain_.effectiveCapacityBytes();
 }
 
 std::uint64_t
 CompressedCache::usedSubBlocks() const
 {
-    std::uint64_t used = 0;
-    for (const auto &entry : tags_) {
-        if (entry.valid)
-            used += entry.subBlocks;
-    }
-    return used;
+    return domain_.usedSubBlocks();
 }
 
 std::uint64_t
 CompressedCache::validLines() const
 {
-    std::uint64_t n = 0;
-    for (const auto &entry : tags_) {
-        if (entry.valid)
-            ++n;
-    }
-    return n;
+    return domain_.validLines();
 }
 
 void
 CompressedCache::invalidateScGeneration(std::uint32_t current_generation)
 {
-    for (std::uint32_t set = 0; set < numSets_; ++set) {
-        TagEntry *ways = setBase(set);
-        for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-            TagEntry &entry = ways[w];
-            if (entry.valid && entry.mode == CompressorId::Sc &&
-                entry.generation != current_generation) {
-                releaseLine(entry, set);
-                ++scGenerationInvalidations;
-            }
-        }
-    }
+    scGenerationInvalidations +=
+        domain_.invalidateScGeneration(current_generation);
 }
 
 void
@@ -689,36 +507,16 @@ CompressedCache::invalidateSampleMismatch(std::uint32_t stride,
                                           std::uint32_t n_modes,
                                           CompressorId keep)
 {
-    for (std::uint32_t set = 0; set < numSets_; ++set) {
-        if (set % stride >= n_modes)
-            continue;
-        TagEntry *ways = setBase(set);
-        for (std::uint32_t w = 0; w < tagsPerSet_; ++w) {
-            TagEntry &entry = ways[w];
-            if (entry.valid && entry.mode != CompressorId::None &&
-                entry.mode != keep) {
-                releaseLine(entry, set);
-            }
-        }
-    }
+    domain_.invalidateSampleMismatch(stride, n_modes, keep);
 }
 
 void
 CompressedCache::invalidateAll()
 {
-    for (auto &entry : tags_) {
-        entry.valid = false;
-        entry.payload.clear();
-    }
-    std::fill(setUsedSubBlocks_.begin(), setUsedSubBlocks_.end(), 0);
+    domain_.invalidateAll();
     pendingFills_.clear();
     nextFillCycle_ = kNoCycle;
     mshrs.clear();
-    bdiQueue_.clear();
-    scQueue_.clear();
-    bpcQueue_.clear();
-    fpcQueue_.clear();
-    cpackQueue_.clear();
 }
 
 } // namespace latte

@@ -23,8 +23,8 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "compress_memo.hh"
-#include "decomp_queue.hh"
-#include "engines.hh"
+#include "compress/compression_domain.hh"
+#include "compress/engines.hh"
 #include "l1_stage.hh"
 #include "mem/l2cache.hh"
 #include "mem/memory_image.hh"
@@ -148,11 +148,19 @@ class CompressedCache : public StatGroup
     /** Insert lines whose fills completed by @p now. */
     void processFills(Cycles now);
 
-    // --- Geometry ---
-    std::uint32_t numSets() const { return numSets_; }
-    std::uint32_t setIndexOf(Addr addr) const;
-    std::uint32_t tagsPerSet() const { return tagsPerSet_; }
-    std::uint32_t subBlocksPerSet() const { return subBlocksPerSet_; }
+    // --- Geometry (delegated to the compression domain) ---
+    std::uint32_t numSets() const { return domain_.numSets(); }
+    std::uint32_t
+    setIndexOf(Addr addr) const
+    {
+        return domain_.setIndexOf(addr);
+    }
+    std::uint32_t tagsPerSet() const { return domain_.tagsPerSet(); }
+    std::uint32_t
+    subBlocksPerSet() const
+    {
+        return domain_.subBlocksPerSet();
+    }
 
     // --- Introspection for the policies and experiments ---
     /** Sum of the *uncompressed* size of all valid lines (Figure 16). */
@@ -165,7 +173,7 @@ class CompressedCache : public StatGroup
     std::uint32_t
     usedSubBlocksCounter(std::uint32_t set_index) const
     {
-        return setUsedSubBlocks_[set_index];
+        return domain_.usedSubBlocksCounter(set_index);
     }
     /** Valid lines currently held. */
     std::uint64_t validLines() const;
@@ -209,19 +217,8 @@ class CompressedCache : public StatGroup
     MshrFile mshrs;
 
   private:
-    struct TagEntry
-    {
-        bool valid = false;
-        Addr tag = 0;
-        std::uint64_t lruStamp = 0;          //!< LRU: touch, FIFO: fill
-        std::uint8_t rrpv = 3;               //!< SRRIP re-reference bits
-        CompressorId mode = CompressorId::None;
-        std::uint8_t encoding = 0;
-        std::uint32_t sizeBits = 0;
-        std::uint32_t generation = 0;
-        std::uint8_t subBlocks = 0;
-        std::vector<std::uint8_t> payload;   //!< verifyRoundTrip only
-    };
+    /** Tag/replacement/sub-block state lives in the generic domain. */
+    using TagEntry = CompressionDomain::TagEntry;
 
     struct PendingFill
     {
@@ -229,13 +226,6 @@ class CompressedCache : public StatGroup
         Cycles fillCycle;
     };
 
-    TagEntry *findLine(Addr line_addr);
-    TagEntry *pickVictim(std::uint32_t set_index);
-    void touchOnHit(TagEntry &entry);
-    void touchOnFill(TagEntry &entry);
-    TagEntry *setBase(std::uint32_t set_index);
-    const TagEntry *setBase(std::uint32_t set_index) const;
-    Addr tagOf(Addr line_addr) const;
     void insertLine(Cycles now, Addr line_addr);
     /**
      * Insert the due fills of one processFills() sweep. When the batch
@@ -250,9 +240,6 @@ class CompressedCache : public StatGroup
     void insertPrepared(Cycles now, Addr line_addr, std::uint32_t set,
                         CompressorId mode, const LineMeta &meta,
                         const CompressedLine *full_line);
-    std::uint8_t subBlocksFor(const LineMeta &meta) const;
-    /** Invalidate @p entry and release its sub-blocks in @p set_index. */
-    void releaseLine(TagEntry &entry, std::uint32_t set_index);
     /** Size-only encode of an insertion (memoised when enabled). */
     LineMeta probeForInsertion(CompressorId mode,
                                std::span<const std::uint8_t> bytes);
@@ -282,13 +269,13 @@ class CompressedCache : public StatGroup
     CompressionModeProvider *provider_;
     UncompressedProvider defaultProvider_;
 
-    std::uint32_t numSets_;
-    std::uint32_t tagsPerSet_;
-    std::uint32_t subBlocksPerSet_;
-    std::vector<TagEntry> tags_;
-    /** Per-set allocated sub-blocks, maintained on insert/release. */
-    std::vector<std::uint32_t> setUsedSubBlocks_;
     CompressMemo memo_;
+    /**
+     * Constructed after memo_ so its decompression queues register in
+     * the same stat order the pre-domain cache had (memo stats first,
+     * then decomp_bdi .. decomp_cpack).
+     */
+    CompressionDomain domain_;
     std::vector<PendingFill> pendingFills_;
     // insertLines() scratch, kept as members so a fill batch does not
     // allocate once the vectors have grown to steady state.
@@ -306,13 +293,6 @@ class CompressedCache : public StatGroup
     std::vector<std::uint32_t> scratchSlots_;
     std::vector<LineMeta> scratchMeta_;
     Cycles nextFillCycle_ = kNoCycle;
-    std::uint64_t lruClock_ = 0;
-
-    DecompressionQueue bdiQueue_;
-    DecompressionQueue scQueue_;
-    DecompressionQueue bpcQueue_;
-    DecompressionQueue fpcQueue_;
-    DecompressionQueue cpackQueue_;
 };
 
 } // namespace latte

@@ -5,6 +5,129 @@
 namespace latte
 {
 
+namespace
+{
+
+/** Lowercase spec names for the link/static algorithm knobs. */
+constexpr struct
+{
+    const char *name;
+    CompressorId id;
+} kAlgoSpecs[] = {
+    {"bdi", CompressorId::Bdi},     {"fpc", CompressorId::Fpc},
+    {"cpack", CompressorId::CpackZ}, {"bpc", CompressorId::Bpc},
+    {"sc", CompressorId::Sc},
+};
+
+bool
+algoFromSpec(const std::string &name, CompressorId &id)
+{
+    for (const auto &spec : kAlgoSpecs) {
+        if (name == spec.name) {
+            id = spec.id;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+algoSpecName(CompressorId id)
+{
+    for (const auto &spec : kAlgoSpecs) {
+        if (spec.id == id)
+            return spec.name;
+    }
+    latte_panic("no spec name for compressor id {}",
+                static_cast<int>(id));
+}
+
+} // namespace
+
+std::optional<std::string>
+CacheLevelConfig::validationError(const char *level) const
+{
+    if (lineBytes == 0)
+        return strfmt("{}LineBytes must be nonzero", level);
+    if (assoc == 0)
+        return strfmt("{}Assoc must be nonzero", level);
+    if (sizeBytes == 0 || sizeBytes % (lineBytes * assoc) != 0) {
+        return strfmt("{}SizeBytes ({}) must be a nonzero multiple of "
+                      "{}LineBytes * {}Assoc ({})",
+                      level, sizeBytes, level, level, lineBytes * assoc);
+    }
+    if (subBlockBytes == 0 || lineBytes % subBlockBytes != 0) {
+        return strfmt("{}SubBlockBytes ({}) must be nonzero and divide "
+                      "{}LineBytes ({})",
+                      level, subBlockBytes, level, lineBytes);
+    }
+    if (tagFactor == 0)
+        return strfmt("{}TagFactor must be nonzero", level);
+    if (mshrEntries == 0)
+        return strfmt("{}MshrEntries must be nonzero", level);
+    if (banks == 0)
+        return strfmt("{}Banks must be nonzero", level);
+    if (compress == LevelCompress::Static &&
+        staticAlgo == CompressorId::None) {
+        return strfmt("{} static compression needs an algorithm", level);
+    }
+    return std::nullopt;
+}
+
+bool
+parseLevelCompressSpec(const std::string &spec, CacheLevelConfig &level)
+{
+    if (spec == "off") {
+        level.compress = LevelCompress::Off;
+        return true;
+    }
+    if (spec == "latte") {
+        level.compress = LevelCompress::Latte;
+        return true;
+    }
+    constexpr std::string_view kStatic = "static:";
+    if (spec.rfind(kStatic, 0) == 0) {
+        CompressorId algo;
+        if (!algoFromSpec(spec.substr(kStatic.size()), algo))
+            return false;
+        level.compress = LevelCompress::Static;
+        level.staticAlgo = algo;
+        return true;
+    }
+    return false;
+}
+
+std::string
+levelCompressSpec(const CacheLevelConfig &level)
+{
+    switch (level.compress) {
+      case LevelCompress::Off:
+        return "off";
+      case LevelCompress::Latte:
+        return "latte";
+      case LevelCompress::Static:
+        return strfmt("static:{}", algoSpecName(level.staticAlgo));
+    }
+    latte_panic("unknown LevelCompress {}",
+                static_cast<int>(level.compress));
+}
+
+bool
+parseLinkCompressSpec(const std::string &spec, CompressorId &algo)
+{
+    if (spec == "off") {
+        algo = CompressorId::None;
+        return true;
+    }
+    return algoFromSpec(spec, algo);
+}
+
+std::string
+linkCompressSpec(CompressorId algo)
+{
+    return algo == CompressorId::None ? "off" : algoSpecName(algo);
+}
+
 std::optional<std::string>
 GpuConfig::validationError() const
 {
@@ -15,36 +138,10 @@ GpuConfig::validationError() const
     if (maxWarpsPerSm == 0)
         return "maxWarpsPerSm must be nonzero";
 
-    if (l1LineBytes == 0)
-        return "l1LineBytes must be nonzero";
-    if (l1Assoc == 0)
-        return "l1Assoc must be nonzero";
-    if (l1SizeBytes == 0 || l1SizeBytes % (l1LineBytes * l1Assoc) != 0) {
-        return strfmt("l1SizeBytes ({}) must be a nonzero multiple of "
-                      "l1LineBytes * l1Assoc ({})",
-                      l1SizeBytes, l1LineBytes * l1Assoc);
-    }
-    if (l1SubBlockBytes == 0 || l1LineBytes % l1SubBlockBytes != 0) {
-        return strfmt("l1SubBlockBytes ({}) must be nonzero and divide "
-                      "l1LineBytes ({})",
-                      l1SubBlockBytes, l1LineBytes);
-    }
-    if (l1TagFactor == 0)
-        return "l1TagFactor must be nonzero";
-    if (l1MshrEntries == 0)
-        return "l1MshrEntries must be nonzero";
-
-    if (l2LineBytes == 0)
-        return "l2LineBytes must be nonzero";
-    if (l2Assoc == 0)
-        return "l2Assoc must be nonzero";
-    if (l2SizeBytes == 0 || l2SizeBytes % (l2LineBytes * l2Assoc) != 0) {
-        return strfmt("l2SizeBytes ({}) must be a nonzero multiple of "
-                      "l2LineBytes * l2Assoc ({})",
-                      l2SizeBytes, l2LineBytes * l2Assoc);
-    }
-    if (l2Banks == 0)
-        return "l2Banks must be nonzero";
+    if (const auto error = l1.validationError("l1"))
+        return error;
+    if (const auto error = l2.validationError("l2"))
+        return error;
 
     if (decompQueueEntries == 0)
         return "decompQueueEntries must be nonzero";
@@ -63,6 +160,25 @@ GpuConfig::validationError() const
         return strfmt("latte.dedicatedSetsPerMode ({}) leaves no "
                       "follower sets in a {}-set L1",
                       latte.dedicatedSetsPerMode, l1NumSets());
+    }
+    if (l2.compress == LevelCompress::Latte &&
+        latte.dedicatedSetsPerMode * 3 >= l2NumSets()) {
+        return strfmt("latte.dedicatedSetsPerMode ({}) leaves no "
+                      "follower sets in a {}-set L2",
+                      latte.dedicatedSetsPerMode, l2NumSets());
+    }
+    // SC's Huffman code book (VFT sampling, generation rebuilds) is
+    // wired to the per-SM L1 policy; below the L1 only self-contained
+    // algorithms are available.
+    if (l2.compress != LevelCompress::Off &&
+        l2.staticAlgo == CompressorId::Sc &&
+        l2.compress == LevelCompress::Static) {
+        return "l2 compression does not support SC (the code book "
+               "rebuild machinery is L1-resident)";
+    }
+    if (linkCompress == CompressorId::Sc) {
+        return "link compression does not support SC (the code book "
+               "rebuild machinery is L1-resident)";
     }
     return std::nullopt;
 }

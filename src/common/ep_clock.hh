@@ -5,8 +5,8 @@
  * first EP is the learning phase and the rest the adaptive phase.
  */
 
-#ifndef LATTE_CORE_EP_CLOCK_HH
-#define LATTE_CORE_EP_CLOCK_HH
+#ifndef LATTE_COMMON_EP_CLOCK_HH
+#define LATTE_COMMON_EP_CLOCK_HH
 
 #include <cstdint>
 
@@ -98,4 +98,4 @@ class EpClock
 
 } // namespace latte
 
-#endif // LATTE_CORE_EP_CLOCK_HH
+#endif // LATTE_COMMON_EP_CLOCK_HH

@@ -5,20 +5,6 @@
 namespace latte
 {
 
-const char *
-compressorName(CompressorId id)
-{
-    switch (id) {
-      case CompressorId::None: return "None";
-      case CompressorId::Bdi: return "BDI";
-      case CompressorId::Fpc: return "FPC";
-      case CompressorId::CpackZ: return "CPACK-Z";
-      case CompressorId::Bpc: return "BPC";
-      case CompressorId::Sc: return "SC";
-    }
-    latte_panic("unknown compressor id {}", static_cast<int>(id));
-}
-
 CompressedLine
 makeRawLine(CompressorId id, std::span<const std::uint8_t> line)
 {

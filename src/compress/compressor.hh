@@ -26,25 +26,12 @@
 #include <vector>
 
 #include "common/bit_utils.hh"
+#include "common/compress_id.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
 namespace latte
 {
-
-/** Identifier of a compression algorithm / operating mode. */
-enum class CompressorId : std::uint8_t
-{
-    None = 0,
-    Bdi,
-    Fpc,
-    CpackZ,
-    Bpc,
-    Sc,
-};
-
-/** Human-readable algorithm name. */
-const char *compressorName(CompressorId id);
 
 /** Uncompressed cache-line size used throughout the paper. */
 constexpr std::uint32_t kLineBytes = 128;

@@ -8,8 +8,8 @@
  *                         + (queue_insertion_pos + 1)
  */
 
-#ifndef LATTE_CACHE_DECOMP_QUEUE_HH
-#define LATTE_CACHE_DECOMP_QUEUE_HH
+#ifndef LATTE_COMPRESS_DECOMP_QUEUE_HH
+#define LATTE_COMPRESS_DECOMP_QUEUE_HH
 
 #include <deque>
 
@@ -82,4 +82,4 @@ class DecompressionQueue : public StatGroup
 
 } // namespace latte
 
-#endif // LATTE_CACHE_DECOMP_QUEUE_HH
+#endif // LATTE_COMPRESS_DECOMP_QUEUE_HH

@@ -5,8 +5,8 @@
  * high-capacity mode, Section V-E).
  */
 
-#ifndef LATTE_CACHE_ENGINES_HH
-#define LATTE_CACHE_ENGINES_HH
+#ifndef LATTE_COMPRESS_ENGINES_HH
+#define LATTE_COMPRESS_ENGINES_HH
 
 #include "common/config.hh"
 #include "compress/bdi.hh"
@@ -52,4 +52,4 @@ class CompressionEngines
 
 } // namespace latte
 
-#endif // LATTE_CACHE_ENGINES_HH
+#endif // LATTE_COMPRESS_ENGINES_HH

@@ -19,6 +19,13 @@ struct PolicyEntry
     const char *name;
     /** nullptr for composed policies (Kernel-OPT). */
     std::unique_ptr<Policy> (*make)(const GpuConfig &cfg);
+    /**
+     * Optional config rewrite a multi-level row implies (e.g. L2-LATTE
+     * turns the compressed L2 on). run() applies it to a copy of the
+     * request before anything else; returns whether it changed the
+     * config, so an already-adjusted request passes through untouched.
+     */
+    bool (*adjust)(GpuConfig &cfg) = nullptr;
 };
 
 template <CompressorId mode>
@@ -55,6 +62,24 @@ makeLatteCcBdiBpc(const GpuConfig &cfg)
                                        CompressorId::Bpc});
 }
 
+bool
+adjustL2StaticBdi(GpuConfig &cfg)
+{
+    const bool changed = cfg.l2.compress != LevelCompress::Static ||
+                         cfg.l2.staticAlgo != CompressorId::Bdi;
+    cfg.l2.compress = LevelCompress::Static;
+    cfg.l2.staticAlgo = CompressorId::Bdi;
+    return changed;
+}
+
+bool
+adjustL2Latte(GpuConfig &cfg)
+{
+    const bool changed = cfg.l2.compress != LevelCompress::Latte;
+    cfg.l2.compress = LevelCompress::Latte;
+    return changed;
+}
+
 constexpr PolicyEntry kPolicyTable[] = {
     {PolicyKind::Baseline, "Baseline", makeStatic<CompressorId::None>},
     {PolicyKind::StaticBdi, "Static-BDI", makeStatic<CompressorId::Bdi>},
@@ -66,6 +91,12 @@ constexpr PolicyEntry kPolicyTable[] = {
     {PolicyKind::LatteCc, "LATTE-CC", makeLatteCc},
     {PolicyKind::LatteCcBdiBpc, "LATTE-CC-BDI-BPC", makeLatteCcBdiBpc},
     {PolicyKind::KernelOpt, "Kernel-OPT", nullptr},
+    {PolicyKind::L2StaticBdi, "L2-Static-BDI",
+     makeStatic<CompressorId::None>, adjustL2StaticBdi},
+    {PolicyKind::L2Latte, "L2-LATTE", makeStatic<CompressorId::None>,
+     adjustL2Latte},
+    {PolicyKind::LatteCcL1L2, "LATTE-CC-L1L2", makeLatteCc,
+     adjustL2Latte},
 };
 
 const PolicyEntry &
@@ -130,6 +161,27 @@ registerGauges(metrics::MetricRegistry &metrics, Gpu &gpu,
     metrics.addGauge("latency_tolerance", [&policies](Cycles) {
         return policies[0]->lastTolerance();
     });
+    // Per-level mirrors, registered only when that level's machinery
+    // exists so L1-only runs export the same gauge set as before.
+    if (gpu.l2().domain()) {
+        metrics.addGauge("l2.effective_capacity_bytes", [&gpu](Cycles) {
+            return static_cast<double>(
+                gpu.l2().domain()->effectiveCapacityBytes());
+        });
+        metrics.addGauge("l2.used_sub_blocks", [&gpu](Cycles) {
+            return static_cast<double>(
+                gpu.l2().domain()->usedSubBlocks());
+        });
+    }
+    if (gpu.l2().controller()) {
+        metrics.addGauge("l2.latency_tolerance", [&gpu](Cycles) {
+            return gpu.l2().controller()->lastTolerance();
+        });
+        metrics.addGauge("l2.mode_changes", [&gpu](Cycles) {
+            return static_cast<double>(
+                gpu.l2().controller()->modeChanges());
+        });
+    }
 }
 
 } // namespace
@@ -342,6 +394,24 @@ runConcrete(const RunRequest &request, const PolicyFactory &factory,
     result.misses = gpu.totalL1Misses();
     result.modeAccesses = sum_mode_accesses();
     result.trace = policies[0]->trace();
+    if (const L2CompressionController *l2c = gpu.l2().controller()) {
+        // Merge the L2 controller's per-EP trace into the SM-0 policy
+        // trace: each point carries the newest L2 decision at or
+        // before its cycle. The two EP clocks tick on different access
+        // streams, so this is a time-aligned join, not an index join.
+        const auto &l2trace = l2c->trace();
+        std::size_t next = 0;
+        for (PolicyTracePoint &point : result.trace) {
+            while (next < l2trace.size() &&
+                   l2trace[next].cycle <= point.cycle)
+                ++next;
+            point.hasL2 = true;
+            if (next > 0) {
+                point.l2Mode = l2trace[next - 1].mode;
+                point.l2Tolerance = l2trace[next - 1].latencyTolerance;
+            }
+        }
+    }
     gpu.collect(result.stats);
 
     const EnergyModel energy_model(gpu.config());
@@ -422,6 +492,13 @@ runKernelOpt(const RunRequest &request)
         total_usage.bdiDecompressions += snap.usage.bdiDecompressions;
         total_usage.scDecompressions += snap.usage.scDecompressions;
         total_usage.bpcDecompressions += snap.usage.bpcDecompressions;
+        total_usage.l2BdiCompressions += snap.usage.l2BdiCompressions;
+        total_usage.l2BpcCompressions += snap.usage.l2BpcCompressions;
+        total_usage.l2BdiDecompressions +=
+            snap.usage.l2BdiDecompressions;
+        total_usage.l2BpcDecompressions +=
+            snap.usage.l2BpcDecompressions;
+        total_usage.linkTransfers += snap.usage.linkTransfers;
     }
 
     const EnergyModel energy_model(request.options.cfg);
@@ -434,6 +511,17 @@ runKernelOpt(const RunRequest &request)
 RunOutcome
 run(const RunRequest &request)
 {
+    // Multi-level catalogue rows imply a config rewrite (turning the
+    // compressed L2 on). Re-enter with the adjusted copy; the second
+    // pass sees nothing left to change and runs it.
+    if (const auto *kind = std::get_if<PolicyKind>(&request.policy)) {
+        const PolicyEntry &entry = policyEntry(*kind);
+        if (entry.adjust) {
+            RunRequest adjusted = request;
+            if (entry.adjust(adjusted.options.cfg))
+                return run(adjusted);
+        }
+    }
     if (request.workload == nullptr) {
         return RunOutcome::failure(cellError(
             request, RunErrorCode::InvalidRequest,

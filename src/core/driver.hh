@@ -54,6 +54,12 @@ enum class PolicyKind
     LatteCc,
     LatteCcBdiBpc,
     KernelOpt,
+    /** Uncompressed L1 over a static-BDI compressed L2. */
+    L2StaticBdi,
+    /** Uncompressed L1 over a latte-adaptive compressed L2. */
+    L2Latte,
+    /** LATTE-CC at the L1 and latte at the L2, both adaptive. */
+    LatteCcL1L2,
 };
 
 const char *policyName(PolicyKind kind);

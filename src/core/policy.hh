@@ -16,7 +16,7 @@
 #include "cache/compressed_cache.hh"
 #include "cache/mode_provider.hh"
 #include "common/config.hh"
-#include "ep_clock.hh"
+#include "common/ep_clock.hh"
 #include "sim/lt_meter.hh"
 #include "trace/tracer.hh"
 
@@ -43,6 +43,16 @@ struct PolicyTracePoint
     /** Dedicated-set sampling counters, indexed by CompressorId. */
     std::array<std::uint64_t, kNumModes> samplerHits{};
     std::array<std::uint64_t, kNumModes> samplerMisses{};
+    /**
+     * L2-level controller state at this EP, backfilled by the driver
+     * from the L2's own trace when --l2-compress=latte ran. hasL2
+     * false means no compressed L2 was configured (the fields are
+     * then omitted from serialization, keeping L1-only documents
+     * byte-identical to before the L2 grew a compression domain).
+     */
+    bool hasL2 = false;
+    CompressorId l2Mode = CompressorId::None;
+    double l2Tolerance = 0;
 };
 
 /** Compression management policy bound to one SM. */
@@ -241,7 +251,7 @@ class Policy : public CompressionModeProvider
     double
     effectiveHitLatency(CompressorId mode, Cycles now) const
     {
-        double lat = static_cast<double>(cfg_.l1HitLatency);
+        double lat = static_cast<double>(cfg_.l1.hitLatency);
         if (mode != CompressorId::None) {
             const auto *engine =
                 const_cast<CompressionEngines *>(engines_)->get(mode);
@@ -259,8 +269,8 @@ class Policy : public CompressionModeProvider
         const auto &stat = cache_->missLatency;
         const std::uint64_t samples = stat.samples();
         const double sum = stat.sum();
-        double estimate =
-            static_cast<double>(cfg_.l2MinLatency) + 40.0;
+        double estimate = static_cast<double>(
+            cfg_.l2.minLatency + cfg_.l2.missPenaltyCycles);
         if (samples > lastMissSamples_) {
             estimate = (sum - lastMissSum_) /
                        static_cast<double>(samples - lastMissSamples_);

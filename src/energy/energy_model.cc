@@ -19,6 +19,13 @@ UsageCounts::operator-(const UsageCounts &rhs) const
     out.bdiDecompressions = bdiDecompressions - rhs.bdiDecompressions;
     out.scDecompressions = scDecompressions - rhs.scDecompressions;
     out.bpcDecompressions = bpcDecompressions - rhs.bpcDecompressions;
+    out.l2BdiCompressions = l2BdiCompressions - rhs.l2BdiCompressions;
+    out.l2BpcCompressions = l2BpcCompressions - rhs.l2BpcCompressions;
+    out.l2BdiDecompressions =
+        l2BdiDecompressions - rhs.l2BdiDecompressions;
+    out.l2BpcDecompressions =
+        l2BpcDecompressions - rhs.l2BpcDecompressions;
+    out.linkTransfers = linkTransfers - rhs.linkTransfers;
     return out;
 }
 
@@ -44,6 +51,18 @@ harvestUsage(Gpu &gpu)
         usage.bpcDecompressions +=
             cache.queueFor(CompressorId::Bpc).requests.count();
     }
+    if (const auto *stats = gpu.l2().compressStats()) {
+        usage.l2BdiCompressions = stats->bdiCompressions.count();
+        usage.l2BpcCompressions = stats->bpcCompressions.count();
+    }
+    if (const CompressionDomain *domain = gpu.l2().domain()) {
+        usage.l2BdiDecompressions =
+            domain->queueFor(CompressorId::Bdi).requests.count();
+        usage.l2BpcDecompressions =
+            domain->queueFor(CompressorId::Bpc).requests.count();
+    }
+    if (const auto *link = gpu.l2().linkStats())
+        usage.linkTransfers = link->transfers.count();
     return usage;
 }
 
@@ -68,6 +87,31 @@ EnergyModel::compute(const UsageCounts &usage) const
          usage.bpcCompressions * t.bpcCompressNj +
          usage.bpcDecompressions * t.bpcDecompressNj) *
         kNjToMj;
+    report.l2CompressionMj =
+        (usage.l2BdiCompressions * t.bdiCompressNj +
+         usage.l2BdiDecompressions * t.bdiDecompressNj +
+         usage.l2BpcCompressions * t.bpcCompressNj +
+         usage.l2BpcDecompressions * t.bpcDecompressNj) *
+        kNjToMj;
+    if (usage.linkTransfers) {
+        // One compress (memory side) and one decompress (L2 side) per
+        // transfer, at the configured link algorithm's energies. Only
+        // BDI/SC/BPC have published figures; the others are modelled
+        // at the BPC cost as the nearest published design point.
+        double per_transfer = t.bpcCompressNj + t.bpcDecompressNj;
+        switch (cfg_.linkCompress) {
+          case CompressorId::Bdi:
+            per_transfer = t.bdiCompressNj + t.bdiDecompressNj;
+            break;
+          case CompressorId::Sc:
+            per_transfer = t.scCompressNj + t.scDecompressNj;
+            break;
+          default:
+            break;
+        }
+        report.linkCompressionMj =
+            usage.linkTransfers * per_transfer * kNjToMj;
+    }
     report.staticMj = usage.cycles * params_.staticNjPerCycle * kNjToMj;
     return report;
 }

@@ -35,6 +35,13 @@ struct UsageCounts
     std::uint64_t bdiDecompressions = 0;
     std::uint64_t scDecompressions = 0;
     std::uint64_t bpcDecompressions = 0;
+    // L2-level compression events (zero unless --l2-compress is on).
+    std::uint64_t l2BdiCompressions = 0;
+    std::uint64_t l2BpcCompressions = 0;
+    std::uint64_t l2BdiDecompressions = 0;
+    std::uint64_t l2BpcDecompressions = 0;
+    /** Compressed L2<->DRAM transfers (zero unless --link-compress). */
+    std::uint64_t linkTransfers = 0;
 
     UsageCounts operator-(const UsageCounts &rhs) const;
 };
@@ -50,14 +57,17 @@ struct EnergyReport
     double l2Mj = 0;
     double nocMj = 0;
     double dramMj = 0;
-    double compressionMj = 0;    //!< compress + decompress events
+    double compressionMj = 0;    //!< L1 compress + decompress events
+    double l2CompressionMj = 0;  //!< compressed-L2 events
+    double linkCompressionMj = 0; //!< L2<->DRAM link (de)compression
     double staticMj = 0;         //!< leakage over execution time
 
     double
     totalMj() const
     {
         return coreDynamicMj + l1Mj + l2Mj + nocMj + dramMj +
-               compressionMj + staticMj;
+               compressionMj + l2CompressionMj + linkCompressionMj +
+               staticMj;
     }
 
     /** Data-movement slice (L2 + NoC + DRAM), as Figure 14 groups it. */

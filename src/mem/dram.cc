@@ -13,7 +13,7 @@ DramModel::DramModel(const GpuConfig &cfg, StatGroup *parent)
       accesses(this, "accesses", "DRAM requests serviced"),
       bytesTransferred(this, "bytes", "bytes moved over the DRAM channel"),
       queueDelay(this, "queue_delay", "average queueing delay (cycles)"),
-      extraLatency_(cfg.dramMinLatency - cfg.l2MinLatency),
+      extraLatency_(cfg.dramMinLatency - cfg.l2.minLatency),
       bytesPerCycle_(cfg.dramBytesPerCycle)
 {}
 

@@ -12,7 +12,7 @@ Interconnect::Interconnect(const GpuConfig &cfg, StatGroup *parent)
       queueDelay(this, "queue_delay", "average injection queueing delay"),
       // The network contributes a fixed fraction of the 120-cycle minimum
       // L2 latency; the remainder is charged at the L2 itself.
-      traversal_(cfg.l2MinLatency / 4),
+      traversal_(cfg.l2.minLatency / 4),
       bytesPerCycle_(cfg.nocBytesPerCycle)
 {}
 

@@ -5,12 +5,46 @@
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
 #include "metrics/profiler.hh"
+#include "metrics/registry.hh"
 
 namespace latte
 {
 
+L2Cache::CompressStats::CompressStats(StatGroup *parent)
+    : StatGroup("compress", parent),
+      insertions(this, "insertions", "lines inserted"),
+      evictions(this, "evictions", "lines evicted"),
+      writeInvalidations(this, "write_invalidations",
+                         "compressed copies dropped by writes"),
+      compressedInsertions(this, "compressed_insertions",
+                           "insertions stored in compressed form"),
+      bdiCompressions(this, "bdi_compressions",
+                      "insertions run through the BDI compressor"),
+      fpcCompressions(this, "fpc_compressions",
+                      "insertions run through the FPC compressor"),
+      cpackCompressions(this, "cpack_compressions",
+                        "insertions run through the CPACK compressor"),
+      bpcCompressions(this, "bpc_compressions",
+                      "insertions run through the BPC compressor"),
+      decompressions(this, "decompressions",
+                     "hits decompressed through the queue"),
+      insertionRatio(this, "insertion_ratio",
+                     "mean compression ratio of inserted lines")
+{}
+
+L2Cache::LinkStats::LinkStats(StatGroup *parent)
+    : StatGroup("link", parent),
+      transfers(this, "transfers", "line fetches moved compressed"),
+      bytesMoved(this, "bytes_moved",
+                 "bytes transferred over the compressed link"),
+      bytesSaved(this, "bytes_saved",
+                 "line bytes avoided by link compression"),
+      transferRatio(this, "transfer_ratio",
+                    "mean line-size / transfer-size ratio")
+{}
+
 L2Cache::L2Cache(const GpuConfig &cfg, Interconnect *noc, DramModel *dram,
-                 StatGroup *parent)
+                 MemoryImage *mem, StatGroup *parent)
     : StatGroup("l2", parent),
       reads(this, "reads", "read requests"),
       writes(this, "writes", "write requests"),
@@ -18,13 +52,54 @@ L2Cache::L2Cache(const GpuConfig &cfg, Interconnect *noc, DramModel *dram,
       misses(this, "misses", "L2 misses"),
       bankQueueDelay(this, "bank_queue_delay",
                      "average bank queueing delay (cycles)"),
-      cfg_(cfg), noc_(noc), dram_(dram),
+      cfg_(cfg), noc_(noc), dram_(dram), mem_(mem),
       numSets_(cfg.l2NumSets()),
-      ways_(static_cast<std::size_t>(numSets_) * cfg.l2Assoc),
-      bankNextFree_(cfg.l2Banks, 0.0)
+      ways_(static_cast<std::size_t>(numSets_) * cfg.l2.assoc),
+      bankNextFree_(cfg.l2.banks, 0)
 {
     latte_assert(numSets_ > 0);
-    latte_assert(noc_ && dram_);
+    latte_assert(noc_ && dram_ && mem_);
+
+    const bool level_on = cfg.l2.compress != LevelCompress::Off;
+    const bool link_on = cfg.linkCompress != CompressorId::None;
+    if (level_on || link_on)
+        engines_ = std::make_unique<CompressionEngines>(cfg);
+    if (level_on) {
+        comp_ = std::make_unique<CompressStats>(this);
+        domain_ = std::make_unique<CompressionDomain>(
+            cfg.l2, GpuConfig::ReplPolicy::LRU, true, comp_.get());
+        if (cfg.l2.compress == LevelCompress::Latte) {
+            controller_ = std::make_unique<L2CompressionController>(cfg);
+            controller_->bind(domain_.get(), engines_.get());
+        }
+    }
+    if (link_on) {
+        link_ = std::make_unique<LinkStats>(this);
+        linkEngine_ = engines_->get(cfg.linkCompress);
+    }
+}
+
+L2Cache::~L2Cache() = default;
+
+void
+L2Cache::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (controller_)
+        controller_->setTracer(tracer);
+}
+
+void
+L2Cache::setMetrics(metrics::MetricRegistry *metrics)
+{
+    if (!metrics) {
+        hitLatencyHist_ = missLatencyHist_ = decompWaitHist_ = nullptr;
+        return;
+    }
+    hitLatencyHist_ = &metrics->histogram("l2_hit_latency");
+    missLatencyHist_ = &metrics->histogram("l2_miss_latency");
+    decompWaitHist_ =
+        domain_ ? &metrics->histogram("l2_decomp_queue_wait") : nullptr;
 }
 
 std::uint32_t
@@ -33,50 +108,120 @@ L2Cache::setIndex(Addr line_addr) const
     // 768 KB / 8-way / 128 B = 768 sets: not a power of two (the real
     // part interleaves 12 banks x 64 sets), so index by modulo.
     return static_cast<std::uint32_t>(
-        (line_addr / cfg_.l2LineBytes) % numSets_);
+        (line_addr / cfg_.l2.lineBytes) % numSets_);
 }
 
 std::uint32_t
 L2Cache::bankIndex(Addr line_addr) const
 {
     return static_cast<std::uint32_t>(
-        (line_addr / cfg_.l2LineBytes) % cfg_.l2Banks);
+        (line_addr / cfg_.l2.lineBytes) % cfg_.l2.banks);
+}
+
+Cycles
+L2Cache::fetchLine(Cycles at, Addr line_addr)
+{
+    if (!linkEngine_)
+        return dram_->access(at, cfg_.l2.lineBytes);
+
+    // Memory-side compression: the controller encodes the line before
+    // the burst, the L2 expands it after. Only transfers that actually
+    // shrink (rounded up to 8 B bus beats) take the compressed path —
+    // incompressible lines move raw with no added latency.
+    const auto &bytes = mem_->line(line_addr);
+    const LineMeta meta = linkEngine_->probe(bytes);
+    std::uint32_t xfer = cfg_.l2.lineBytes;
+    if (meta.compressed() && meta.encoding != kRawEncoding) {
+        xfer = std::min(
+            cfg_.l2.lineBytes,
+            static_cast<std::uint32_t>(
+                divCeil(std::max<std::uint32_t>(meta.sizeBytes(), 1),
+                        8u) * 8u));
+    }
+    if (xfer >= cfg_.l2.lineBytes)
+        return dram_->access(at, cfg_.l2.lineBytes);
+
+    const Cycles done =
+        dram_->access(at + linkEngine_->compressLatency(), xfer) +
+        linkEngine_->decompressLatency();
+    ++link_->transfers;
+    link_->bytesMoved += xfer;
+    link_->bytesSaved += cfg_.l2.lineBytes - xfer;
+    link_->transferRatio.sample(
+        static_cast<double>(cfg_.l2.lineBytes) /
+        static_cast<double>(xfer));
+    if (tracer_) {
+        TraceEvent ev =
+            makeTraceEvent(at, TraceEventKind::LinkCompress);
+        ev.arg0 = line_addr;
+        ev.arg1 = xfer;
+        ev.value = meta.ratio();
+        tracer_->record(ev);
+    }
+    return done;
+}
+
+void
+L2Cache::insertCompressed(Cycles now, Addr line_addr, std::uint32_t set,
+                          CompressorId mode)
+{
+    LineMeta meta;
+    if (mode == CompressorId::None) {
+        meta = makeRawMeta(CompressorId::None);
+    } else {
+        metrics::ProfileScope profile(
+            metrics::ProfileZone::CompressorProbe);
+        meta = engines_->get(mode)->probe(mem_->line(line_addr));
+    }
+    switch (mode) {
+      case CompressorId::Bdi: ++comp_->bdiCompressions; break;
+      case CompressorId::Fpc: ++comp_->fpcCompressions; break;
+      case CompressorId::CpackZ: ++comp_->cpackCompressions; break;
+      case CompressorId::Bpc: ++comp_->bpcCompressions; break;
+      default: break;
+    }
+
+    const std::uint8_t need = domain_->subBlocksFor(meta);
+    CompressionDomain::TagEntry &slot = domain_->allocateSlot(
+        set, need, [&](const CompressionDomain::TagEntry &victim) {
+            ++comp_->evictions;
+            if (tracer_) {
+                TraceEvent ev =
+                    makeTraceEvent(now, TraceEventKind::L2Evict);
+                ev.arg0 = victim.tag;
+                ev.arg1 = set;
+                ev.mode = static_cast<std::uint8_t>(victim.mode);
+                tracer_->record(ev);
+            }
+        });
+    domain_->commitFill(slot, domain_->tagOf(line_addr), meta, need, set);
+
+    ++comp_->insertions;
+    if (meta.compressed() && meta.encoding != kRawEncoding)
+        ++comp_->compressedInsertions;
+    comp_->insertionRatio.sample(meta.ratio());
+    if (tracer_) {
+        TraceEvent ev = makeTraceEvent(now, TraceEventKind::L2Insert);
+        ev.arg0 = line_addr;
+        ev.arg1 = need;
+        ev.mode = static_cast<std::uint8_t>(meta.algo);
+        ev.value = meta.ratio();
+        tracer_->record(ev);
+    }
 }
 
 L2Result
-L2Cache::access(Cycles now, Addr line_addr, bool is_write)
+L2Cache::accessUncompressed(Cycles now, Addr line_addr, bool is_write,
+                            Cycles data_at_l2, std::uint32_t bank,
+                            double queue)
 {
-    metrics::ProfileScope profile(metrics::ProfileZone::L2Access);
-    if (is_write)
-        ++writes;
-    else
-        ++reads;
-
-    // Request traverses the network to the L2 partition.
-    const Cycles at_l2 = noc_->transfer(now, is_write ? 128 + 8 : 8,
-                                        Interconnect::Channel::Request);
-
-    // Bank arbitration.
-    const std::uint32_t bank = bankIndex(line_addr);
-    const double start = std::max(static_cast<double>(at_l2),
-                                  bankNextFree_[bank]);
-    bankNextFree_[bank] = start + kBankServiceCycles;
-    const double queue = start - static_cast<double>(at_l2);
-    bankQueueDelay.sample(queue);
-
-    // Remaining pipeline latency so an unloaded read hit observed from
-    // the SM costs exactly l2MinLatency.
-    const Cycles pipeline =
-        cfg_.l2MinLatency - 2 * noc_->traversalLatency();
-    Cycles data_at_l2 = at_l2 + static_cast<Cycles>(queue) + pipeline;
-
     // Tag lookup.
     const std::uint32_t set = setIndex(line_addr);
-    Way *ways = &ways_[static_cast<std::size_t>(set) * cfg_.l2Assoc];
-    const Addr tag = line_addr / cfg_.l2LineBytes / numSets_;
+    Way *ways = &ways_[static_cast<std::size_t>(set) * cfg_.l2.assoc];
+    const Addr tag = line_addr / cfg_.l2.lineBytes / numSets_;
 
     Way *entry = nullptr;
-    for (std::uint32_t w = 0; w < cfg_.l2Assoc; ++w) {
+    for (std::uint32_t w = 0; w < cfg_.l2.assoc; ++w) {
         if (ways[w].valid && ways[w].tag == tag) {
             entry = &ways[w];
             break;
@@ -96,9 +241,9 @@ L2Cache::access(Cycles now, Addr line_addr, bool is_write)
     } else {
         ++misses;
         // Fetch from DRAM, then fill.
-        data_at_l2 = dram_->access(data_at_l2, cfg_.l2LineBytes);
+        data_at_l2 = fetchLine(data_at_l2, line_addr);
         Way *victim = &ways[0];
-        for (std::uint32_t w = 1; w < cfg_.l2Assoc; ++w) {
+        for (std::uint32_t w = 1; w < cfg_.l2.assoc; ++w) {
             if (!ways[w].valid) {
                 victim = &ways[w];
                 break;
@@ -125,13 +270,155 @@ L2Cache::access(Cycles now, Addr line_addr, bool is_write)
     return {entry != nullptr, ready};
 }
 
+L2Result
+L2Cache::accessCompressed(Cycles now, Addr line_addr, bool is_write,
+                          Cycles data_at_l2)
+{
+    const std::uint32_t set = domain_->setIndexOf(line_addr);
+    const std::uint32_t bank = bankIndex(line_addr);
+    CompressionDomain::TagEntry *entry = domain_->findLine(line_addr);
+    const bool was_hit = entry != nullptr;
+    Cycles data_ready = data_at_l2;
+
+    if (entry) {
+        ++hits;
+        if (is_write) {
+            // Write-avoid at the L2: drop the compressed copy and
+            // restore it raw, so stores never recompress in place.
+            const CompressorId old_mode = entry->mode;
+            domain_->releaseLine(*entry, set);
+            ++comp_->writeInvalidations;
+            if (tracer_) {
+                TraceEvent ev = makeTraceEvent(
+                    now, TraceEventKind::L2WriteInval);
+                ev.arg0 = line_addr;
+                ev.arg1 = set;
+                ev.mode = static_cast<std::uint8_t>(old_mode);
+                tracer_->record(ev);
+            }
+            insertCompressed(now, line_addr, set, CompressorId::None);
+        } else {
+            domain_->touchOnHit(*entry);
+            if (entry->mode != CompressorId::None &&
+                entry->encoding != kRawEncoding) {
+                Compressor *engine = engines_->get(entry->mode);
+                DecompressionQueue &queue = domain_->queueFor(entry->mode);
+                data_ready = queue.enqueue(data_at_l2,
+                                           engine->decompressLatency());
+                ++comp_->decompressions;
+                if (decompWaitHist_) {
+                    decompWaitHist_->record(
+                        static_cast<double>(data_ready - data_at_l2));
+                }
+                if (tracer_) {
+                    TraceEvent ev = makeTraceEvent(
+                        now, TraceEventKind::L2DecompEnqueue);
+                    ev.arg0 = line_addr;
+                    ev.arg1 = static_cast<std::uint32_t>(
+                        queue.depth(data_at_l2));
+                    ev.mode = static_cast<std::uint8_t>(entry->mode);
+                    ev.value =
+                        static_cast<double>(data_ready - data_at_l2);
+                    tracer_->record(ev);
+                }
+            }
+        }
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(now, TraceEventKind::L2Hit);
+            ev.arg0 = line_addr;
+            ev.arg1 = bank;
+            ev.value = static_cast<double>(data_ready - data_at_l2);
+            tracer_->record(ev);
+        }
+    } else {
+        ++misses;
+        data_ready = fetchLine(data_at_l2, line_addr);
+        // Stores fill raw (the write-avoid analogue); loads fill with
+        // the configured mode — static:<algo> or the latte winner.
+        CompressorId mode = CompressorId::None;
+        if (!is_write) {
+            mode = controller_ ? controller_->modeForInsertion(set)
+                               : cfg_.l2.staticAlgo;
+        }
+        insertCompressed(now, line_addr, set, mode);
+        if (tracer_) {
+            TraceEvent ev = makeTraceEvent(now, TraceEventKind::L2Miss);
+            ev.arg0 = line_addr;
+            ev.arg1 = bank;
+            ev.value = static_cast<double>(data_ready - now);
+            tracer_->record(ev);
+        }
+    }
+
+    if (controller_) {
+        // The controller's latency signal spans issue to data-at-L2, so
+        // its per-EP hit mean lines up with the l2.minLatency baseline
+        // its AMAT votes are computed against.
+        controller_->observeAccess(now, set, was_hit, is_write,
+                                   static_cast<double>(data_ready - now));
+    }
+
+    const Cycles ready =
+        noc_->transfer(data_ready, is_write ? 8 : 128 + 8,
+                       Interconnect::Channel::Reply);
+    return {was_hit, ready};
+}
+
+L2Result
+L2Cache::access(Cycles now, Addr line_addr, bool is_write)
+{
+    metrics::ProfileScope profile(metrics::ProfileZone::L2Access);
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+
+    // Request traverses the network to the L2 partition.
+    const Cycles at_l2 = noc_->transfer(now, is_write ? 128 + 8 : 8,
+                                        Interconnect::Channel::Request);
+
+    // Bank arbitration (integer cycle arithmetic: the service time and
+    // the queueing delay are whole cycles by construction).
+    const std::uint32_t bank = bankIndex(line_addr);
+    const Cycles start = std::max(at_l2, bankNextFree_[bank]);
+    bankNextFree_[bank] = start + cfg_.l2.bankServiceCycles;
+    const Cycles queue = start - at_l2;
+    bankQueueDelay.sample(static_cast<double>(queue));
+
+    // Remaining pipeline latency so an unloaded read hit observed from
+    // the SM costs exactly l2.minLatency.
+    const Cycles pipeline =
+        cfg_.l2.minLatency - 2 * noc_->traversalLatency();
+    const Cycles data_at_l2 = at_l2 + queue + pipeline;
+
+    const L2Result result =
+        domain_ ? accessCompressed(now, line_addr, is_write, data_at_l2)
+                : accessUncompressed(now, line_addr, is_write,
+                                     data_at_l2, bank,
+                                     static_cast<double>(queue));
+
+    // Observational mirror into the shared metric histograms.
+    if (result.hit) {
+        if (hitLatencyHist_) {
+            hitLatencyHist_->record(
+                static_cast<double>(result.readyCycle - now));
+        }
+    } else if (missLatencyHist_) {
+        missLatencyHist_->record(
+            static_cast<double>(result.readyCycle - now));
+    }
+    return result;
+}
+
 void
 L2Cache::invalidateAll()
 {
     for (auto &way : ways_)
         way = Way{};
-    std::fill(bankNextFree_.begin(), bankNextFree_.end(), 0.0);
+    std::fill(bankNextFree_.begin(), bankNextFree_.end(), Cycles{0});
     lruClock_ = 0;
+    if (domain_)
+        domain_->invalidateAll();
 }
 
 } // namespace latte

@@ -4,23 +4,42 @@
  * Timing-only: hit/miss state is tracked per line, data comes from the
  * functional MemoryImage. Bank conflicts add queueing delay; misses go
  * to the DRAM model.
+ *
+ * With --l2-compress the tag/sub-block state moves into a
+ * CompressionDomain (the same level-generic machinery the compressed L1
+ * uses): lines are stored compressed, hits to compressed lines pay the
+ * decompression queue, and the mode is either fixed (static:<algo>) or
+ * chosen per EP by the L2CompressionController (latte). With
+ * --link-compress, L2 miss fetches move compressed bytes over the
+ * L2<->DRAM channel instead of full lines.
  */
 
 #ifndef LATTE_MEM_L2CACHE_HH
 #define LATTE_MEM_L2CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "compress/compression_domain.hh"
+#include "compress/engines.hh"
 #include "dram.hh"
 #include "interconnect.hh"
+#include "l2_compress.hh"
+#include "memory_image.hh"
 #include "trace/tracer.hh"
 
 namespace latte
 {
+
+namespace metrics
+{
+class LatencyHistogram;
+class MetricRegistry;
+} // namespace metrics
 
 /** Result of an L2 lookup. */
 struct L2Result
@@ -35,7 +54,8 @@ class L2Cache : public StatGroup
 {
   public:
     L2Cache(const GpuConfig &cfg, Interconnect *noc, DramModel *dram,
-            StatGroup *parent);
+            MemoryImage *mem, StatGroup *parent);
+    ~L2Cache();
 
     /**
      * Service an L1 miss (or write-through) for the line at @p line_addr,
@@ -47,13 +67,58 @@ class L2Cache : public StatGroup
     void invalidateAll();
 
     /** Attach the event tracer (not owned; nullptr disables tracing). */
-    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    void setTracer(Tracer *tracer);
+
+    /**
+     * Attach the metric registry (not owned; nullptr detaches). Mirrors
+     * the L2-side service latencies into the shared histograms; purely
+     * observational, never feeds back into timing.
+     */
+    void setMetrics(metrics::MetricRegistry *metrics);
+
+    /** The compressed-L2 domain; nullptr when --l2-compress=off. */
+    const CompressionDomain *domain() const { return domain_.get(); }
+
+    /** The latte controller; nullptr unless --l2-compress=latte. */
+    const L2CompressionController *controller() const
+    {
+        return controller_.get();
+    }
 
     Counter reads;
     Counter writes;
     Counter hits;
     Counter misses;
     Average bankQueueDelay;
+
+    /** Compressed-L2 stats; constructed only when compression is on. */
+    struct CompressStats : public StatGroup
+    {
+        explicit CompressStats(StatGroup *parent);
+        Counter insertions;
+        Counter evictions;
+        Counter writeInvalidations;
+        Counter compressedInsertions;
+        Counter bdiCompressions;
+        Counter fpcCompressions;
+        Counter cpackCompressions;
+        Counter bpcCompressions;
+        Counter decompressions;
+        Average insertionRatio;
+    };
+
+    /** Link-compression stats; constructed only when the link is on. */
+    struct LinkStats : public StatGroup
+    {
+        explicit LinkStats(StatGroup *parent);
+        Counter transfers;           //!< compressed line fetches
+        Counter bytesMoved;          //!< bytes actually transferred
+        Counter bytesSaved;          //!< line bytes avoided
+        Average transferRatio;       //!< mean line/transfer size ratio
+    };
+
+    const CompressStats *compressStats() const { return comp_.get(); }
+    const LinkStats *linkStats() const { return link_.get(); }
 
   private:
     struct Way
@@ -65,19 +130,40 @@ class L2Cache : public StatGroup
 
     std::uint32_t setIndex(Addr line_addr) const;
     std::uint32_t bankIndex(Addr line_addr) const;
+    /** The uncompressed lookup/fill path (exactly the pre-domain L2). */
+    L2Result accessUncompressed(Cycles now, Addr line_addr,
+                                bool is_write, Cycles data_at_l2,
+                                std::uint32_t bank, double queue);
+    /** The CompressionDomain-backed path (--l2-compress != off). */
+    L2Result accessCompressed(Cycles now, Addr line_addr, bool is_write,
+                              Cycles data_at_l2);
+    /** Fetch @p line_addr from DRAM (compressed link when enabled). */
+    Cycles fetchLine(Cycles at, Addr line_addr);
+    /** Insert @p line_addr into the domain, stored with @p mode. */
+    void insertCompressed(Cycles now, Addr line_addr, std::uint32_t set,
+                          CompressorId mode);
 
     const GpuConfig &cfg_;
     Interconnect *noc_;
     DramModel *dram_;
+    MemoryImage *mem_;
     Tracer *tracer_ = nullptr;
+    metrics::LatencyHistogram *hitLatencyHist_ = nullptr;
+    metrics::LatencyHistogram *missLatencyHist_ = nullptr;
+    metrics::LatencyHistogram *decompWaitHist_ = nullptr;
 
     std::uint32_t numSets_;
     std::vector<Way> ways_;              //!< numSets_ x assoc
-    std::vector<double> bankNextFree_;   //!< per-bank service queue
+    std::vector<Cycles> bankNextFree_;   //!< per-bank service queue
     std::uint64_t lruClock_ = 0;
 
-    /** L2 pipeline occupancy per access, per bank. */
-    static constexpr double kBankServiceCycles = 2.0;
+    // --- compression machinery (allocated only when configured) ---
+    std::unique_ptr<CompressionEngines> engines_;
+    std::unique_ptr<CompressStats> comp_;
+    std::unique_ptr<CompressionDomain> domain_;
+    std::unique_ptr<L2CompressionController> controller_;
+    std::unique_ptr<LinkStats> link_;
+    Compressor *linkEngine_ = nullptr;
 };
 
 } // namespace latte

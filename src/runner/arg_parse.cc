@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "compress/backend.hh"
 #include "sim/thread_pool.hh"
@@ -119,6 +120,28 @@ const ArgSpec kSpecs[] = {
                          sweepArgsUsage());
          setCompressorBackend(*backend);
          o.compressBackend = v;
+     }},
+    {"--l2-compress", nullptr, "<off|static:algo|latte>",
+     "compressed L2: store lines compressed with a fixed algorithm "
+     "(static:bdi etc.) or per-EP adaptive selection (latte)",
+     [](SweepCliOptions &o, const std::string &v) {
+         CacheLevelConfig probe = CacheLevelConfig::l2Defaults();
+         if (!parseLevelCompressSpec(v, probe))
+             latte_fatal("--l2-compress: bad spec '{}' "
+                         "(off|static:<algo>|latte)\n{}",
+                         v, sweepArgsUsage());
+         o.l2Compress = v;
+     }},
+    {"--link-compress", nullptr, "<off|algo>",
+     "compress L2<->DRAM transfers with the named algorithm "
+     "(bdi|fpc|cpack|bpc)",
+     [](SweepCliOptions &o, const std::string &v) {
+         CompressorId probe = CompressorId::None;
+         if (!parseLinkCompressSpec(v, probe))
+             latte_fatal("--link-compress: bad spec '{}' "
+                         "(off|<algo>)\n{}",
+                         v, sweepArgsUsage());
+         o.linkCompress = v;
      }},
     {"--sim-threads", nullptr, "<n|auto>",
      "SM-stepping threads inside each run: a count or 'auto' (speed "

@@ -78,6 +78,17 @@ struct SweepCliOptions
      * speed only and not part of the result-cache key.
      */
     std::string simThreads;
+    /**
+     * Compressed-L2 spec ("off", "static:<algo>", "latte"). Unlike the
+     * two knobs above this one changes simulated behaviour: the Sweep
+     * ctor applies it to the default DriverOptions, and it reaches the
+     * RunKey fingerprint through the config JSON (emitted only when
+     * not "off", so existing fingerprints are untouched). Empty =
+     * leave the defaults alone.
+     */
+    std::string l2Compress;
+    /** Link-compression spec ("off" or an algorithm); empty = keep. */
+    std::string linkCompress;
 
     // --- Resilience ----------------------------------------------------
     std::string resumePath;  //!< sweep journal; empty = no resume

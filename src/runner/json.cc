@@ -480,7 +480,7 @@ modeAccessesFromJson(const Json &json,
 Json
 toJson(const UsageCounts &usage)
 {
-    return Json(Json::Object{
+    Json::Object object{
         {"cycles", Json(usage.cycles)},
         {"instructions", Json(usage.instructions)},
         {"l1Accesses", Json(usage.l1Accesses)},
@@ -493,7 +493,20 @@ toJson(const UsageCounts &usage)
         {"bdiDecompressions", Json(usage.bdiDecompressions)},
         {"scDecompressions", Json(usage.scDecompressions)},
         {"bpcDecompressions", Json(usage.bpcDecompressions)},
-    });
+    };
+    // L2/link counts appear only when those levels compressed
+    // anything, so documents of L1-only runs stay byte-identical.
+    if (usage.l2BdiCompressions)
+        object["l2BdiCompressions"] = Json(usage.l2BdiCompressions);
+    if (usage.l2BpcCompressions)
+        object["l2BpcCompressions"] = Json(usage.l2BpcCompressions);
+    if (usage.l2BdiDecompressions)
+        object["l2BdiDecompressions"] = Json(usage.l2BdiDecompressions);
+    if (usage.l2BpcDecompressions)
+        object["l2BpcDecompressions"] = Json(usage.l2BpcDecompressions);
+    if (usage.linkTransfers)
+        object["linkTransfers"] = Json(usage.linkTransfers);
+    return Json(std::move(object));
 }
 
 bool
@@ -521,13 +534,28 @@ fromJson(const Json &json, UsageCounts &usage)
     usage.bdiDecompressions = json.at("bdiDecompressions").asUint();
     usage.scDecompressions = json.at("scDecompressions").asUint();
     usage.bpcDecompressions = json.at("bpcDecompressions").asUint();
+    // Optional: emitted only by runs with a compressed L2 or link.
+    if (json.contains("l2BdiCompressions"))
+        usage.l2BdiCompressions = json.at("l2BdiCompressions").asUint();
+    if (json.contains("l2BpcCompressions"))
+        usage.l2BpcCompressions = json.at("l2BpcCompressions").asUint();
+    if (json.contains("l2BdiDecompressions")) {
+        usage.l2BdiDecompressions =
+            json.at("l2BdiDecompressions").asUint();
+    }
+    if (json.contains("l2BpcDecompressions")) {
+        usage.l2BpcDecompressions =
+            json.at("l2BpcDecompressions").asUint();
+    }
+    if (json.contains("linkTransfers"))
+        usage.linkTransfers = json.at("linkTransfers").asUint();
     return true;
 }
 
 Json
 toJson(const EnergyReport &energy)
 {
-    return Json(Json::Object{
+    Json::Object object{
         {"coreDynamicMj", Json(energy.coreDynamicMj)},
         {"l1Mj", Json(energy.l1Mj)},
         {"l2Mj", Json(energy.l2Mj)},
@@ -535,7 +563,14 @@ toJson(const EnergyReport &energy)
         {"dramMj", Json(energy.dramMj)},
         {"compressionMj", Json(energy.compressionMj)},
         {"staticMj", Json(energy.staticMj)},
-    });
+    };
+    // Per-level terms appear only when nonzero (L1-only documents stay
+    // byte-identical).
+    if (energy.l2CompressionMj != 0)
+        object["l2CompressionMj"] = Json(energy.l2CompressionMj);
+    if (energy.linkCompressionMj != 0)
+        object["linkCompressionMj"] = Json(energy.linkCompressionMj);
+    return Json(std::move(object));
 }
 
 bool
@@ -555,6 +590,12 @@ fromJson(const Json &json, EnergyReport &energy)
     energy.dramMj = json.at("dramMj").asDouble();
     energy.compressionMj = json.at("compressionMj").asDouble();
     energy.staticMj = json.at("staticMj").asDouble();
+    if (json.contains("l2CompressionMj"))
+        energy.l2CompressionMj = json.at("l2CompressionMj").asDouble();
+    if (json.contains("linkCompressionMj")) {
+        energy.linkCompressionMj =
+            json.at("linkCompressionMj").asDouble();
+    }
     return true;
 }
 
@@ -591,7 +632,7 @@ fromJson(const Json &json, KernelSnapshot &snapshot)
 Json
 toJson(const PolicyTracePoint &point)
 {
-    return Json(Json::Object{
+    Json::Object object{
         {"cycle", Json(point.cycle)},
         {"tolerance", Json(point.latencyTolerance)},
         {"mode", Json(modeName(point.mode))},
@@ -599,7 +640,13 @@ toJson(const PolicyTracePoint &point)
         {"decompQueueDepth", Json(point.decompQueueDepth)},
         {"samplerHits", modeAccessesJson(point.samplerHits)},
         {"samplerMisses", modeAccessesJson(point.samplerMisses)},
-    });
+    };
+    // L2-level fields only when a compressed-L2 controller ran.
+    if (point.hasL2) {
+        object["l2Mode"] = Json(modeName(point.l2Mode));
+        object["l2Tolerance"] = Json(point.l2Tolerance);
+    }
+    return Json(std::move(object));
 }
 
 bool
@@ -621,6 +668,14 @@ fromJson(const Json &json, PolicyTracePoint &point)
         !modeAccessesFromJson(json.at("samplerMisses"),
                               point.samplerMisses))
         return false;
+    if (json.contains("l2Mode")) {
+        point.hasL2 = true;
+        point.l2Tolerance = json.contains("l2Tolerance")
+                                ? json.at("l2Tolerance").asDouble()
+                                : 0.0;
+        if (!modeFromName(json.at("l2Mode").asString(), point.l2Mode))
+            return false;
+    }
     return modeFromName(json.at("mode").asString(), point.mode);
 }
 
@@ -930,37 +985,57 @@ toJson(const DriverOptions &options)
     const GpuConfig &cfg = options.cfg;
     const CompressorTimings &t = cfg.timings;
     const LatteParams &lp = cfg.latte;
+    Json::Object cfg_object{
+        {"numSms", Json(cfg.numSms)},
+        {"maxWarpsPerSm", Json(cfg.maxWarpsPerSm)},
+        {"maxBlocksPerSm", Json(cfg.maxBlocksPerSm)},
+        {"schedulersPerSm", Json(cfg.schedulersPerSm)},
+        {"warpSize", Json(cfg.warpSize)},
+        {"registersPerSm", Json(cfg.registersPerSm)},
+        {"sharedMemBytes", Json(cfg.sharedMemBytes)},
+        {"l1SizeBytes", Json(cfg.l1.sizeBytes)},
+        {"l1LineBytes", Json(cfg.l1.lineBytes)},
+        {"l1Assoc", Json(cfg.l1.assoc)},
+        {"l1HitLatency", Json(cfg.l1.hitLatency)},
+        {"l1TagFactor", Json(cfg.l1.tagFactor)},
+        {"l1SubBlockBytes", Json(cfg.l1.subBlockBytes)},
+        {"l1MshrEntries", Json(cfg.l1.mshrEntries)},
+        {"l1iSizeBytes", Json(cfg.l1iSizeBytes)},
+        {"l2SizeBytes", Json(cfg.l2.sizeBytes)},
+        {"l2LineBytes", Json(cfg.l2.lineBytes)},
+        {"l2Assoc", Json(cfg.l2.assoc)},
+        {"l2Banks", Json(cfg.l2.banks)},
+        {"l2MinLatency", Json(cfg.l2.minLatency)},
+        {"dramMinLatency", Json(cfg.dramMinLatency)},
+        {"dramBytesPerCycle", Json(cfg.dramBytesPerCycle)},
+        {"nocBytesPerCycle", Json(cfg.nocBytesPerCycle)},
+        {"schedPolicy",
+         Json(static_cast<std::uint64_t>(cfg.schedPolicy))},
+        {"l1Repl", Json(static_cast<std::uint64_t>(cfg.l1Repl))},
+        {"decompQueueEntries", Json(cfg.decompQueueEntries)},
+    };
+    // This JSON is the result-cache fingerprint, so the down-hierarchy
+    // compression knobs are emitted only when set off their defaults:
+    // every pre-existing configuration keeps its exact RunKey and its
+    // cached/journaled cells stay hits.
+    if (cfg.l2.compress != LevelCompress::Off)
+        cfg_object["l2Compress"] = Json(levelCompressSpec(cfg.l2));
+    if (cfg.linkCompress != CompressorId::None)
+        cfg_object["linkCompress"] = Json(linkCompressSpec(cfg.linkCompress));
+    {
+        constexpr CacheLevelConfig l2_defaults =
+            CacheLevelConfig::l2Defaults();
+        if (cfg.l2.bankServiceCycles != l2_defaults.bankServiceCycles) {
+            cfg_object["l2BankServiceCycles"] =
+                Json(cfg.l2.bankServiceCycles);
+        }
+        if (cfg.l2.missPenaltyCycles != l2_defaults.missPenaltyCycles) {
+            cfg_object["l2MissPenaltyCycles"] =
+                Json(cfg.l2.missPenaltyCycles);
+        }
+    }
     return Json(Json::Object{
-        {"cfg",
-         Json(Json::Object{
-             {"numSms", Json(cfg.numSms)},
-             {"maxWarpsPerSm", Json(cfg.maxWarpsPerSm)},
-             {"maxBlocksPerSm", Json(cfg.maxBlocksPerSm)},
-             {"schedulersPerSm", Json(cfg.schedulersPerSm)},
-             {"warpSize", Json(cfg.warpSize)},
-             {"registersPerSm", Json(cfg.registersPerSm)},
-             {"sharedMemBytes", Json(cfg.sharedMemBytes)},
-             {"l1SizeBytes", Json(cfg.l1SizeBytes)},
-             {"l1LineBytes", Json(cfg.l1LineBytes)},
-             {"l1Assoc", Json(cfg.l1Assoc)},
-             {"l1HitLatency", Json(cfg.l1HitLatency)},
-             {"l1TagFactor", Json(cfg.l1TagFactor)},
-             {"l1SubBlockBytes", Json(cfg.l1SubBlockBytes)},
-             {"l1MshrEntries", Json(cfg.l1MshrEntries)},
-             {"l1iSizeBytes", Json(cfg.l1iSizeBytes)},
-             {"l2SizeBytes", Json(cfg.l2SizeBytes)},
-             {"l2LineBytes", Json(cfg.l2LineBytes)},
-             {"l2Assoc", Json(cfg.l2Assoc)},
-             {"l2Banks", Json(cfg.l2Banks)},
-             {"l2MinLatency", Json(cfg.l2MinLatency)},
-             {"dramMinLatency", Json(cfg.dramMinLatency)},
-             {"dramBytesPerCycle", Json(cfg.dramBytesPerCycle)},
-             {"nocBytesPerCycle", Json(cfg.nocBytesPerCycle)},
-             {"schedPolicy",
-              Json(static_cast<std::uint64_t>(cfg.schedPolicy))},
-             {"l1Repl", Json(static_cast<std::uint64_t>(cfg.l1Repl))},
-             {"decompQueueEntries", Json(cfg.decompQueueEntries)},
-         })},
+        {"cfg", Json(std::move(cfg_object))},
         {"timings",
          Json(Json::Object{
              {"bdiCompress", Json(t.bdiCompress)},

@@ -53,6 +53,14 @@ Sweep::Sweep(SweepCliOptions cli, DriverOptions defaults)
     // carry the name (it is not part of the result-cache key).
     if (!cli.compressBackend.empty())
         defaults_.compressBackend = cli.compressBackend;
+    // --l2-compress / --link-compress change simulated behaviour (and
+    // thus the cell fingerprints, via the config JSON); both were
+    // syntax-validated at parse time.
+    if (!cli.l2Compress.empty())
+        parseLevelCompressSpec(cli.l2Compress, defaults_.cfg.l2);
+    if (!cli.linkCompress.empty())
+        parseLinkCompressSpec(cli.linkCompress,
+                              defaults_.cfg.linkCompress);
     // --sim-threads is per-run, not process-wide: the driver resolves
     // it when each cell starts. Also speed-only, also not cache-keyed.
     if (!cli.simThreads.empty()) {

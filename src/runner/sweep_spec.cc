@@ -92,18 +92,22 @@ const OptionEntry kOptionTable[] = {
     LATTE_UINT_OPTION("cfg.max_blocks_per_sm", cfg.maxBlocksPerSm),
     LATTE_UINT_OPTION("cfg.schedulers_per_sm", cfg.schedulersPerSm),
     // --- L1 ---
-    LATTE_UINT_OPTION("cfg.l1_size_bytes", cfg.l1SizeBytes),
-    LATTE_UINT_OPTION("cfg.l1_line_bytes", cfg.l1LineBytes),
-    LATTE_UINT_OPTION("cfg.l1_assoc", cfg.l1Assoc),
-    LATTE_UINT_OPTION("cfg.l1_hit_latency", cfg.l1HitLatency),
-    LATTE_UINT_OPTION("cfg.l1_tag_factor", cfg.l1TagFactor),
-    LATTE_UINT_OPTION("cfg.l1_sub_block_bytes", cfg.l1SubBlockBytes),
-    LATTE_UINT_OPTION("cfg.l1_mshr_entries", cfg.l1MshrEntries),
+    LATTE_UINT_OPTION("cfg.l1_size_bytes", cfg.l1.sizeBytes),
+    LATTE_UINT_OPTION("cfg.l1_line_bytes", cfg.l1.lineBytes),
+    LATTE_UINT_OPTION("cfg.l1_assoc", cfg.l1.assoc),
+    LATTE_UINT_OPTION("cfg.l1_hit_latency", cfg.l1.hitLatency),
+    LATTE_UINT_OPTION("cfg.l1_tag_factor", cfg.l1.tagFactor),
+    LATTE_UINT_OPTION("cfg.l1_sub_block_bytes", cfg.l1.subBlockBytes),
+    LATTE_UINT_OPTION("cfg.l1_mshr_entries", cfg.l1.mshrEntries),
     // --- L2 / DRAM ---
-    LATTE_UINT_OPTION("cfg.l2_size_bytes", cfg.l2SizeBytes),
-    LATTE_UINT_OPTION("cfg.l2_assoc", cfg.l2Assoc),
-    LATTE_UINT_OPTION("cfg.l2_banks", cfg.l2Banks),
-    LATTE_UINT_OPTION("cfg.l2_min_latency", cfg.l2MinLatency),
+    LATTE_UINT_OPTION("cfg.l2_size_bytes", cfg.l2.sizeBytes),
+    LATTE_UINT_OPTION("cfg.l2_assoc", cfg.l2.assoc),
+    LATTE_UINT_OPTION("cfg.l2_banks", cfg.l2.banks),
+    LATTE_UINT_OPTION("cfg.l2_min_latency", cfg.l2.minLatency),
+    LATTE_UINT_OPTION("cfg.l2_bank_service_cycles",
+                      cfg.l2.bankServiceCycles),
+    LATTE_UINT_OPTION("cfg.l2_miss_penalty_cycles",
+                      cfg.l2.missPenaltyCycles),
     LATTE_UINT_OPTION("cfg.dram_min_latency", cfg.dramMinLatency),
     LATTE_DOUBLE_OPTION("cfg.dram_bytes_per_cycle",
                         cfg.dramBytesPerCycle),
@@ -147,6 +151,30 @@ const OptionEntry kOptionTable[] = {
          else
              return setError(e, "cfg.l1_repl: unknown policy '" + name +
                                     "' (lru|fifo|srrip)");
+         return true;
+     }},
+    {"l2.compress",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "l2.compress: expected a string");
+         if (!parseLevelCompressSpec(v.asString(), o.cfg.l2)) {
+             return setError(e, "l2.compress: bad spec '" +
+                                    v.asString() +
+                                    "' (off|static:<algo>|latte)");
+         }
+         // Semantic restrictions (SC below the L1, dedicated-set
+         // geometry) are left to GpuConfig::validationError() so they
+         // surface as structured per-cell outcomes.
+         return true;
+     }},
+    {"link.compress",
+     [](DriverOptions &o, const Json &v, std::string *e) {
+         if (v.type() != Json::Type::String)
+             return setError(e, "link.compress: expected a string");
+         if (!parseLinkCompressSpec(v.asString(), o.cfg.linkCompress)) {
+             return setError(e, "link.compress: bad spec '" +
+                                    v.asString() + "' (off|<algo>)");
+         }
          return true;
      }},
     {"compress_backend",

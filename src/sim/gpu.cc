@@ -17,7 +17,7 @@ Gpu::Gpu(const GpuConfig &cfg, MemoryImage *mem, CacheTuning tuning,
       cfg_(cfg), mem_(mem), tracer_(tracer),
       noc_(cfg, this),
       dram_(cfg, this),
-      l2_(cfg, &noc_, &dram_, this)
+      l2_(cfg, &noc_, &dram_, mem, this)
 {
     latte_assert(mem_ != nullptr);
     dram_.setTracer(tracer_);
@@ -48,6 +48,7 @@ Gpu::setMetrics(metrics::MetricRegistry *metrics)
 {
     metrics_ = metrics;
     dram_.setMetrics(metrics);
+    l2_.setMetrics(metrics);
     for (auto &sm : sms_)
         sm->cache().setMetrics(metrics);
 }

@@ -68,11 +68,23 @@ enum class TraceEventKind : std::uint8_t
     SamplerVote,   //!< per-candidate AMAT_GPU; mode = candidate, value = AMAT
     ModeChange,    //!< the winner flipped; mode = new winner
     ScRebuild,     //!< SC code book rebuilt; arg0 = new generation
+
+    // --- compressed L2 (--l2-compress) ---
+    L2Insert,        //!< fill inserted; mode = storage mode, value = ratio
+    L2Evict,         //!< victim dropped; arg1 = set, mode = victim mode
+    L2WriteInval,    //!< write dropped a compressed copy; arg0 = line addr
+    L2DecompEnqueue, //!< L2 hit queued for decompression; arg1 = depth
+    L2EpBoundary,    //!< L2 EP closed; value = tolerance, mode = winner
+    L2SamplerVote,   //!< L2 candidate AMAT; mode = candidate, value = AMAT
+    L2ModeChange,    //!< L2 winner flipped; mode = new winner
+
+    // --- link compression (--link-compress) ---
+    LinkCompress,    //!< arg1 = transferred bytes, value = ratio
 };
 
 /** Number of TraceEventKind values (for per-kind counter arrays). */
 constexpr std::size_t kNumTraceEventKinds =
-    static_cast<std::size_t>(TraceEventKind::ScRebuild) + 1;
+    static_cast<std::size_t>(TraceEventKind::LinkCompress) + 1;
 
 /** Stable lower_snake_case name (used as the Chrome trace event name). */
 const char *traceEventKindName(TraceEventKind kind);

@@ -37,6 +37,14 @@ constexpr KindInfo kKindInfo[kNumTraceEventKinds] = {
     {"sampler_vote", "latte"},   // SamplerVote
     {"mode_change", "latte"},    // ModeChange
     {"sc_rebuild", "latte"},     // ScRebuild
+    {"l2_insert", "mem"},          // L2Insert
+    {"l2_evict", "mem"},           // L2Evict
+    {"l2_write_inval", "mem"},     // L2WriteInval
+    {"l2_decomp_enqueue", "mem"},  // L2DecompEnqueue
+    {"l2_ep_boundary", "mem"},     // L2EpBoundary
+    {"l2_sampler_vote", "mem"},    // L2SamplerVote
+    {"l2_mode_change", "mem"},     // L2ModeChange
+    {"link_compress", "mem"},      // LinkCompress
 };
 
 } // namespace

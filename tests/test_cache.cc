@@ -23,7 +23,7 @@ class CacheFixture : public ::testing::Test
   protected:
     explicit CacheFixture(CacheTuning tuning = {})
         : root("root"), noc(cfg, &root), dram(cfg, &root),
-          l2(cfg, &noc, &dram, &root), engines(cfg),
+          l2(cfg, &noc, &dram, &mem, &root), engines(cfg),
           cache(cfg, 0, &engines, &l2, &mem, &root, tuning)
     {}
 
@@ -104,7 +104,7 @@ TEST_F(CacheFixture, MissThenHit)
 
     const auto hit = cache.access(now, 0x1000, false);
     EXPECT_TRUE(hit.hit);
-    EXPECT_EQ(hit.readyCycle, now + cfg.l1HitLatency);
+    EXPECT_EQ(hit.readyCycle, now + cfg.l1.hitLatency);
 }
 
 TEST_F(CacheFixture, SecondaryMissMerges)
@@ -121,7 +121,7 @@ TEST_F(CacheFixture, SecondaryMissMerges)
 TEST_F(CacheFixture, MshrExhaustionRejects)
 {
     // Fill all MSHRs with distinct lines.
-    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+    for (std::uint32_t i = 0; i < cfg.l1.mshrEntries; ++i)
         cache.access(0, 0x100000 + i * 128, false);
     const auto res = cache.access(0, 0x900000, false);
     EXPECT_TRUE(res.rejected);
@@ -187,7 +187,7 @@ TEST_F(CacheFixture, CompressedHitPaysDecompression)
     EXPECT_TRUE(hit.hit);
     // hit latency + BDI decompression (2) + queue position 0 + 1.
     EXPECT_EQ(hit.readyCycle,
-              now + cfg.l1HitLatency + cfg.timings.bdiDecompress + 1);
+              now + cfg.l1.hitLatency + cfg.timings.bdiDecompress + 1);
     EXPECT_EQ(cache.queueFor(CompressorId::Bdi).requests.count(), 1u);
 }
 
@@ -369,7 +369,7 @@ TEST_F(FreeLatencyFixture, CompressedHitsCostBaseLatency)
     makeCompressible(0x4000);
     installLine(0x4000, now);
     const auto hit = cache.access(now, 0x4000, false);
-    EXPECT_EQ(hit.readyCycle, now + cfg.l1HitLatency);
+    EXPECT_EQ(hit.readyCycle, now + cfg.l1.hitLatency);
 }
 
 TEST_F(VerifyFixture, RoundTripVerifiedOnHits)

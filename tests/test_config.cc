@@ -25,24 +25,24 @@ TEST(Config, DefaultConfigIsValid)
 TEST(Config, RejectsL1SizeNotMultipleOfLineTimesAssoc)
 {
     GpuConfig cfg;
-    cfg.l1SizeBytes = 16 * 1024 + 100;
+    cfg.l1.sizeBytes = 16 * 1024 + 100;
     ASSERT_TRUE(cfg.validationError().has_value());
 }
 
 TEST(Config, RejectsZeroL1Size)
 {
     GpuConfig cfg;
-    cfg.l1SizeBytes = 0;
+    cfg.l1.sizeBytes = 0;
     ASSERT_TRUE(cfg.validationError().has_value());
 }
 
 TEST(Config, RejectsSubBlockNotDividingLine)
 {
     GpuConfig cfg;
-    cfg.l1SubBlockBytes = 24;
+    cfg.l1.subBlockBytes = 24;
     ASSERT_TRUE(cfg.validationError().has_value());
 
-    cfg.l1SubBlockBytes = 0;
+    cfg.l1.subBlockBytes = 0;
     ASSERT_TRUE(cfg.validationError().has_value());
 }
 
@@ -64,15 +64,15 @@ TEST(Config, RejectsZeroCores)
 TEST(Config, RejectsZeroAssocOrMshrs)
 {
     GpuConfig cfg;
-    cfg.l1Assoc = 0;
+    cfg.l1.assoc = 0;
     EXPECT_TRUE(cfg.validationError().has_value());
 
     cfg = GpuConfig{};
-    cfg.l1MshrEntries = 0;
+    cfg.l1.mshrEntries = 0;
     EXPECT_TRUE(cfg.validationError().has_value());
 
     cfg = GpuConfig{};
-    cfg.l1TagFactor = 0;
+    cfg.l1.tagFactor = 0;
     EXPECT_TRUE(cfg.validationError().has_value());
 }
 
@@ -98,7 +98,7 @@ TEST(Config, RejectsLearningLongerThanPeriod)
 TEST(ConfigDeathTest, ValidateDiesOnBrokenConfig)
 {
     GpuConfig cfg;
-    cfg.l1SubBlockBytes = 24;
+    cfg.l1.subBlockBytes = 24;
     EXPECT_DEATH(cfg.validate(), "invalid GpuConfig");
 }
 

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cache/decomp_queue.hh"
+#include "compress/decomp_queue.hh"
 
 using namespace latte;
 

@@ -183,7 +183,7 @@ TEST(Integration, LargerCacheNeverSlower)
     const Workload workload = miniWorkload();
     const auto small = runPolicy(workload, PolicyKind::Baseline);
     DriverOptions big;
-    big.cfg.l1SizeBytes = 64 * 1024;
+    big.cfg.l1.sizeBytes = 64 * 1024;
     const auto large = runPolicy(workload, PolicyKind::Baseline, big);
     EXPECT_LE(large.cycles, small.cycles);
     EXPECT_LE(large.misses, small.misses);

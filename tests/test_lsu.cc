@@ -19,7 +19,7 @@ class LsuFixture : public ::testing::Test
   protected:
     LsuFixture()
         : root("root"), noc(cfg, &root), dram(cfg, &root),
-          l2(cfg, &noc, &dram, &root), engines(cfg),
+          l2(cfg, &noc, &dram, &mem, &root), engines(cfg),
           cache(cfg, 0, &engines, &l2, &mem, &root), lsu(&root),
           warps(4)
     {
@@ -77,7 +77,7 @@ TEST_F(LsuFixture, WarpWakesAfterLastAccess)
     EXPECT_EQ(warps[0].state, WarpState::Active);
     EXPECT_NE(warps[0].readyAt, kNoCycle);
     // Both are misses: the wakeup is the slower of the two fills.
-    EXPECT_GE(warps[0].readyAt, cfg.l2MinLatency);
+    EXPECT_GE(warps[0].readyAt, cfg.l2.minLatency);
 }
 
 TEST_F(LsuFixture, StoresDoNotTouchWarps)
@@ -94,11 +94,11 @@ TEST_F(LsuFixture, MshrFullBacksOffUntilFill)
 {
     // Exhaust the MSHRs with distinct-line loads from warp 1.
     std::vector<Addr> lines;
-    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+    for (std::uint32_t i = 0; i < cfg.l1.mshrEntries; ++i)
         lines.push_back(0x100000 + i * 128);
     startLoad(1, lines);
     Cycles now = 0;
-    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i)
+    for (std::uint32_t i = 0; i < cfg.l1.mshrEntries; ++i)
         lsu.tick(now++, cache, warps);
     EXPECT_FALSE(lsu.busy());
 

@@ -146,7 +146,7 @@ TEST(Dram, UnloadedLatencyIsMinimum)
     DramModel dram(cfg, &root);
     const Cycles ready = dram.access(1000, 128);
     // extra latency beyond the L2 path plus the transfer itself.
-    EXPECT_EQ(ready, 1000 + (cfg.dramMinLatency - cfg.l2MinLatency) + 1);
+    EXPECT_EQ(ready, 1000 + (cfg.dramMinLatency - cfg.l2.minLatency) + 1);
 }
 
 TEST(Dram, BandwidthQueuesBuildUp)
@@ -196,11 +196,12 @@ class L2Fixture : public ::testing::Test
   protected:
     L2Fixture()
         : root("root"), noc(cfg, &root), dram(cfg, &root),
-          l2(cfg, &noc, &dram, &root)
+          l2(cfg, &noc, &dram, &mem, &root)
     {}
 
     GpuConfig cfg;
     StatGroup root;
+    MemoryImage mem;
     Interconnect noc;
     DramModel dram;
     L2Cache l2;
@@ -217,16 +218,16 @@ TEST_F(L2Fixture, MissThenHit)
 
     const auto hit = l2.access(10000, 0x1000, false);
     EXPECT_TRUE(hit.hit);
-    EXPECT_GE(hit.readyCycle - 10000, cfg.l2MinLatency);
-    EXPECT_LE(hit.readyCycle - 10000, cfg.l2MinLatency + 20);
+    EXPECT_GE(hit.readyCycle - 10000, cfg.l2.minLatency);
+    EXPECT_LE(hit.readyCycle - 10000, cfg.l2.minLatency + 20);
 }
 
 TEST_F(L2Fixture, LruEvictionWithinSet)
 {
     // Fill one set (8 ways) plus one more; the first line must evict.
     const Addr set_stride =
-        static_cast<Addr>(cfg.l2NumSets()) * cfg.l2LineBytes;
-    for (unsigned i = 0; i <= cfg.l2Assoc; ++i)
+        static_cast<Addr>(cfg.l2NumSets()) * cfg.l2.lineBytes;
+    for (unsigned i = 0; i <= cfg.l2.assoc; ++i)
         l2.access(i * 1000, 0x2000 + i * set_stride, false);
 
     const auto again = l2.access(1000000, 0x2000, false);

@@ -9,7 +9,7 @@
 
 #include "common/rng.hh"
 #include "core/driver.hh"
-#include "core/ep_clock.hh"
+#include "common/ep_clock.hh"
 #include "sim/lt_meter.hh"
 
 using namespace latte;
@@ -122,7 +122,7 @@ class PolicyRig
   public:
     PolicyRig()
         : root("root"), noc(cfg, &root), dram(cfg, &root),
-          l2(cfg, &noc, &dram, &root), engines(cfg),
+          l2(cfg, &noc, &dram, &mem, &root), engines(cfg),
           cache(cfg, 0, &engines, &l2, &mem, &root)
     {}
 

@@ -9,7 +9,7 @@
 #include <tuple>
 
 #include "cache/compressed_cache.hh"
-#include "core/ep_clock.hh"
+#include "common/ep_clock.hh"
 #include "compress/backend.hh"
 #include "compress/factory.hh"
 #include "compress/sc.hh"
@@ -29,14 +29,14 @@ class CacheGeometry : public ::testing::TestWithParam<Geometry>
     SetUp() override
     {
         const auto [kb, assoc, tag_factor, sub_block] = GetParam();
-        cfg.l1SizeBytes = kb * 1024;
-        cfg.l1Assoc = assoc;
-        cfg.l1TagFactor = tag_factor;
-        cfg.l1SubBlockBytes = sub_block;
+        cfg.l1.sizeBytes = kb * 1024;
+        cfg.l1.assoc = assoc;
+        cfg.l1.tagFactor = tag_factor;
+        cfg.l1.subBlockBytes = sub_block;
         root = std::make_unique<StatGroup>("root");
         noc = std::make_unique<Interconnect>(cfg, root.get());
         dram = std::make_unique<DramModel>(cfg, root.get());
-        l2 = std::make_unique<L2Cache>(cfg, noc.get(), dram.get(),
+        l2 = std::make_unique<L2Cache>(cfg, noc.get(), dram.get(), &mem,
                                        root.get());
         engines = std::make_unique<CompressionEngines>(cfg);
         cache = std::make_unique<CompressedCache>(
@@ -64,11 +64,11 @@ class CacheGeometry : public ::testing::TestWithParam<Geometry>
 
 TEST_P(CacheGeometry, GeometryArithmeticConsistent)
 {
-    EXPECT_EQ(cache->numSets() * cfg.l1Assoc * cfg.l1LineBytes,
-              cfg.l1SizeBytes);
-    EXPECT_EQ(cache->tagsPerSet(), cfg.l1Assoc * cfg.l1TagFactor);
-    EXPECT_EQ(cache->subBlocksPerSet() * cfg.l1SubBlockBytes,
-              cfg.l1Assoc * cfg.l1LineBytes);
+    EXPECT_EQ(cache->numSets() * cfg.l1.assoc * cfg.l1.lineBytes,
+              cfg.l1.sizeBytes);
+    EXPECT_EQ(cache->tagsPerSet(), cfg.l1.assoc * cfg.l1.tagFactor);
+    EXPECT_EQ(cache->subBlocksPerSet() * cfg.l1.subBlockBytes,
+              cfg.l1.assoc * cfg.l1.lineBytes);
 }
 
 TEST_P(CacheGeometry, SubBlockUsageNeverExceedsCapacity)

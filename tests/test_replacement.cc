@@ -25,7 +25,7 @@ class ReplFixture
         root = std::make_unique<StatGroup>("root");
         noc = std::make_unique<Interconnect>(cfg, root.get());
         dram = std::make_unique<DramModel>(cfg, root.get());
-        l2 = std::make_unique<L2Cache>(cfg, noc.get(), dram.get(),
+        l2 = std::make_unique<L2Cache>(cfg, noc.get(), dram.get(), &mem,
                                        root.get());
         engines = std::make_unique<CompressionEngines>(cfg);
         cache = std::make_unique<CompressedCache>(

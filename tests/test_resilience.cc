@@ -224,7 +224,7 @@ TEST(Resilience, CancelledCellsAreNotRetried)
 TEST(Resilience, InvalidConfigIsAFailureValueNotAnExit)
 {
     RunRequest request = tinyRequest();
-    request.options.cfg.l1Assoc = 0; // structurally broken
+    request.options.cfg.l1.assoc = 0; // structurally broken
 
     const RunOutcome outcome = run(request);
     EXPECT_EQ(outcome.status, RunStatus::Failed);

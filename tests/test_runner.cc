@@ -257,7 +257,8 @@ TEST(Runner, SimThreadsAreBitIdentical)
           PolicyKind::StaticSc, PolicyKind::StaticBpc,
           PolicyKind::AdaptiveHitCount, PolicyKind::AdaptiveCmp,
           PolicyKind::LatteCc, PolicyKind::LatteCcBdiBpc,
-          PolicyKind::KernelOpt}) {
+          PolicyKind::KernelOpt, PolicyKind::L2StaticBdi,
+          PolicyKind::L2Latte, PolicyKind::LatteCcL1L2}) {
         const auto runOnce = [&](const char *threads) {
             RunRequest request;
             request.workload = workload;
@@ -400,7 +401,7 @@ TEST(Runner, RunKeySeparatesDriverOptions)
     RunRequest b = a;
     b.options.tuning.chargeDecompression = false;
     RunRequest c = a;
-    c.options.cfg.l1SizeBytes = 64 * 1024;
+    c.options.cfg.l1.sizeBytes = 64 * 1024;
 
     const RunKey ka = RunKey::of(a);
     const RunKey kb = RunKey::of(b);
@@ -461,7 +462,8 @@ TEST(Runner, PolicyCatalogueRoundTrip)
         PolicyKind::StaticSc,        PolicyKind::StaticBpc,
         PolicyKind::AdaptiveHitCount, PolicyKind::AdaptiveCmp,
         PolicyKind::LatteCc,         PolicyKind::LatteCcBdiBpc,
-        PolicyKind::KernelOpt,
+        PolicyKind::KernelOpt,       PolicyKind::L2StaticBdi,
+        PolicyKind::L2Latte,         PolicyKind::LatteCcL1L2,
     };
     const GpuConfig cfg;
     for (const PolicyKind kind : kinds) {
